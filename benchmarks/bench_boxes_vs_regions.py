@@ -1,0 +1,106 @@
+"""E6 — bounding-box ops vs exact region ops.
+
+Section 4's economic argument: "intersections and unions over bounding
+boxes are relatively cheap to compute" compared to "intersections,
+unions and complements of arbitrary retrieved regions".  We measure the
+primitive-operation gap directly on representative operands.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.algebra import Region, RegionAlgebra
+from repro.boxes import Box
+
+UNIVERSE = Box((0.0, 0.0), (100.0, 100.0))
+
+
+def _fragmented_region(rng: random.Random, pieces: int) -> Region:
+    boxes = []
+    for _ in range(pieces):
+        lo = (rng.uniform(0, 90), rng.uniform(0, 90))
+        boxes.append(
+            Box(lo, (lo[0] + rng.uniform(2, 10), lo[1] + rng.uniform(2, 10)))
+        )
+    return Region.from_boxes(boxes)
+
+
+rng = random.Random(0)
+ALG = RegionAlgebra(UNIVERSE)
+REGIONS = [_fragmented_region(rng, 12) for _ in range(16)]
+BOXES = [r.bounding_box() for r in REGIONS]
+
+
+def test_box_meet(benchmark):
+    def run():
+        out = BOXES[0]
+        for b in BOXES[1:]:
+            out = out.meet(b)
+        return out
+
+    benchmark(run)
+
+
+def test_box_enclose(benchmark):
+    def run():
+        out = BOXES[0]
+        for b in BOXES[1:]:
+            out = out.enclose(b)
+        return out
+
+    benchmark(run)
+
+
+def test_region_meet(benchmark):
+    def run():
+        out = REGIONS[0]
+        for r in REGIONS[1:]:
+            out = ALG.meet(out, r)
+        return out
+
+    benchmark(run)
+
+
+def test_region_join(benchmark):
+    def run():
+        out = REGIONS[0]
+        for r in REGIONS[1:]:
+            out = ALG.join(out, r)
+        return out
+
+    benchmark(run)
+
+
+def test_region_complement(benchmark):
+    benchmark(ALG.complement, REGIONS[0])
+
+
+def test_gap_report():
+    """Single-shot wall-clock comparison for the report table."""
+    import time
+
+    def clock(fn, reps=200):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        return (time.perf_counter() - t0) / reps * 1e6  # µs
+
+    a, b = REGIONS[0], REGIONS[1]
+    ba, bb = BOXES[0], BOXES[1]
+    rows = [
+        {"op": "box meet", "us": f"{clock(lambda: ba.meet(bb)):.2f}"},
+        {"op": "box enclose", "us": f"{clock(lambda: ba.enclose(bb)):.2f}"},
+        {"op": "region meet", "us": f"{clock(lambda: ALG.meet(a, b)):.2f}"},
+        {"op": "region join", "us": f"{clock(lambda: ALG.join(a, b)):.2f}"},
+        {
+            "op": "region complement",
+            "us": f"{clock(lambda: ALG.complement(a), reps=50):.2f}",
+        },
+    ]
+    text = report("E6: primitive op costs (µs/op)", rows, ["op", "us"])
+    box_cost = float(rows[0]["us"])
+    region_cost = float(rows[2]["us"])
+    # The paper's premise: boxes are much cheaper than regions.
+    assert box_cost * 5 < region_cost, text

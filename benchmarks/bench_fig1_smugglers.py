@@ -1,0 +1,86 @@
+"""E1 — Figure 1 / Section 2: the smugglers query end to end.
+
+Regenerates the paper's worked example: the triangular solved form and
+bounding-box system must match the displayed derivation, and the
+compiled plan must return exactly the tuples the naive evaluation finds.
+The benchmark times the optimized execution; the report compares the
+three modes' machine-independent costs.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.boolean import FALSE, TRUE, Var, equivalent, to_str
+from repro.boxes import BoxVar, bjoin
+from repro.constraints import (
+    SMUGGLERS_ORDER,
+    smugglers_system,
+    triangular_form,
+)
+from repro.datagen import smugglers_query
+from repro.engine import answers_as_oid_tuples, compile_query, execute
+
+
+def test_triangular_form_matches_paper(benchmark):
+    """Algorithm 1 output == the paper's §2 triangle (and is fast)."""
+    tri = benchmark(triangular_form, smugglers_system(), SMUGGLERS_ORDER)
+    A, C, R, T = (Var(v) for v in "ACRT")
+    ct = tri.constraint_for("T")
+    assert ct.lower == FALSE and ct.upper == TRUE
+    assert [("~C", "0")] == [
+        (to_str(r.p), to_str(r.q)) for r in ct.disequations
+    ]
+    cr = tri.constraint_for("R")
+    assert equivalent(cr.upper, C | T)
+    cb = tri.constraint_for("B")
+    assert equivalent(cb.lower, R & ~A & ~T)
+    assert equivalent(cb.upper, C)
+    report(
+        "E1: triangular solved form (paper §2)",
+        [
+            {"level": c.variable, "constraint": c.render().replace("\n", " ;  ")}
+            for c in tri.constraints
+        ],
+        ["level", "constraint"],
+    )
+
+
+def test_box_system_matches_paper(benchmark):
+    """The §2 bounding-box system, regenerated."""
+    from repro.boxes import BOT, TOP, compile_solved_constraint
+
+    tri = triangular_form(smugglers_system(), SMUGGLERS_ORDER)
+    templates = {
+        c.variable: compile_solved_constraint(c) for c in tri.constraints
+    }
+    assert templates["R"].upper == bjoin(BoxVar("C"), BoxVar("T"))
+    assert templates["B"].upper == BoxVar("C")
+    assert templates["T"].upper == TOP
+    report(
+        "E1: bounding-box plan (paper §2)",
+        [
+            {"step": v, "template": t.render().replace("\n", " ;  ")}
+            for v, t in templates.items()
+        ],
+        ["step", "template"],
+    )
+
+
+@pytest.mark.parametrize("mode", ["naive", "exact", "boxplan"])
+def test_execute_modes(benchmark, mode):
+    """Time each mode on a mid-size map; all must agree on the answers."""
+    query, world = smugglers_query(
+        seed=11, n_towns=20, n_roads=20, states_grid=(3, 3)
+    )
+    plan = compile_query(query)
+    answers, stats = benchmark(execute, plan, mode)
+    expected, _ = execute(plan, "naive")
+    assert answers_as_oid_tuples(answers, ["T", "R", "B"]) == (
+        answers_as_oid_tuples(expected, ["T", "R", "B"])
+    )
+    benchmark.extra_info.update(stats.as_dict())
+    report(
+        f"E1: execution [{mode}]",
+        [stats.as_dict()],
+        ["mode", "tuples", "partials", "region_ops", "candidates"],
+    )

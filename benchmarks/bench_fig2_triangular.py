@@ -1,0 +1,66 @@
+"""E2 — Figure 2 / Algorithm 1: triangularisation cost.
+
+The paper accepts exponential worst-case compile cost because systems
+are small and compilation happens once.  This bench measures the actual
+cost on growing containment-chain systems (n variables, n constraints)
+and reports output sizes, showing the claim's practical footing.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.constraints import (
+    ConstraintSystem,
+    nonempty,
+    overlaps,
+    subset,
+    triangular_form,
+)
+
+
+def chain_system(n: int) -> ConstraintSystem:
+    """x1 ⊆ x2 ⊆ … ⊆ xn, x1 ≠ 0, with an overlap per adjacent pair."""
+    constraints = [nonempty("x1")]
+    for i in range(1, n):
+        constraints.append(subset(f"x{i}", f"x{i + 1}"))
+        constraints.append(overlaps(f"x{i}", f"x{i + 1}"))
+    return ConstraintSystem.build(*constraints)
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8])
+def test_triangularisation_scaling(benchmark, n):
+    system = chain_system(n)
+    order = [f"x{i}" for i in range(1, n + 1)]
+    tri = benchmark(triangular_form, system, order)
+    sizes = [
+        c.lower.size() + c.upper.size() + sum(
+            r.p.size() + r.q.size() for r in c.disequations
+        )
+        for c in tri.constraints
+    ]
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["formula_sizes"] = sizes
+    report(
+        f"E2: Algorithm 1 on a chain of n={n}",
+        [
+            {
+                "level": c.variable,
+                "ast_size": s,
+                "diseqs": len(c.disequations),
+            }
+            for c, s in zip(tri.constraints, sizes)
+        ],
+        ["level", "ast_size", "diseqs"],
+    )
+    # Soundness guard: simplification keeps formulas from exploding on
+    # this family (they stay linear-ish in n).
+    assert max(sizes) < 50 * n
+
+
+def test_projection_chain(benchmark):
+    """Cost of a full elimination chain (the decision procedure core)."""
+    from repro.constraints import eliminate_to_ground
+
+    system = chain_system(6).normalize()
+    ground = benchmark(eliminate_to_ground, system)
+    assert not ground.variables()

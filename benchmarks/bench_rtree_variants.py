@@ -1,0 +1,88 @@
+"""E11 — index-construction ablation: quadratic vs linear split vs STR.
+
+The paper treats the spatial index as a black box with a range-query
+contract.  This ablation verifies that the optimization is robust to
+the index variant (all return the same rows) and measures the classical
+build/query trade-off: linear split builds faster, quadratic queries a
+bit better, STR bulk loading wins both when the data is known up front.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.boxes import Box, BoxQuery
+from repro.spatial import RTree
+
+N = 2000
+
+
+def _boxes(seed=1):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(N):
+        lo = (rng.uniform(0, 95), rng.uniform(0, 95))
+        out.append(
+            Box(lo, (lo[0] + rng.uniform(0.5, 5), lo[1] + rng.uniform(0.5, 5)))
+        )
+    return out
+
+
+ITEMS = _boxes()
+QUERIES = [
+    BoxQuery(overlap=(Box((x, y), (x + 4.0, y + 4.0)),))
+    for x in (10.0, 40.0, 70.0)
+    for y in (15.0, 45.0, 75.0)
+]
+
+
+def _build(method: str) -> RTree:
+    if method == "str":
+        return RTree.bulk_load(
+            [(b, i) for i, b in enumerate(ITEMS)], max_entries=8
+        )
+    tree = RTree(max_entries=8, split_method=method)
+    for i, b in enumerate(ITEMS):
+        tree.insert(b, i)
+    return tree
+
+
+@pytest.mark.parametrize("method", ["quadratic", "linear", "str"])
+def test_build(benchmark, method):
+    tree = benchmark(_build, method)
+    assert len(tree) == N
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["height"] = tree.height()
+
+
+@pytest.mark.parametrize("method", ["quadratic", "linear", "str"])
+def test_query(benchmark, method):
+    tree = _build(method)
+    expected = [
+        {i for i, b in enumerate(ITEMS) if q.matches(b)} for q in QUERIES
+    ]
+
+    def run():
+        return [
+            {v for _b, v in tree.search(q)} for q in QUERIES
+        ]
+
+    got = benchmark(run)
+    assert got == expected
+    tree.stats.reset()
+    for q in QUERIES:
+        list(tree.search(q))
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["node_reads"] = tree.stats.node_reads
+    report(
+        f"E11: query probes [{method}]",
+        [
+            {
+                "method": method,
+                "height": tree.height(),
+                "node_reads_9_queries": tree.stats.node_reads,
+            }
+        ],
+        ["method", "height", "node_reads_9_queries"],
+    )

@@ -1,0 +1,62 @@
+"""E12 — first-answer latency: streaming vs batch execution.
+
+The paper's incremental construction naturally pipelines: the first
+solution tuples can be reported long before the search space is
+exhausted.  This bench measures time-to-first-answer and index probes
+for the depth-first streaming executor against the batch executor.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datagen import smugglers_query
+from repro.engine import compile_query, execute, first_k
+
+
+def _plan():
+    q, _ = smugglers_query(
+        seed=31, n_towns=40, n_roads=40, states_grid=(3, 3)
+    )
+    return q, compile_query(q)
+
+
+def test_batch_all_answers(benchmark):
+    q, plan = _plan()
+    answers, stats = benchmark(execute, plan, "boxplan")
+    benchmark.extra_info["tuples"] = len(answers)
+
+
+def test_streaming_first_answer(benchmark):
+    q, plan = _plan()
+    got = benchmark(first_k, plan, 1)
+    assert len(got) == 1
+
+
+def test_streaming_all_answers(benchmark):
+    from repro.engine import execute_iter
+
+    q, plan = _plan()
+    streamed = benchmark(lambda: list(execute_iter(plan, "boxplan")))
+    batch, _ = execute(plan, "boxplan")
+    assert len(streamed) == len(batch)
+
+
+def test_probe_comparison(benchmark):
+    q, plan = _plan()
+    for t in q.tables.values():
+        t.reset_stats()
+    first_k(plan, 1)
+    probes_first = sum(t.probes for t in q.tables.values())
+    for t in q.tables.values():
+        t.reset_stats()
+    execute(plan, "boxplan")
+    probes_batch = sum(t.probes for t in q.tables.values())
+    report(
+        "E12: index probes",
+        [
+            {"strategy": "first answer (streaming)", "probes": probes_first},
+            {"strategy": "all answers (batch)", "probes": probes_batch},
+        ],
+        ["strategy", "probes"],
+    )
+    assert probes_first <= probes_batch

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints a small report table (captured by
+``--benchmark-only -s`` or in the saved extra_info) with the
+machine-independent counters the paper's cost model cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def report(title: str, rows: List[Dict], columns: Sequence[str]) -> str:
+    """Format a fixed-width table; also returned so benches can assert."""
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    for r in rows:
+        lines.append(
+            "  ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""GIS site selection — a multi-constraint spatial query.
+
+The paper's introduction cites geographic information systems as the
+canonical application needing Boolean constraints over many variables.
+This example plays a planning department: find a *parcel* P, a *flood
+zone* F, and a *service district* D such that
+
+    P <= D                 the parcel is served by the district
+    P & F = 0              the parcel avoids every chosen flood zone
+    P & GREEN != 0         the parcel touches the greenbelt (amenity)
+    SCHOOL <= D            the district contains the school site
+    F & D != 0             (the flood zone is relevant: it intersects D)
+
+with bound constants GREEN (greenbelt) and SCHOOL.  The example shows:
+
+* a query with three unknowns of different tables and two constants;
+* the planner choosing a retrieval order automatically;
+* per-step candidate statistics demonstrating the early pruning.
+
+Run:  python examples/gis_site_selection.py
+"""
+
+import random
+
+from repro import Region, parse_system
+from repro.boxes import Box
+from repro.datagen import grid_partition, random_box
+from repro.engine import SpatialQuery, answers_as_oid_tuples, compile_query, execute
+from repro.spatial import SpatialTable
+
+UNIVERSE = Box((0.0, 0.0), (100.0, 100.0))
+
+
+def build_world(seed: int = 7):
+    """Parcels, flood zones and districts, plus the two constants."""
+    rng = random.Random(seed)
+
+    districts_regions = grid_partition(Box((0.0, 0.0), (100.0, 100.0)), (2, 2))
+    districts = SpatialTable("districts", 2, universe=UNIVERSE)
+    districts.bulk_insert(list(enumerate(districts_regions)))
+
+    parcels = SpatialTable("parcels", 2, universe=UNIVERSE)
+    for i in range(60):
+        parcels.insert(i, Region.from_box(random_box(rng, UNIVERSE, 2.0, 6.0)))
+
+    floods = SpatialTable("flood_zones", 2, universe=UNIVERSE)
+    for i in range(8):
+        floods.insert(i, Region.from_box(random_box(rng, UNIVERSE, 10.0, 30.0)))
+
+    green = Region.from_box(Box((30.0, 30.0), (70.0, 70.0)))
+    school = Region.from_box(Box((60.0, 60.0), (63.0, 63.0)))
+    return parcels, floods, districts, green, school
+
+
+def main() -> None:
+    parcels, floods, districts, green, school = build_world()
+
+    system = parse_system(
+        """
+        P <= D
+        P & F = 0
+        P & GREEN != 0
+        SCHOOL <= D
+        F & D != 0
+        """
+    )
+
+    query = SpatialQuery(
+        system=system,
+        tables={"P": parcels, "F": floods, "D": districts},
+        bindings={"GREEN": green, "SCHOOL": school},
+        # no explicit order: let the planner decide
+    )
+
+    plan = compile_query(query)
+    print("planner-chosen retrieval order:", ", ".join(plan.order))
+    print("\n== triangular form ==")
+    print(plan.triangular.render())
+
+    answers, stats = execute(plan, "boxplan")
+    print("\n== execution (boxplan) ==")
+    print(stats.summary())
+
+    _naive_answers, naive_stats = execute(plan, "naive")
+    print(naive_stats.summary())
+    assert answers_as_oid_tuples(answers, plan.order) == (
+        answers_as_oid_tuples(_naive_answers, plan.order)
+    )
+
+    print(f"\n{len(answers)} qualifying (parcel, flood-zone, district) triples")
+    for a in answers[:8]:
+        print(
+            "  parcel #{P}  avoiding flood zone #{F}  in district #{D}".format(
+                P=a["P"].oid, F=a["F"].oid, D=a["D"].oid
+            )
+        )
+    speedup = (
+        naive_stats.region_ops / stats.region_ops
+        if stats.region_ops
+        else float("inf")
+    )
+    print(f"\nexact region ops: naive={naive_stats.region_ops} "
+          f"boxplan={stats.region_ops} ({speedup:.1f}x fewer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""VLSI design-rule checking as Boolean constraint queries.
+
+The paper's introduction cites VLSI design-rule checkers [15] as an
+application.  Design rules are *integrity constraints*: a violation
+report is the answer set of a constraint query.  We check two rules over
+a synthetic two-layer layout:
+
+Rule 1 (well containment):  every diffusion shape D must lie inside some
+well W of the right type.  Violations are diffusion shapes for which the
+query  ``D !<= W``  holds for EVERY well — we find witnesses by asking
+for (D, W) pairs where  ``D & W != 0  and  D !<= W``  (a shape partially
+in a well is the classic error).
+
+Rule 2 (metal separation):  metal shapes M1, M2 from the same net class
+must not overlap:  report pairs with  ``M1 & M2 != 0``.
+
+The example demonstrates negative constraints doing real work — both
+rules are *disequations*, the part of the language this paper added.
+
+Run:  python examples/vlsi_design_rules.py
+"""
+
+import random
+
+from repro import Region, parse_system
+from repro.boxes import Box
+from repro.engine import SpatialQuery, compile_query, execute
+from repro.spatial import SpatialTable
+
+DIE = Box((0.0, 0.0), (200.0, 200.0))
+
+
+def build_layout(seed: int = 13):
+    rng = random.Random(seed)
+
+    wells = SpatialTable("wells", 2, universe=DIE)
+    well_boxes = []
+    for i in range(6):
+        lo = (rng.uniform(0, 150), rng.uniform(0, 150))
+        b = Box(lo, (lo[0] + rng.uniform(25, 45), lo[1] + rng.uniform(25, 45)))
+        well_boxes.append(b)
+        wells.insert(i, Region.from_box(b))
+
+    diffusions = SpatialTable("diffusions", 2, universe=DIE)
+    for i in range(40):
+        if i % 4 == 0 and well_boxes:
+            # Deliberately straddle a well edge: a Rule 1 violation.
+            w = rng.choice(well_boxes)
+            b = Box(
+                (w.hi[0] - 4.0, w.lo[1] + 2.0),
+                (w.hi[0] + 4.0, w.lo[1] + 6.0),
+            )
+        else:
+            w = rng.choice(well_boxes)
+            b = Box(
+                (w.lo[0] + 2.0 + rng.uniform(0, 5), w.lo[1] + 2.0 + rng.uniform(0, 5)),
+                (w.lo[0] + 8.0 + rng.uniform(0, 5), w.lo[1] + 8.0 + rng.uniform(0, 5)),
+            )
+        diffusions.insert(i, Region.from_box(b.meet(DIE)))
+
+    metal = SpatialTable("metal", 2, universe=DIE)
+    for i in range(50):
+        lo = (rng.uniform(0, 190), rng.uniform(0, 190))
+        b = Box(lo, (lo[0] + rng.uniform(2, 10), lo[1] + rng.uniform(2, 10)))
+        metal.insert(i, Region.from_box(b))
+
+    return wells, diffusions, metal
+
+
+def rule1_well_containment(wells, diffusions) -> None:
+    print("== Rule 1: diffusion straddling a well edge ==")
+    system = parse_system(
+        """
+        D & W != 0     # the shape touches the well...
+        D !<= W        # ...but is not contained in it
+        """
+    )
+    query = SpatialQuery(
+        system=system,
+        tables={"D": diffusions, "W": wells},
+        order=["W", "D"],
+    )
+    plan = compile_query(query)
+    answers, stats = execute(plan, "boxplan")
+    print(stats.summary())
+    print(f"{len(answers)} straddle violations:")
+    for a in answers[:10]:
+        print(f"  diffusion #{a['D'].oid} straddles well #{a['W'].oid}")
+
+
+def rule2_metal_overlap(metal) -> None:
+    print("\n== Rule 2: overlapping metal shapes ==")
+    system = parse_system("M1 & M2 != 0")
+    query = SpatialQuery(
+        system=system,
+        tables={"M1": metal, "M2": metal},
+        order=["M1", "M2"],
+    )
+    plan = compile_query(query)
+    answers, stats = execute(plan, "boxplan")
+    # Self-join: drop mirror and self pairs for the report.
+    violations = sorted(
+        {
+            tuple(sorted((a["M1"].oid, a["M2"].oid)))
+            for a in answers
+            if a["M1"].oid != a["M2"].oid
+        }
+    )
+    print(stats.summary())
+    print(f"{len(violations)} overlapping metal pairs:")
+    for m1, m2 in violations[:10]:
+        print(f"  metal #{m1} overlaps metal #{m2}")
+
+
+def main() -> None:
+    wells, diffusions, metal = build_layout()
+    rule1_well_containment(wells, diffusions)
+    rule2_metal_overlap(metal)
+
+
+if __name__ == "__main__":
+    main()

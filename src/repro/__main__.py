@@ -1,0 +1,120 @@
+"""Command-line interface: compile and inspect constraint systems.
+
+Usage::
+
+    python -m repro compile  [--order T,R,B] [--constants C,A]  [FILE]
+    python -m repro check    [FILE]            # satisfiable (atomless)?
+    python -m repro minimize [FILE]            # drop entailed constraints
+    python -m repro bcf      'x & y | ~x & z'  # Blake canonical form + L/U
+
+``FILE`` contains one constraint per line in the Figure-1 syntax
+(``A <= C``, ``R & A != 0``, ``T !<= C``, comments with ``#``); ``-``
+or omitted reads stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .boolean import blake_canonical_form, parse, to_str
+from .boxes import compile_solved_constraint, lower_approximation, render_boxfunc, upper_approximation
+from .constraints import (
+    parse_system,
+    satisfiable_atomless,
+    triangular_form,
+)
+from .constraints.minimize import minimize_system
+
+
+def _read_system(path: str | None):
+    if path in (None, "-"):
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    return parse_system(text)
+
+
+def cmd_compile(args) -> int:
+    system = _read_system(args.file)
+    constants = set(
+        args.constants.split(",") if args.constants else []
+    )
+    if args.order:
+        order = args.order.split(",")
+    else:
+        order = sorted(system.variables() - constants)
+    tri = triangular_form(system, order)
+    print("# retrieval order:", ", ".join(order))
+    print(tri.render())
+    print("# bounding-box plan")
+    for c in tri.constraints:
+        template = compile_solved_constraint(c)
+        print(f"-- step {c.variable} --")
+        print(template.render())
+    return 0
+
+
+def cmd_check(args) -> int:
+    system = _read_system(args.file)
+    ok = satisfiable_atomless(system)
+    print("satisfiable" if ok else "unsatisfiable")
+    return 0 if ok else 1
+
+
+def cmd_minimize(args) -> int:
+    system = _read_system(args.file)
+    core, removed = minimize_system(system)
+    print("# irredundant core")
+    print(core)
+    if removed:
+        print("# removed (entailed by the rest)")
+        for c in removed:
+            print(f"#   {c}")
+    return 0
+
+
+def cmd_bcf(args) -> int:
+    f = parse(args.formula)
+    bcf = blake_canonical_form(f)
+    print("BCF:", " | ".join(t.to_str() for t in bcf) or "0")
+    print("L:", render_boxfunc(lower_approximation(f)))
+    print("U:", render_boxfunc(upper_approximation(f)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constraint-based spatial query compilation (PODS'91)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="triangular form + box plan")
+    p.add_argument("file", nargs="?", help="constraint file (default stdin)")
+    p.add_argument("--order", help="comma-separated retrieval order")
+    p.add_argument("--constants", help="comma-separated bound variables")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("check", help="atomless satisfiability")
+    p.add_argument("file", nargs="?")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("minimize", help="remove entailed constraints")
+    p.add_argument("file", nargs="?")
+    p.set_defaults(func=cmd_minimize)
+
+    p = sub.add_parser("bcf", help="Blake canonical form and L/U of a formula")
+    p.add_argument("formula")
+    p.set_defaults(func=cmd_bcf)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

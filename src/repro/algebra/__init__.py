@@ -1,0 +1,37 @@
+"""Boolean algebra carriers.
+
+The constraint machinery of :mod:`repro.constraints` is parametric in a
+Boolean algebra; this package supplies the carriers used by the paper:
+
+* :class:`TwoValuedAlgebra` — B2 (atomic, degenerate);
+* :class:`PowersetAlgebra` / :class:`BitVectorAlgebra` — finite atomic
+  algebras (Example 1's approximation-only witnesses);
+* :class:`IntervalAlgebra` — 1-D atomless (unions of half-open intervals);
+* :class:`RegionAlgebra` — k-D atomless box-union regions: the spatial
+  data model;
+* :class:`FreeBooleanAlgebra` — the BDD-backed free algebra (test oracle).
+"""
+
+from .base import BooleanAlgebra, OpCounter
+from .bitvec import BitVectorAlgebra
+from .boolean2 import TwoValuedAlgebra
+from .intervals import IntervalAlgebra, IntervalSet
+from .laws import check_all_laws
+from .lindenbaum import FreeBooleanAlgebra
+from .powerset import PowersetAlgebra
+from .regions import Region, RegionAlgebra, box_subtract
+
+__all__ = [
+    "BitVectorAlgebra",
+    "BooleanAlgebra",
+    "FreeBooleanAlgebra",
+    "IntervalAlgebra",
+    "IntervalSet",
+    "OpCounter",
+    "PowersetAlgebra",
+    "Region",
+    "RegionAlgebra",
+    "TwoValuedAlgebra",
+    "box_subtract",
+    "check_all_laws",
+]

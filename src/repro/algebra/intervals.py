@@ -1,0 +1,202 @@
+"""The atomless algebra of finite unions of half-open intervals.
+
+``IntervalAlgebra(lo, hi)`` is the Boolean algebra of finite unions of
+half-open intervals ``[a, b) ⊆ [lo, hi)`` with rational endpoints.  It is
+a dense subalgebra of the measurable subsets of the line — the paper's
+canonical example of an **atomless** algebra (Section 3: "One example of
+an atomless algebra which is important in a spatial database context are
+the measurable sets in R^k") — restricted to the sets for which emptiness
+is *exactly* decidable.
+
+Atomlessness is constructive here: any nonzero element contains a strictly
+smaller nonzero element (cut an interval at its midpoint), which is what
+:meth:`IntervalAlgebra.split` implements and what the Independence theorem
+(Theorem 6) proof needs.
+
+Elements are :class:`IntervalSet` values: canonical sorted tuples of
+disjoint, non-adjacent ``(Fraction, Fraction)`` pairs.  Canonical form
+makes equality a tuple comparison.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from ..errors import UniverseMismatchError
+from .base import BooleanAlgebra
+
+Number = Union[int, float, Fraction]
+
+
+def _frac(x: Number) -> Fraction:
+    return x if isinstance(x, Fraction) else Fraction(x)
+
+
+class IntervalSet:
+    """A canonical finite union of half-open intervals ``[a, b)``.
+
+    Immutable.  The canonical representation is a sorted tuple of
+    disjoint, non-touching intervals with ``a < b``; two IntervalSets are
+    equal iff they denote the same point set.
+    """
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Iterable[Tuple[Number, Number]] = ()):
+        pairs = [
+            (_frac(a), _frac(b)) for a, b in intervals if _frac(a) < _frac(b)
+        ]
+        pairs.sort()
+        merged: List[Tuple[Fraction, Fraction]] = []
+        for a, b in pairs:
+            if merged and a <= merged[-1][1]:
+                prev_a, prev_b = merged[-1]
+                merged[-1] = (prev_a, max(prev_b, b))
+            else:
+                merged.append((a, b))
+        object.__setattr__(self, "intervals", tuple(merged))
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("IntervalSet is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IntervalSet) and other.intervals == self.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        body = " u ".join(f"[{a},{b})" for a, b in self.intervals)
+        return f"IntervalSet({body or 'empty'})"
+
+    # -- measure-theoretic views ---------------------------------------------------
+    def measure(self) -> Fraction:
+        """Total length."""
+        return sum((b - a for a, b in self.intervals), Fraction(0))
+
+    def is_empty(self) -> bool:
+        """Exact emptiness (the predicate deciding ``g != 0``)."""
+        return not self.intervals
+
+    def bounding_interval(self) -> Tuple[Fraction, Fraction] | None:
+        """Minimal enclosing interval (the 1-D bounding box), or ``None``."""
+        if not self.intervals:
+            return None
+        return self.intervals[0][0], self.intervals[-1][1]
+
+    def contains_point(self, x: Number) -> bool:
+        """Membership of a single point."""
+        q = _frac(x)
+        return any(a <= q < b for a, b in self.intervals)
+
+    @staticmethod
+    def interval(a: Number, b: Number) -> "IntervalSet":
+        """The single interval ``[a, b)``."""
+        return IntervalSet([(a, b)])
+
+
+class IntervalAlgebra(BooleanAlgebra[IntervalSet]):
+    """Finite unions of half-open subintervals of the universe ``[lo, hi)``."""
+
+    def __init__(self, lo: Number = 0, hi: Number = 1):
+        super().__init__()
+        lo, hi = _frac(lo), _frac(hi)
+        if not lo < hi:
+            raise ValueError("universe must have positive length")
+        self._lo, self._hi = lo, hi
+        self._top = IntervalSet([(lo, hi)])
+        self._bot = IntervalSet()
+
+    @property
+    def universe(self) -> Tuple[Fraction, Fraction]:
+        """The pair ``(lo, hi)``."""
+        return self._lo, self._hi
+
+    @property
+    def top(self) -> IntervalSet:
+        return self._top
+
+    @property
+    def bot(self) -> IntervalSet:
+        return self._bot
+
+    def _check(self, a: IntervalSet) -> None:
+        if a.intervals and (
+            a.intervals[0][0] < self._lo or a.intervals[-1][1] > self._hi
+        ):
+            raise UniverseMismatchError(
+                f"element {a!r} exceeds the universe [{self._lo}, {self._hi})"
+            )
+
+    def meet(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
+        self.ops.meet += 1
+        out: List[Tuple[Fraction, Fraction]] = []
+        bs = b.intervals
+        j = 0
+        for a0, a1 in a.intervals:
+            while j < len(bs) and bs[j][1] <= a0:
+                j += 1
+            k = j
+            while k < len(bs) and bs[k][0] < a1:
+                lo = max(a0, bs[k][0])
+                hi = min(a1, bs[k][1])
+                if lo < hi:
+                    out.append((lo, hi))
+                k += 1
+        return IntervalSet(out)
+
+    def join(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
+        self.ops.join += 1
+        return IntervalSet(list(a.intervals) + list(b.intervals))
+
+    def complement(self, a: IntervalSet) -> IntervalSet:
+        self.ops.complement += 1
+        self._check(a)
+        out: List[Tuple[Fraction, Fraction]] = []
+        cursor = self._lo
+        for lo, hi in a.intervals:
+            if cursor < lo:
+                out.append((cursor, lo))
+            cursor = max(cursor, hi)
+        if cursor < self._hi:
+            out.append((cursor, self._hi))
+        return IntervalSet(out)
+
+    def is_zero(self, a: IntervalSet) -> bool:
+        return a.is_empty()
+
+    # -- atomless interface ---------------------------------------------------------
+    def is_atomless(self) -> bool:
+        return True
+
+    def split(self, a: IntervalSet) -> Tuple[IntervalSet, IntervalSet]:
+        """Split nonzero ``a`` into two disjoint nonzero halves.
+
+        The first interval is cut at its midpoint; the midpoint is a
+        rational, so the construction never loses exactness.
+        """
+        if a.is_empty():
+            raise ValueError("cannot split the zero element")
+        (lo, hi) = a.intervals[0]
+        mid = (lo + hi) / 2
+        first = IntervalSet([(lo, mid)])
+        rest = IntervalSet([(mid, hi)] + list(a.intervals[1:]))
+        return first, rest
+
+    # -- convenience ------------------------------------------------------------------
+    def interval(self, a: Number, b: Number) -> IntervalSet:
+        """The element ``[a, b)`` clipped to the universe."""
+        lo = max(_frac(a), self._lo)
+        hi = min(_frac(b), self._hi)
+        return IntervalSet([(lo, hi)])
+
+    def from_pairs(self, pairs: Sequence[Tuple[Number, Number]]) -> IntervalSet:
+        """Build an element from interval pairs, clipped to the universe."""
+        out = self._bot
+        for a, b in pairs:
+            out = self.join(out, self.interval(a, b))
+        return out

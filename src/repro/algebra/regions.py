@@ -1,0 +1,289 @@
+"""The k-dimensional region algebra — the paper's spatial data model.
+
+``RegionAlgebra(universe)`` is the Boolean algebra of finite unions of
+half-open axis-parallel boxes inside a universe box.  Over real
+coordinates this is a dense subalgebra of the measurable subsets of R^k
+(the paper's atomless model: "the data model in spatial databases in
+which regions are not arranged on a grid") that additionally has an
+**exactly decidable** emptiness test, which is what the disequations
+``g != 0`` require.
+
+Elements are :class:`Region` values holding pairwise-disjoint boxes, so
+``measure`` is a plain sum of volumes and ``is_empty`` is a length check.
+The structural operations keep disjointness invariantly:
+
+* intersection — pairwise box meets (disjointness is preserved);
+* union — new boxes are added minus the existing ones
+  (:func:`box_subtract` splinters a box into at most ``2k`` pieces);
+* complement — successive subtraction from the universe box.
+
+The minimal bounding box ``⌈r⌉`` (:meth:`Region.bounding_box`) is the
+bridge into Section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..boxes.box import Box, EMPTY_BOX, enclose_all
+from ..errors import DimensionMismatchError, UniverseMismatchError
+from .base import BooleanAlgebra
+
+
+def box_subtract(a: Box, b: Box) -> List[Box]:
+    """``a \\ b`` as a list of pairwise-disjoint boxes (at most ``2k``).
+
+    Classic axis sweep: for each dimension, the parts of ``a`` hanging
+    below/above ``b`` in that dimension are split off, and the remaining
+    core is narrowed; anything left at the end is ``a ∩ b`` and is
+    discarded.
+    """
+    if a.is_empty():
+        return []
+    inter = a.meet(b)
+    if inter.is_empty():
+        return [a]
+    out: List[Box] = []
+    lo = list(a.lo)
+    hi = list(a.hi)
+    for d in range(a.dim):
+        if lo[d] < inter.lo[d]:
+            piece_lo = list(lo)
+            piece_hi = list(hi)
+            piece_hi[d] = inter.lo[d]
+            out.append(Box(piece_lo, piece_hi))
+            lo[d] = inter.lo[d]
+        if inter.hi[d] < hi[d]:
+            piece_lo = list(lo)
+            piece_hi = list(hi)
+            piece_lo[d] = inter.hi[d]
+            out.append(Box(piece_lo, piece_hi))
+            hi[d] = inter.hi[d]
+    return out
+
+
+class Region:
+    """A finite union of pairwise-disjoint half-open boxes.
+
+    Immutable value object.  Use :meth:`from_boxes` (or the algebra's
+    helpers) to construct from arbitrary, possibly overlapping boxes.
+    Set-equality of regions is decided exactly via double difference.
+    """
+
+    __slots__ = ("boxes",)
+
+    def __init__(self, disjoint_boxes: Iterable[Box] = ()):
+        cleaned = tuple(b for b in disjoint_boxes if not b.is_empty())
+        dims = {b.dim for b in cleaned}
+        if len(dims) > 1:
+            raise DimensionMismatchError(
+                f"boxes of mixed dimensions: {sorted(dims)}"
+            )
+        object.__setattr__(self, "boxes", cleaned)
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("Region is immutable")
+
+    @staticmethod
+    def from_boxes(boxes: Iterable[Box]) -> "Region":
+        """Build a region from arbitrary (overlapping) boxes."""
+        disjoint: List[Box] = []
+        for b in boxes:
+            pieces = [b]
+            for existing in disjoint:
+                nxt: List[Box] = []
+                for piece in pieces:
+                    nxt.extend(box_subtract(piece, existing))
+                pieces = nxt
+                if not pieces:
+                    break
+            disjoint.extend(pieces)
+        return Region(disjoint)
+
+    @staticmethod
+    def from_box(box: Box) -> "Region":
+        """A single-box region."""
+        return Region([box] if not box.is_empty() else [])
+
+    @staticmethod
+    def empty() -> "Region":
+        """The empty region."""
+        return Region(())
+
+    # -- queries ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """Exact emptiness."""
+        return not self.boxes
+
+    @property
+    def dim(self) -> Optional[int]:
+        """Dimension, or ``None`` for the (polymorphic) empty region."""
+        return self.boxes[0].dim if self.boxes else None
+
+    def measure(self) -> float:
+        """Lebesgue measure (sum of disjoint box volumes)."""
+        return sum(b.volume() for b in self.boxes)
+
+    def box_count(self) -> int:
+        """Number of boxes in the internal representation."""
+        return len(self.boxes)
+
+    def bounding_box(self) -> Box:
+        """``⌈self⌉`` — the minimal surrounding bounding box (Section 4)."""
+        return enclose_all(self.boxes)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Half-open point membership."""
+        return any(b.contains_point(point) for b in self.boxes)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"Region({len(self.boxes)} boxes, measure={self.measure():g})"
+
+    def __eq__(self, other) -> bool:
+        """Exact set equality (mutual containment via subtraction)."""
+        if not isinstance(other, Region):
+            return NotImplemented
+        return _difference(self, other).is_empty() and _difference(
+            other, self
+        ).is_empty()
+
+    def __hash__(self):  # Region equality is semantic; hashing is unsafe.
+        raise TypeError("Region is unhashable; use id-keyed containers")
+
+    def translate(self, offset: Sequence[float]) -> "Region":
+        """Shift the whole region by an offset vector."""
+        return Region(tuple(b.translate(offset) for b in self.boxes))
+
+
+def _difference(a: Region, b: Region) -> Region:
+    pieces: List[Box] = list(a.boxes)
+    for cut in b.boxes:
+        nxt: List[Box] = []
+        for piece in pieces:
+            nxt.extend(box_subtract(piece, cut))
+        pieces = nxt
+        if not pieces:
+            break
+    return Region(pieces)
+
+
+class RegionAlgebra(BooleanAlgebra[Region]):
+    """Box-union regions within a universe box — atomless and exact.
+
+    The carrier for the paper's headline results: ``proj`` is exact here
+    (Theorem 8), every ``⌈·⌉`` is computable, and emptiness is decidable.
+    """
+
+    def __init__(self, universe: Box):
+        super().__init__()
+        if universe.is_empty():
+            raise ValueError("universe box must be non-empty")
+        self._universe = universe
+        self._top = Region((universe,))
+
+    @property
+    def universe_box(self) -> Box:
+        """The universe box (top's single box)."""
+        return self._universe
+
+    @property
+    def top(self) -> Region:
+        return self._top
+
+    @property
+    def bot(self) -> Region:
+        return Region(())
+
+    def _check(self, a: Region) -> None:
+        for b in a.boxes:
+            if not b.le(self._universe):
+                raise UniverseMismatchError(
+                    f"box {b!r} exceeds universe {self._universe!r}"
+                )
+
+    def meet(self, a: Region, b: Region) -> Region:
+        self.ops.meet += 1
+        out: List[Box] = []
+        for ba in a.boxes:
+            for bb in b.boxes:
+                inter = ba.meet(bb)
+                if not inter.is_empty():
+                    out.append(inter)
+        return Region(out)
+
+    def join(self, a: Region, b: Region) -> Region:
+        self.ops.join += 1
+        pieces: List[Box] = list(a.boxes)
+        for new in b.boxes:
+            fragments = [new]
+            for existing in a.boxes:
+                nxt: List[Box] = []
+                for frag in fragments:
+                    nxt.extend(box_subtract(frag, existing))
+                fragments = nxt
+                if not fragments:
+                    break
+            pieces.extend(fragments)
+        return Region(pieces)
+
+    def complement(self, a: Region) -> Region:
+        self.ops.complement += 1
+        self._check(a)
+        return _difference(self._top, a)
+
+    def diff(self, a: Region, b: Region) -> Region:
+        """Difference without materialising the complement."""
+        self.ops.meet += 1
+        return _difference(a, b)
+
+    def is_zero(self, a: Region) -> bool:
+        return a.is_empty()
+
+    def eq(self, a: Region, b: Region) -> bool:
+        self.ops.comparisons += 1
+        return a == b
+
+    # -- atomless interface -----------------------------------------------------------
+    def is_atomless(self) -> bool:
+        return True
+
+    def split(self, a: Region) -> Tuple[Region, Region]:
+        """Split a nonzero region into two disjoint nonzero parts.
+
+        The first box is bisected along its widest dimension — the
+        constructive atomlessness used by the Independence theorem.
+        """
+        if a.is_empty():
+            raise ValueError("cannot split the zero element")
+        first = a.boxes[0]
+        sides = first.sides()
+        d = sides.index(max(sides))
+        mid = (first.lo[d] + first.hi[d]) / 2
+        if not first.lo[d] < mid < first.hi[d]:  # pragma: no cover
+            raise ArithmeticError("float underflow while splitting region")
+        lo_hi = list(first.hi)
+        lo_hi[d] = mid
+        hi_lo = list(first.lo)
+        hi_lo[d] = mid
+        part1 = Region((Box(first.lo, lo_hi),))
+        part2 = Region((Box(hi_lo, first.hi),) + a.boxes[1:])
+        return part1, part2
+
+    # -- convenience --------------------------------------------------------------------
+    def region(self, *interval_lists: Sequence[Tuple[float, float]]) -> Region:
+        """Build a region from per-box interval lists.
+
+        ``alg.region([(0,1),(0,1)], [(2,3),(2,3)])`` is the union of two
+        unit squares.
+        """
+        return Region.from_boxes(
+            [Box.from_intervals(*ivs) for ivs in interval_lists]
+        )
+
+    def box_region(self, box: Box) -> Region:
+        """A single-box region, checked against the universe."""
+        out = Region.from_box(box.meet(self._universe))
+        return out

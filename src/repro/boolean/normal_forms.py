@@ -1,0 +1,109 @@
+"""Classical normal forms: NNF, DNF (sum of products), CNF, minterms.
+
+These are thin, well-tested wrappers over the term layer.  The paper uses
+sum-of-products representations throughout Section 4 (``SOP f`` in
+Theorem 17) and complete disjunctive normal form (minterm expansion) in
+the proof of the Independence theorem, where each ``u_ij``/``v_ij`` is
+required to be either equal to some ``r_j``/``s_j`` or disjoint from all
+of them — a property the common minterm refinement delivers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .syntax import And, Const, FALSE, Formula, Not, Or, TRUE, Var, conj, disj, neg
+from .terms import Term, cover_to_formula, formula_to_cover, _to_nnf
+
+
+def to_nnf(f: Formula) -> Formula:
+    """Negation normal form: negations pushed onto variables."""
+    return _to_nnf(f, positive=True)
+
+
+def to_dnf(f: Formula) -> Formula:
+    """Sum-of-products form (absorbed, deterministic term order)."""
+    return cover_to_formula(formula_to_cover(f))
+
+
+def to_cnf(f: Formula) -> Formula:
+    """Product-of-sums form, via the dual of the DNF expansion."""
+    dual = formula_to_cover(neg(f))
+    clauses = [neg(t.to_formula()) for t in dual]
+    return conj(*clauses) if clauses else TRUE
+
+
+def sop_terms(f: Formula) -> List[Term]:
+    """The terms of an absorbed SOP representation of ``f``."""
+    return formula_to_cover(f)
+
+
+def minterms(f: Formula, order: Sequence[str]) -> List[Term]:
+    """Complete disjunctive normal form of ``f`` over ``order``.
+
+    Every returned term mentions every variable of ``order`` exactly once;
+    the terms are exactly the satisfying assignments of ``f``.
+    """
+    missing = f.variables() - set(order)
+    if missing:
+        raise ValueError(f"order misses variables: {sorted(missing)}")
+    from .semantics import truth_table_fast
+
+    tt = truth_table_fast(f, order)
+    out: List[Term] = []
+    for i in range(1 << len(order)):
+        if (tt >> i) & 1:
+            out.append(
+                Term({name: bool((i >> k) & 1) for k, name in enumerate(order)})
+            )
+    return out
+
+
+def from_minterms(order: Sequence[str], indices: Sequence[int]) -> Formula:
+    """Build a formula from minterm indices over a variable order."""
+    terms = [
+        Term({name: bool((i >> k) & 1) for k, name in enumerate(order)})
+        for i in indices
+    ]
+    return cover_to_formula(terms)
+
+
+def common_refinement(covers: Sequence[Sequence[Term]], order: Sequence[str]) -> List[Term]:
+    """Minterm refinement making every input term a union of outputs.
+
+    Used by the witness construction of the Independence theorem: after
+    refinement, each original term is a disjoint union of minterms, so the
+    mutual-disjointness requirements of the proof hold by construction.
+    """
+    seen: Dict[Term, None] = {}
+    for cover in covers:
+        for t in cover:
+            for m in minterms(t.to_formula(), order):
+                seen.setdefault(m, None)
+    return list(seen)
+
+
+def is_nnf(f: Formula) -> bool:
+    """``True`` iff negations appear only directly over variables."""
+    for node in f.walk():
+        if isinstance(node, Not) and not isinstance(node.arg, Var):
+            return False
+    return True
+
+
+def is_dnf(f: Formula) -> bool:
+    """``True`` iff ``f`` is a constant, literal, term, or sum of such."""
+
+    def is_literal(g: Formula) -> bool:
+        return isinstance(g, Var) or (
+            isinstance(g, Not) and isinstance(g.arg, Var)
+        )
+
+    def is_term(g: Formula) -> bool:
+        if is_literal(g) or isinstance(g, Const):
+            return True
+        return isinstance(g, And) and all(is_literal(a) for a in g.args)
+
+    if is_term(f):
+        return True
+    return isinstance(f, Or) and all(is_term(a) for a in f.args)

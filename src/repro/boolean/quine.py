@@ -1,0 +1,89 @@
+"""Quine-McCluskey prime-implicant computation.
+
+An independent algorithm for the same object as
+:func:`repro.boolean.blake.blake_canonical_form` — the set of all prime
+implicants — used to cross-check the consensus-based construction
+(two implementations agreeing is the cheapest strong test we have for a
+compile-time component the whole of Section 4 rests on).
+
+The classical tabular method: start from the minterms of ``f``, repeatedly
+merge pairs of implicants differing in exactly one specified variable, and
+collect the implicants that never merged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .normal_forms import minterms
+from .syntax import Formula
+from .terms import Term, absorb
+
+# An implicant over an ordered variable list is (mask, values):
+# bit k of ``mask`` set    -> variable k is specified,
+# bit k of ``values`` set  -> specified positively.
+_Implicant = Tuple[int, int]
+
+
+def _merge(a: _Implicant, b: _Implicant) -> _Implicant | None:
+    """Merge two implicants differing in exactly one specified bit."""
+    if a[0] != b[0]:
+        return None
+    diff = a[1] ^ b[1]
+    if diff == 0 or diff & (diff - 1):
+        return None
+    return (a[0] & ~diff, a[1] & ~diff)
+
+
+def prime_implicants_qmc(f: Formula, order: Sequence[str] | None = None) -> List[Term]:
+    """All prime implicants of ``f`` by the Quine-McCluskey method.
+
+    ``order`` fixes the variable indexing (defaults to sorted variables).
+    Returns an absorbed cover identical (as a set) to
+    ``blake_canonical_form(f)``.
+    """
+    if order is None:
+        order = sorted(f.variables())
+    n = len(order)
+    start: Set[_Implicant] = set()
+    full_mask = (1 << n) - 1
+    for m in minterms(f, order):
+        values = 0
+        for k, name in enumerate(order):
+            if m.polarity(name):
+                values |= 1 << k
+        start.add((full_mask, values))
+
+    primes: Set[_Implicant] = set()
+    current = start
+    while current:
+        merged_away: Set[_Implicant] = set()
+        nxt: Set[_Implicant] = set()
+        # Group by mask, then bucket by popcount of values for pairing.
+        by_mask: Dict[int, List[_Implicant]] = {}
+        for imp in current:
+            by_mask.setdefault(imp[0], []).append(imp)
+        for mask, group in by_mask.items():
+            buckets: Dict[int, List[_Implicant]] = {}
+            for imp in group:
+                buckets.setdefault(bin(imp[1]).count("1"), []).append(imp)
+            for count, items in buckets.items():
+                partners = buckets.get(count + 1, [])
+                for a in items:
+                    for b in partners:
+                        m = _merge(a, b)
+                        if m is not None:
+                            nxt.add(m)
+                            merged_away.add(a)
+                            merged_away.add(b)
+        primes |= current - merged_away
+        current = nxt
+
+    out: List[Term] = []
+    for mask, values in primes:
+        lits = {}
+        for k, name in enumerate(order):
+            if (mask >> k) & 1:
+                lits[name] = bool((values >> k) & 1)
+        out.append(Term(lits))
+    return absorb(out)

@@ -1,0 +1,85 @@
+"""Semantic formula simplification.
+
+The rewriting steps of Algorithm 1 (cofactoring, products of cofactors,
+complements) balloon formulas syntactically even when the denoted function
+is simple.  The paper presents its Section 2 example in hand-simplified
+form; to regenerate that presentation mechanically we simplify through a
+canonical representation:
+
+    formula -> BDD -> irredundant SOP (Minato-Morreale) -> formula
+
+:func:`simplify` is semantics-preserving.  :func:`simplify_under` only
+preserves the function **on a care set** (generalized cofactor): it is
+used to display triangular systems modulo the ground residue ``S_0`` —
+e.g. the paper simplifies ``C + A'T`` to ``C + T`` using the given fact
+``A ⊆ C``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .bdd import Bdd
+from .syntax import FALSE, Formula, TRUE, conj, disj, neg
+from .terms import cover_to_formula
+
+
+def simplify(f: Formula, order: Optional[Iterable[str]] = None) -> Formula:
+    """Return a small formula denoting the same Boolean function as ``f``.
+
+    The result is an irredundant sum of products (or a constant); variable
+    ``order`` (default: sorted) fixes the BDD order and hence the exact
+    cover chosen — the output is deterministic for a given order.
+    """
+    names = sorted(f.variables()) if order is None else list(order)
+    mgr = Bdd(names)
+    node = mgr.from_formula(f)
+    if node == mgr.true:
+        return TRUE
+    if node == mgr.false:
+        return FALSE
+    return cover_to_formula(mgr.isop(node))
+
+
+def simplify_under(f: Formula, care: Formula, order: Optional[Iterable[str]] = None) -> Formula:
+    """Simplify ``f`` assuming ``care`` holds (don't-care minimisation).
+
+    Returns a formula that agrees with ``f`` on every assignment
+    satisfying ``care``; behaviour outside the care set is unspecified
+    (chosen to minimise the result).  If ``care`` is unsatisfiable the
+    care set is empty and ``0`` is returned.
+    """
+    names = sorted(f.variables() | care.variables())
+    if order is not None:
+        names = list(order)
+    mgr = Bdd(names)
+    node = mgr.from_formula(f)
+    care_node = mgr.from_formula(care)
+    if care_node == mgr.false:
+        return FALSE
+    constrained = mgr.constrain(node, care_node)
+    # ISOP between onset&care (must cover) and onset|~care (may cover)
+    # gives a cover at least as small as constrain alone.
+    lower = mgr.apply_and(node, care_node)
+    upper = mgr.apply_or(constrained, mgr.apply_not(care_node))
+    cover, _ = mgr._isop(lower, upper)
+    if not cover:
+        return FALSE
+    if len(cover) == 1 and cover[0].is_true():
+        return TRUE
+    return cover_to_formula(cover)
+
+
+def complement_simplified(f: Formula) -> Formula:
+    """A small formula for ``~f`` (avoids a bare ``Not`` over a big AST)."""
+    return simplify(neg(f))
+
+
+def simplify_conjunction(*parts: Formula) -> Formula:
+    """Simplify the conjunction of several formulas at once."""
+    return simplify(conj(*parts))
+
+
+def simplify_disjunction(*parts: Formula) -> Formula:
+    """Simplify the disjunction of several formulas at once."""
+    return simplify(disj(*parts))

@@ -1,0 +1,70 @@
+"""Bounding boxes and bounding-box approximation (paper Section 4).
+
+* :mod:`repro.boxes.box` — the box lattice (⊓, ⊔, ⊑) and the box↔point
+  mapping of Figure 3;
+* :mod:`repro.boxes.functions` — bounding-box function ASTs;
+* :mod:`repro.boxes.approximation` — Algorithm 2 (best L/U via BCF);
+* :mod:`repro.boxes.bconstraints` — the three range-query constraint
+  forms and the solved-form conversion.
+"""
+
+from .approximation import (
+    Approximation,
+    approximate,
+    lower_approximation,
+    term_upper,
+    upper_approximation,
+    upper_approximation_sop,
+)
+from .bconstraints import (
+    BoxQuery,
+    OverlapTemplate,
+    StepTemplate,
+    compile_solved_constraint,
+)
+from .box import Box, EMPTY_BOX, enclose_all, meet_all
+from .functions import (
+    BOT,
+    TOP,
+    BoxConst,
+    BoxFunc,
+    BoxJoin,
+    BoxMeet,
+    BoxVar,
+    bjoin,
+    bmeet,
+    evaluate_boxfunc,
+    is_monotone_instance,
+    naive_transform,
+    render_boxfunc,
+)
+
+__all__ = [
+    "Approximation",
+    "BOT",
+    "Box",
+    "BoxConst",
+    "BoxFunc",
+    "BoxJoin",
+    "BoxMeet",
+    "BoxQuery",
+    "BoxVar",
+    "EMPTY_BOX",
+    "OverlapTemplate",
+    "StepTemplate",
+    "TOP",
+    "approximate",
+    "bjoin",
+    "bmeet",
+    "compile_solved_constraint",
+    "enclose_all",
+    "evaluate_boxfunc",
+    "is_monotone_instance",
+    "lower_approximation",
+    "meet_all",
+    "naive_transform",
+    "render_boxfunc",
+    "term_upper",
+    "upper_approximation",
+    "upper_approximation_sop",
+]

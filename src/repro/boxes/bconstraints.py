@@ -1,0 +1,189 @@
+"""Bounding-box constraint forms and the solved-form conversion (§4).
+
+A spatial database answers, with ONE range query, any conjunction of the
+three constraint forms over an unknown object's box ``⌈x⌉`` (paper §4,
+citing [12]):
+
+* ``⌈x⌉ ⊑ a``        — containment in a given box,
+* ``b ⊑ ⌈x⌉``        — containment of a given box,
+* ``⌈x⌉ ⊓ c ≠ ∅``    — overlap with a given box.
+
+:class:`BoxQuery` is that conjunction with concrete boxes (what the index
+layer executes); :class:`StepTemplate` is its compile-time form, with
+bounding-box *functions* in place of the boxes.
+
+Conversion of a solved constraint ``C_i`` (paper §4):
+
+* range ``s ⊆ x ⊆ t``:  the best bounding-box necessary condition is
+  ``⌈s⌉ ⊑ ⌈x⌉ ∧ ⌈x⌉ ⊑ ⌈t⌉``; at compile time ``⌈s⌉`` is approximated
+  *from below* by ``L_s`` and ``⌈t⌉`` *from above* by ``U_t`` (weakening
+  both keeps the condition necessary).
+* disequation ``x∧p ≠ 0 ∨ ¬x∧q ≠ 0``: when ``q = 0`` the second disjunct
+  is impossible and ``⌈x⌉ ⊓ ⌈p⌉ ≠ ∅`` is necessary; otherwise no
+  bounding-box constraint is sound ("the trivial constraint true
+  otherwise").  Both ``p`` and ``q`` are approximated from above
+  (``U_q = ∅`` certifies ``q = 0``; ``U_p ⊒ ⌈p⌉`` keeps overlap
+  necessary).  The ``q``-test happens at *evaluation* time, since ``U_q``
+  depends on the already-retrieved objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from .approximation import lower_approximation, upper_approximation
+from .box import Box, EMPTY_BOX
+from .functions import BOT, TOP, BoxFunc, evaluate_boxfunc, render_boxfunc
+
+
+@dataclass(frozen=True)
+class BoxQuery:
+    """A single range query over an unknown box (concrete form).
+
+    ``inside`` — require ``⌈x⌉ ⊑ inside`` (None = unconstrained);
+    ``covers`` — require ``covers ⊑ ⌈x⌉`` (None or empty = vacuous);
+    ``overlap`` — require ``⌈x⌉ ⊓ c ≠ ∅`` for every listed ``c``.
+
+    An unsatisfiable query (e.g. required overlap with an empty box) is
+    represented normally; :meth:`is_unsatisfiable` reports it so
+    executors can skip the index probe entirely.
+    """
+
+    inside: Optional[Box] = None
+    covers: Optional[Box] = None
+    overlap: Tuple[Box, ...] = ()
+
+    def matches(self, box: Box) -> bool:
+        """Does a concrete object box satisfy the query?"""
+        if self.inside is not None and not box.le(self.inside):
+            return False
+        if self.covers is not None and not self.covers.le(box):
+            return False
+        return all(box.overlaps(c) for c in self.overlap)
+
+    def is_unsatisfiable(self) -> bool:
+        """Statically unsatisfiable (no box can match)."""
+        if any(c.is_empty() for c in self.overlap):
+            return True
+        if (
+            self.inside is not None
+            and self.covers is not None
+            and not self.covers.le(self.inside)
+        ):
+            return True
+        if self.inside is not None and self.inside.is_empty():
+            # Only the empty box fits inside an empty box, and an empty
+            # object box cannot cover or overlap anything.
+            return bool(self.overlap) or (
+                self.covers is not None and not self.covers.is_empty()
+            )
+        return False
+
+    def render(self) -> str:
+        """Human-readable rendering."""
+        parts = []
+        if self.inside is not None:
+            parts.append(f"[x] <= {self.inside!r}")
+        if self.covers is not None and not self.covers.is_empty():
+            parts.append(f"{self.covers!r} <= [x]")
+        for c in self.overlap:
+            parts.append(f"[x] ^ {c!r} != empty")
+        return " and ".join(parts) if parts else "true"
+
+
+@dataclass(frozen=True)
+class OverlapTemplate:
+    """Compile-time form of one disequation's potential overlap constraint.
+
+    ``p_upper``/``q_upper`` are ``U_p``/``U_q``.  At evaluation time the
+    constraint ``⌈x⌉ ⊓ p_upper(env) ≠ ∅`` is emitted iff ``q_upper(env)``
+    is the empty box.
+    """
+
+    p_upper: BoxFunc
+    q_upper: BoxFunc
+
+    def instantiate(
+        self, env: Mapping[str, Box], universe: Optional[Box] = None
+    ) -> Optional[Box]:
+        """The overlap box to require, or ``None`` when trivial."""
+        q_box = evaluate_boxfunc(self.q_upper, env, universe)
+        if not q_box.is_empty():
+            return None
+        return evaluate_boxfunc(self.p_upper, env, universe)
+
+
+@dataclass(frozen=True)
+class StepTemplate:
+    """The compiled bounding-box constraint template for one variable.
+
+    Evaluating the template on the boxes of the already-retrieved prefix
+    yields the single :class:`BoxQuery` for this retrieval step — the
+    paper's headline: *one range query per variable*.
+    """
+
+    variable: str
+    lower: BoxFunc  # L_s — approximates the range's lower bound from below
+    upper: BoxFunc  # U_t — approximates the range's upper bound from above
+    overlaps: Tuple[OverlapTemplate, ...] = ()
+
+    def instantiate(
+        self, env: Mapping[str, Box], universe: Optional[Box] = None
+    ) -> BoxQuery:
+        """Evaluate into a concrete :class:`BoxQuery` for this step."""
+        covers = evaluate_boxfunc(self.lower, env, universe)
+        upper_box = evaluate_boxfunc(self.upper, env, universe)
+        inside: Optional[Box] = upper_box
+        if self.upper == TOP and universe is None:
+            inside = None
+        overlap: List[Box] = []
+        for t in self.overlaps:
+            c = t.instantiate(env, universe)
+            if c is not None:
+                overlap.append(c)
+        return BoxQuery(
+            inside=inside,
+            covers=None if covers.is_empty() else covers,
+            overlap=tuple(overlap),
+        )
+
+    def render(self) -> str:
+        """Paper-style rendering of the template."""
+        x = self.variable
+        lines = [
+            f"{render_boxfunc(self.lower)} <= [{x}] <= "
+            f"{render_boxfunc(self.upper)}"
+        ]
+        for t in self.overlaps:
+            lines.append(
+                f"[{x}] ^ {render_boxfunc(t.p_upper)} != empty"
+                f"   (when {render_boxfunc(t.q_upper)} = empty)"
+            )
+        return "\n".join(lines)
+
+
+def compile_solved_constraint(solved) -> StepTemplate:
+    """Convert a solved constraint ``C_i`` into its bounding-box template.
+
+    This is the second half of the paper's compilation pipeline
+    (Section 2's step from the triangular system to the ``⌈·⌉`` system):
+    lower bounds via ``L``, upper bounds and disequation coefficients via
+    ``U``.
+    """
+    from ..constraints.solved import SolvedConstraint
+
+    if not isinstance(solved, SolvedConstraint):
+        raise TypeError(f"expected SolvedConstraint, got {solved!r}")
+    lower = lower_approximation(solved.lower)
+    upper = upper_approximation(solved.upper)
+    overlaps = tuple(
+        OverlapTemplate(
+            p_upper=upper_approximation(r.p),
+            q_upper=upper_approximation(r.q),
+        )
+        for r in solved.disequations
+    )
+    return StepTemplate(
+        variable=solved.variable, lower=lower, upper=upper, overlaps=overlaps
+    )

@@ -1,0 +1,262 @@
+"""Axis-parallel bounding boxes (Section 4 of the paper).
+
+A *bounding box* is "a rectangular region with sides parallel to the
+axes"; for a set ``r``, ``⌈r⌉`` denotes the minimal surrounding bounding
+box.  Boxes form a lattice under
+
+* ``⊓`` (:meth:`Box.meet`) — ordinary intersection, and
+* ``⊔`` (:meth:`Box.enclose`) — the minimal enclosing box of the union
+  (the paper stresses that ``⊔`` is *not* set union),
+
+ordered by containment ``⊑`` (:meth:`Box.contains`/`le`).  The lattice is
+complete once the empty box is adjoined as bottom; the top is unbounded
+(or the universe box of the data set).
+
+Boxes here are **half-open**: ``[lo_d, hi_d)`` per dimension, matching the
+region algebra so that ``⌈·⌉`` is exact.  The empty box is a distinguished
+singleton :data:`EMPTY_BOX` (dimension-polymorphic).
+
+The box↔point mapping used by Figure 3 — representing rectangles of X^k
+as points of X^2k so that combined containment/overlap constraints become
+a single orthogonal range query — is :meth:`Box.to_point` /
+:meth:`Box.from_point`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import DimensionMismatchError
+
+
+class Box:
+    """A k-dimensional half-open axis-parallel box, possibly empty.
+
+    ``Box(lo, hi)`` with ``lo``/``hi`` coordinate sequences; a box with
+    ``lo_d >= hi_d`` in any dimension normalises to the empty box.  Boxes
+    are immutable and hashable.
+    """
+
+    __slots__ = ("lo", "hi", "_empty")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]):
+        lo_t = tuple(float(v) for v in lo)
+        hi_t = tuple(float(v) for v in hi)
+        if len(lo_t) != len(hi_t):
+            raise DimensionMismatchError(
+                f"lo has {len(lo_t)} dims but hi has {len(hi_t)}"
+            )
+        # A zero-dimensional box is treated as empty for uniformity.
+        empty = not lo_t or any(a >= b for a, b in zip(lo_t, hi_t))
+        object.__setattr__(self, "lo", lo_t)
+        object.__setattr__(self, "hi", hi_t)
+        object.__setattr__(self, "_empty", empty)
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("Box is immutable")
+
+    # -- identity ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return (
+            not self.is_empty()
+            and not other.is_empty()
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        if self.is_empty():
+            return hash("Box.empty")
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        if self.is_empty():
+            return "Box.empty"
+        dims = ", ".join(f"[{a},{b})" for a, b in zip(self.lo, self.hi))
+        return f"Box({dims})"
+
+    # -- basic queries ----------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """``True`` for the empty box."""
+        return self._empty
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions (0 for the polymorphic empty box)."""
+        return len(self.lo)
+
+    def volume(self) -> float:
+        """Product of side lengths (0.0 when empty)."""
+        if self.is_empty():
+            return 0.0
+        v = 1.0
+        for a, b in zip(self.lo, self.hi):
+            v *= b - a
+        return v
+
+    def sides(self) -> Tuple[float, ...]:
+        """Side lengths per dimension."""
+        if self.is_empty():
+            return ()
+        return tuple(b - a for a, b in zip(self.lo, self.hi))
+
+    def center(self) -> Tuple[float, ...]:
+        """Center point (undefined — raises — for the empty box)."""
+        if self.is_empty():
+            raise ValueError("the empty box has no center")
+        return tuple((a + b) / 2 for a, b in zip(self.lo, self.hi))
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Half-open membership test for a point."""
+        if self.is_empty():
+            return False
+        if len(point) != self.dim:
+            raise DimensionMismatchError("point/box dimension mismatch")
+        return all(a <= p < b for p, a, b in zip(point, self.lo, self.hi))
+
+    def _require_compatible(self, other: "Box") -> None:
+        if (
+            not self.is_empty()
+            and not other.is_empty()
+            and self.dim != other.dim
+        ):
+            raise DimensionMismatchError(
+                f"{self.dim}-dim box combined with {other.dim}-dim box"
+            )
+
+    # -- the lattice (Section 4) ---------------------------------------------------------
+    def meet(self, other: "Box") -> "Box":
+        """``⊓`` — box intersection (equal to set intersection)."""
+        self._require_compatible(other)
+        if self.is_empty() or other.is_empty():
+            return EMPTY_BOX
+        lo = tuple(max(a, c) for a, c in zip(self.lo, other.lo))
+        hi = tuple(min(b, d) for b, d in zip(self.hi, other.hi))
+        return Box(lo, hi)
+
+    def enclose(self, other: "Box") -> "Box":
+        """``⊔`` — minimal enclosing box of the union (not set union)."""
+        self._require_compatible(other)
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        lo = tuple(min(a, c) for a, c in zip(self.lo, other.lo))
+        hi = tuple(max(b, d) for b, d in zip(self.hi, other.hi))
+        return Box(lo, hi)
+
+    def le(self, other: "Box") -> bool:
+        """``⊑`` — containment order of the bounding-box lattice."""
+        self._require_compatible(other)
+        if self.is_empty():
+            return True
+        if other.is_empty():
+            return False
+        return all(c <= a for a, c in zip(self.lo, other.lo)) and all(
+            b <= d for b, d in zip(self.hi, other.hi)
+        )
+
+    def contains(self, other: "Box") -> bool:
+        """``other ⊑ self``."""
+        return other.le(self)
+
+    def overlaps(self, other: "Box") -> bool:
+        """``self ⊓ other != empty`` — the overlay predicate."""
+        return not self.meet(other).is_empty()
+
+    # -- operators -------------------------------------------------------------------------
+    def __and__(self, other: "Box") -> "Box":
+        return self.meet(other)
+
+    def __or__(self, other: "Box") -> "Box":
+        return self.enclose(other)
+
+    def __le__(self, other: "Box") -> bool:
+        return self.le(other)
+
+    # -- the Figure 3 mapping -----------------------------------------------------------------
+    def to_point(self) -> Tuple[float, ...]:
+        """The 2k-dim point ``(lo_1..lo_k, hi_1..hi_k)`` representing the box.
+
+        The paper (after [12]): "This is done by representing rectangles
+        in a X^k as points in space X^2k and performing a range query on
+        X^2k."  Only defined for non-empty boxes.
+        """
+        if self.is_empty():
+            raise ValueError("the empty box has no point representation")
+        return self.lo + self.hi
+
+    @staticmethod
+    def from_point(point: Sequence[float]) -> "Box":
+        """Inverse of :meth:`to_point`."""
+        if len(point) % 2:
+            raise DimensionMismatchError("point must have even length")
+        k = len(point) // 2
+        return Box(tuple(point[:k]), tuple(point[k:]))
+
+    # -- construction helpers ---------------------------------------------------------------
+    @staticmethod
+    def from_intervals(*intervals: Tuple[float, float]) -> "Box":
+        """``Box.from_intervals((0, 2), (1, 3))`` — one pair per dimension."""
+        if not intervals:
+            return EMPTY_BOX
+        lo, hi = zip(*intervals)
+        return Box(lo, hi)
+
+    @staticmethod
+    def point_box(point: Sequence[float], eps: float = 0.0) -> "Box":
+        """A degenerate (or ``eps``-inflated) box around a point."""
+        return Box(
+            tuple(p - eps for p in point), tuple(p + eps for p in point)
+        )
+
+    def inflate(self, amount: float) -> "Box":
+        """Grow (or shrink, for negative ``amount``) every side."""
+        if self.is_empty():
+            return EMPTY_BOX
+        return Box(
+            tuple(a - amount for a in self.lo),
+            tuple(b + amount for b in self.hi),
+        )
+
+    def translate(self, offset: Sequence[float]) -> "Box":
+        """Shift by an offset vector."""
+        if self.is_empty():
+            return EMPTY_BOX
+        if len(offset) != self.dim:
+            raise DimensionMismatchError("offset/box dimension mismatch")
+        return Box(
+            tuple(a + o for a, o in zip(self.lo, offset)),
+            tuple(b + o for b, o in zip(self.hi, offset)),
+        )
+
+
+#: The polymorphic empty box (bottom of the lattice in every dimension).
+EMPTY_BOX = Box((), ())
+
+
+def enclose_all(boxes: Iterable[Box]) -> Box:
+    """``⊔`` over an iterable (empty box for an empty iterable)."""
+    out = EMPTY_BOX
+    for b in boxes:
+        out = out.enclose(b)
+    return out
+
+
+def meet_all(boxes: Iterable[Box], universe: Optional[Box] = None) -> Box:
+    """``⊓`` over an iterable; ``universe`` seeds the fold (else the first
+    element does).  Raises on an empty iterable with no universe."""
+    items: List[Box] = list(boxes)
+    if universe is not None:
+        out = universe
+    elif items:
+        out = items.pop(0)
+    else:
+        raise ValueError("meet of nothing requires a universe box")
+    for b in items:
+        out = out.meet(b)
+    return out

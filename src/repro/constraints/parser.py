@@ -1,0 +1,145 @@
+"""Textual syntax for constraint systems.
+
+A small surface language so applications (and the examples) can state
+queries the way the paper's Figure 1 does::
+
+    A <= C
+    B <= C
+    R <= A | B | T
+    R & A != 0
+    R & T != 0
+    T !<= C
+
+Grammar (one constraint per line / semicolon)::
+
+    constraint := formula '<='  formula        positive  f ⊆ g
+                | formula '!<=' formula        negative  f ⊄ g
+                | formula '='   formula        both inclusions
+                | formula '!='  '0'            nonempty  f ≠ 0
+                | formula '='   '0'            empty     f = 0
+                | formula '<'   formula        strict    f ⊂ g
+
+Formulas use the :mod:`repro.boolean.parser` syntax.  Note ``f != g`` for
+general ``g`` is NOT a single constraint (it is a disjunction of denials,
+outside the language — paper Section 1); only ``!= 0`` is accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..boolean.parser import parse as parse_formula
+from ..errors import ParseError
+from .system import (
+    ConstraintSystem,
+    Negative,
+    Positive,
+    equal,
+    nonempty,
+    not_subset,
+    strict_subset,
+    subset,
+)
+
+_OPERATORS = ("!<=", "!=", "<=", "<", "=")
+
+
+def parse_constraint(text: str) -> ConstraintSystem:
+    """Parse one constraint line into a (possibly multi-part) system."""
+    stripped = text.strip()
+    if not stripped:
+        raise ParseError("empty constraint", text, 0)
+    for op in _OPERATORS:
+        idx = _find_operator(stripped, op)
+        if idx < 0:
+            continue
+        lhs_text = stripped[:idx].strip()
+        rhs_text = stripped[idx + len(op) :].strip()
+        lhs = parse_formula(lhs_text)
+        if op == "!=":
+            if rhs_text != "0":
+                raise ParseError(
+                    "'!=' is only supported against 0 (a general "
+                    "disequality is a disjunction of denials, which is "
+                    "outside the constraint language)",
+                    text,
+                    idx,
+                )
+            return ConstraintSystem.build(nonempty(lhs))
+        rhs = parse_formula(rhs_text)
+        if op == "<=":
+            return ConstraintSystem.build(subset(lhs, rhs))
+        if op == "!<=":
+            return ConstraintSystem.build(not_subset(lhs, rhs))
+        if op == "<":
+            return strict_subset(lhs, rhs)
+        if op == "=":
+            from ..boolean.syntax import FALSE
+
+            if rhs == FALSE or rhs_text == "0":
+                from .system import empty
+
+                return ConstraintSystem.build(empty(lhs))
+            return equal(lhs, rhs)
+    raise ParseError(
+        f"no constraint operator found in {stripped!r} "
+        f"(expected one of {_OPERATORS})",
+        text,
+        0,
+    )
+
+
+def _find_operator(text: str, op: str) -> int:
+    """Index of ``op`` outside parentheses, or -1; longest-first caller
+    order ensures '<=' is not found inside '!<='."""
+    depth = 0
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0 and text.startswith(op, i):
+            # Reject matches that are part of a longer operator.
+            before = text[i - 1] if i > 0 else ""
+            if op in ("<=", "=", "<") and before == "!":
+                i += 1
+                continue
+            if op == "=" and text.startswith("!=", max(0, i - 1)):
+                i += 1
+                continue
+            if op == "<" and text.startswith("<=", i):
+                i += 1
+                continue
+            if op == "=" and i > 0 and text[i - 1] == "<":
+                i += 1
+                continue
+            return i
+        i += 1
+    return -1
+
+
+def parse_system(text: str) -> ConstraintSystem:
+    """Parse a multi-line (or ``;``-separated) constraint system.
+
+    Blank lines and ``#`` comments are ignored.
+
+    >>> s = parse_system('''
+    ...     A <= C
+    ...     R & A != 0
+    ...     T !<= C
+    ... ''')
+    >>> len(s.positives), len(s.negatives)
+    (1, 2)
+    """
+    system = ConstraintSystem()
+    for raw_line in re.split(r"[;\n]", text):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        system = system.conjoin(parse_constraint(line))
+    if not len(system):
+        raise ParseError("no constraints found", text, 0)
+    return system

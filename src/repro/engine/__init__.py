@@ -1,0 +1,38 @@
+"""The query engine: compiler, executors, planner, statistics."""
+
+from .compiler import QueryPlan, StepPlan, compile_query
+from .executor import (
+    MODES,
+    answers_as_oid_tuples,
+    execute,
+    execute_iter,
+    first_k,
+    run_query,
+)
+from .planner import (
+    best_order_by_estimate,
+    choose_order,
+    enumerate_orders,
+    estimate_order_cost,
+)
+from .query import SpatialQuery
+from .stats import ExecutionStats, StepStats
+
+__all__ = [
+    "ExecutionStats",
+    "MODES",
+    "QueryPlan",
+    "SpatialQuery",
+    "StepPlan",
+    "StepStats",
+    "answers_as_oid_tuples",
+    "best_order_by_estimate",
+    "choose_order",
+    "compile_query",
+    "enumerate_orders",
+    "estimate_order_cost",
+    "execute",
+    "execute_iter",
+    "first_k",
+    "run_query",
+]

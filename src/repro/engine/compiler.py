@@ -1,0 +1,112 @@
+"""The query compiler: constraint system → executable plan.
+
+The full pipeline of the paper:
+
+1. normalize the system (Theorem 1);
+2. triangularise over the retrieval order (Algorithm 1 / Figure 2);
+3. check the ground residue against the bound constants — an
+   unsatisfiable residue means the query provably has no answers
+   (:class:`repro.errors.UnsatisfiableError`);
+4. convert every solved constraint into a bounding-box
+   :class:`~repro.boxes.bconstraints.StepTemplate` (Section 4,
+   Algorithm 2) — at run time each step issues ONE range query.
+
+The resulting :class:`QueryPlan` carries both the exact solved forms
+(for exact incremental filtering and for the final verification) and the
+box templates (for the index probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.regions import Region, RegionAlgebra
+from ..boxes.bconstraints import StepTemplate, compile_solved_constraint
+from ..constraints.solved import SolvedConstraint
+from ..constraints.triangular import TriangularForm, triangular_form
+from ..errors import UnsatisfiableError
+from ..spatial.table import SpatialTable
+from .query import SpatialQuery
+
+
+@dataclass(frozen=True)
+class StepPlan:
+    """One retrieval step: where to fetch and how to filter."""
+
+    variable: str
+    table: SpatialTable
+    exact: SolvedConstraint
+    template: StepTemplate
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A compiled query: ordered steps plus the triangular form."""
+
+    query: SpatialQuery
+    order: Tuple[str, ...]
+    triangular: TriangularForm
+    steps: Tuple[StepPlan, ...]
+    algebra: RegionAlgebra
+
+    def render(self) -> str:
+        """Readable plan listing (exact + box form per step)."""
+        lines = [f"retrieval order: {', '.join(self.order)}"]
+        for step in self.steps:
+            lines.append(f"== step {step.variable} from {step.table.name} ==")
+            lines.append("exact:")
+            lines.append(step.exact.render())
+            lines.append("boxes:")
+            lines.append(step.template.render())
+        return "\n".join(lines)
+
+
+def compile_query(
+    query: SpatialQuery,
+    order: Optional[Sequence[str]] = None,
+    check_ground: bool = True,
+) -> QueryPlan:
+    """Compile a query into a :class:`QueryPlan`.
+
+    ``order`` overrides the query's retrieval order (else the query's,
+    else the planner's choice).  Raises
+    :class:`~repro.errors.UnsatisfiableError` when the ground residue
+    fails for the given bindings.
+    """
+    if order is None:
+        order = query.order
+    if order is None:
+        from .planner import choose_order
+
+        order = choose_order(query)
+    order = tuple(order)
+
+    tri = triangular_form(query.system, order)
+    algebra = query.algebra()
+
+    if check_ground:
+        env = dict(query.bindings)
+        if not tri.check_ground(algebra, env):
+            raise UnsatisfiableError(
+                "the query's constant constraints are unsatisfiable for "
+                f"the given bindings; ground residue:\n{tri.ground}"
+            )
+
+    steps: List[StepPlan] = []
+    for solved in tri.constraints:
+        steps.append(
+            StepPlan(
+                variable=solved.variable,
+                table=query.tables[solved.variable],
+                exact=solved,
+                template=compile_solved_constraint(solved),
+            )
+        )
+    return QueryPlan(
+        query=query,
+        order=order,
+        triangular=tri,
+        steps=tuple(steps),
+        algebra=algebra,
+    )

@@ -1,0 +1,129 @@
+"""Retrieval-order selection.
+
+The paper picks its order "arbitrarily" (Section 2) and leaves order
+choice open; in practice the order drives the size of intermediate
+results, exactly like join ordering in relational optimizers.  We provide
+
+* :func:`choose_order` — the default heuristic: greedy most-constrained-
+  first using connectivity to already-placed variables and table sizes;
+* :func:`enumerate_orders` — all permutations (for the E9 ablation);
+* :func:`estimate_order_cost` — a cheap cardinality estimate used by
+  :func:`best_order_by_estimate`.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..constraints.system import ConstraintSystem
+from .query import SpatialQuery
+
+
+def _constraint_edges(system: ConstraintSystem) -> List[Tuple[frozenset, bool]]:
+    """``(variable set, is_negative)`` pairs, one per constraint.
+
+    Negative constraints (disequations) are tracked separately: they are
+    typically far more selective than inclusions (a ``T ⊄ C`` admits only
+    border towns; a ``B ⊆ C`` admits every state), so the greedy order
+    prefers variables whose grounded constraints are negative.
+    """
+    edges: List[Tuple[frozenset, bool]] = []
+    for c in system.positives:
+        edges.append((frozenset(c.variables()), False))
+    for c in system.negatives:
+        edges.append((frozenset(c.variables()), True))
+    return edges
+
+
+def choose_order(query: SpatialQuery) -> Tuple[str, ...]:
+    """Greedy heuristic order.
+
+    Repeatedly pick the unknown with the most constraints *fully
+    grounded* by already-placed variables, preferring grounded negative
+    constraints (disequations are the selective ones: ``T ⊄ C`` admits
+    only border towns, while ``B ⊆ C`` admits every state).  Ties break
+    by overall connectivity, then smaller table, then name.  On the
+    paper's example this retrieves the border town first — the choice
+    the paper makes "arbitrarily".
+    """
+    unknowns = set(query.unknowns)
+    placed = set(query.constants)
+    edges = _constraint_edges(query.system)
+    order: List[str] = []
+    while unknowns:
+        def score(name: str) -> Tuple:
+            grounded_neg = sum(
+                1
+                for e, negative in edges
+                if negative
+                and name in e
+                and (e - {name})
+                and (e - {name}) <= placed
+            )
+            grounded_pos = sum(
+                1
+                for e, negative in edges
+                if not negative
+                and name in e
+                and (e - {name})
+                and (e - {name}) <= placed
+            )
+            touching = sum(
+                1 for e, _n in edges if name in e and e & placed
+            )
+            return (
+                -grounded_neg,
+                -grounded_pos,
+                -touching,
+                len(query.tables[name]),
+                name,
+            )
+
+        best = min(unknowns, key=score)
+        order.append(best)
+        unknowns.discard(best)
+        placed.add(best)
+    return tuple(order)
+
+
+def enumerate_orders(query: SpatialQuery) -> Iterator[Tuple[str, ...]]:
+    """All retrieval orders (E9 ablation; factorial — small queries only)."""
+    return permutations(query.unknowns)
+
+
+def estimate_order_cost(
+    query: SpatialQuery,
+    order: Sequence[str],
+    selectivity: float = 0.25,
+) -> float:
+    """A coarse cardinality estimate for an order.
+
+    Each step multiplies the running partial count by the table size,
+    discounted by ``selectivity`` for every constraint fully grounded at
+    that step (all other variables already placed).  Not calibrated —
+    meant only to rank orders relative to each other.
+    """
+    edges = _constraint_edges(query.system)
+    placed = set(query.constants)
+    partials = 1.0
+    cost = 0.0
+    for name in order:
+        grounded = sum(
+            1
+            for e, _negative in edges
+            if name in e and (e - {name}) <= placed
+        )
+        fanout = max(1.0, len(query.tables[name]) * (selectivity ** grounded))
+        cost += partials * max(1, len(query.tables[name]))
+        partials *= fanout
+        placed.add(name)
+    return cost + partials
+
+
+def best_order_by_estimate(query: SpatialQuery) -> Tuple[str, ...]:
+    """Exhaustively pick the order minimising the estimate (small n)."""
+    return min(
+        enumerate_orders(query),
+        key=lambda order: estimate_order_cost(query, order),
+    )

@@ -1,0 +1,117 @@
+"""Query objects: what the user of the library states.
+
+A :class:`SpatialQuery` bundles
+
+* a :class:`~repro.constraints.system.ConstraintSystem` over named
+  variables (the paper's high-level query language),
+* which :class:`~repro.spatial.table.SpatialTable` each *unknown*
+  variable draws its objects from,
+* concrete :class:`~repro.algebra.regions.Region` bindings for the
+  *given* variables (the example's ``C`` and ``A``),
+* optionally a retrieval order (otherwise the planner picks one).
+
+The answers are assignments ``variable -> SpatialObject`` such that the
+underlying regions satisfy the constraint system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.regions import Region, RegionAlgebra
+from ..boxes.box import Box
+from ..constraints.system import ConstraintSystem
+from ..errors import CompilationError, UnboundVariableError
+from ..spatial.table import SpatialTable
+
+
+@dataclass
+class SpatialQuery:
+    """A multi-variable spatial query (paper Section 1's setting).
+
+    Attributes
+    ----------
+    system:
+        The Boolean constraint system.
+    tables:
+        Mapping from unknown-variable name to its table.
+    bindings:
+        Mapping from constant-variable name to its concrete region.
+    order:
+        Optional retrieval order over the unknowns; ``None`` delegates
+        to the planner.
+    """
+
+    system: ConstraintSystem
+    tables: Mapping[str, SpatialTable]
+    bindings: Mapping[str, Region] = field(default_factory=dict)
+    order: Optional[Sequence[str]] = None
+
+    def __post_init__(self):
+        self.tables = dict(self.tables)
+        self.bindings = dict(self.bindings)
+        sys_vars = self.system.variables()
+        for name in self.tables:
+            if name in self.bindings:
+                raise CompilationError(
+                    f"variable {name!r} is both a table variable and bound"
+                )
+        missing = sys_vars - set(self.tables) - set(self.bindings)
+        if missing:
+            raise UnboundVariableError(
+                f"variables with no table or binding: {sorted(missing)}"
+            )
+        if self.order is not None:
+            order = list(self.order)
+            if sorted(order) != sorted(self.tables):
+                raise CompilationError(
+                    "retrieval order must list exactly the table variables; "
+                    f"got {order}, expected a permutation of "
+                    f"{sorted(self.tables)}"
+                )
+
+    @property
+    def unknowns(self) -> Tuple[str, ...]:
+        """Unknown (table-backed) variables, sorted."""
+        return tuple(sorted(self.tables))
+
+    @property
+    def constants(self) -> Tuple[str, ...]:
+        """Bound variables, sorted."""
+        return tuple(sorted(self.bindings))
+
+    def universe_box(self) -> Optional[Box]:
+        """A universe box covering all tables' universes, if declared."""
+        out: Optional[Box] = None
+        for t in self.tables.values():
+            if t.universe is not None:
+                out = t.universe if out is None else out.enclose(t.universe)
+        return out
+
+    def algebra(self) -> RegionAlgebra:
+        """A region algebra wide enough for exact checks.
+
+        Uses the declared universe box when available; otherwise computes
+        a box enclosing all stored objects and bindings (complement is
+        only ever taken within this universe, which is sound for the
+        constraint forms the engine checks: every formula evaluation is
+        relative to the same universe on both sides).
+        """
+        box = self.universe_box()
+        if box is None:
+            from ..boxes.box import EMPTY_BOX
+
+            box = EMPTY_BOX
+            for t in self.tables.values():
+                for obj in t:
+                    box = box.enclose(obj.box)
+            for r in self.bindings.values():
+                box = box.enclose(r.bounding_box())
+            if box.is_empty():
+                raise CompilationError(
+                    "cannot infer a universe: no data and no declared "
+                    "universe boxes"
+                )
+            box = box.inflate(1.0)
+        return RegionAlgebra(box)

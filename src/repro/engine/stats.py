@@ -1,0 +1,79 @@
+"""Execution statistics.
+
+The paper's optimization trades *exact region computation* for *cheap
+bounding-box work plus index probes*.  To make that trade measurable,
+every executor returns an :class:`ExecutionStats` alongside its answers;
+the benchmarks report these counters rather than (only) wall-clock time,
+because they are machine-independent and directly reflect the paper's
+cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class StepStats:
+    """Per-retrieval-step counters."""
+
+    variable: str = ""
+    candidates: int = 0  # rows returned by the range query / scan
+    survivors: int = 0  # rows surviving the step's exact filter
+    index_probes: int = 0
+
+    @property
+    def filter_ratio(self) -> float:
+        """Fraction of candidates surviving (1.0 when nothing filtered)."""
+        if self.candidates == 0:
+            return 1.0
+        return self.survivors / self.candidates
+
+
+@dataclass
+class ExecutionStats:
+    """Counters for one query execution."""
+
+    mode: str = ""
+    tuples_emitted: int = 0
+    partial_tuples: int = 0  # total partial solutions materialised
+    region_ops: int = 0  # exact region-algebra operations
+    box_ops_estimate: int = 0  # bounding-box function evaluations
+    steps: List[StepStats] = field(default_factory=list)
+
+    def step(self, variable: str) -> StepStats:
+        """Start (and return) the stats record for one retrieval step."""
+        s = StepStats(variable=variable)
+        self.steps.append(s)
+        return s
+
+    @property
+    def total_candidates(self) -> int:
+        """Candidates summed over all steps."""
+        return sum(s.candidates for s in self.steps)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for benchmark tables."""
+        return {
+            "mode": self.mode,
+            "tuples": self.tuples_emitted,
+            "partials": self.partial_tuples,
+            "region_ops": self.region_ops,
+            "box_ops": self.box_ops_estimate,
+            "candidates": self.total_candidates,
+            "per_step": [
+                (s.variable, s.candidates, s.survivors) for s in self.steps
+            ],
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        steps = " ".join(
+            f"{s.variable}:{s.survivors}/{s.candidates}" for s in self.steps
+        )
+        return (
+            f"[{self.mode}] tuples={self.tuples_emitted} "
+            f"partials={self.partial_tuples} region_ops={self.region_ops} "
+            f"steps=({steps})"
+        )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All errors raised by the library derive from :class:`ReproError`, so a
+caller can catch every library-specific failure with one ``except`` clause
+while still letting programming errors (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class ParseError(ReproError):
+    """Raised when a Boolean formula or constraint text cannot be parsed.
+
+    Attributes
+    ----------
+    text:
+        The full input text.
+    position:
+        Zero-based character offset at which parsing failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class DimensionMismatchError(ReproError):
+    """Raised when boxes or regions of different dimensions are combined."""
+
+
+class UniverseMismatchError(ReproError):
+    """Raised when algebra elements from different universes are combined."""
+
+
+class UnsatisfiableError(ReproError):
+    """Raised when a query's ground (constant-only) residue is violated.
+
+    Algorithm 1 leaves constraints that mention only bound constants in the
+    residual system ``S_0``; the compiler checks them once against the bound
+    regions and raises this error when the query can have no answers.
+    """
+
+
+class CompilationError(ReproError):
+    """Raised when a constraint system cannot be compiled into a plan."""
+
+
+class UnboundVariableError(CompilationError):
+    """Raised when a query references a variable with no table or binding."""

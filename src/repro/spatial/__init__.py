@@ -1,0 +1,48 @@
+"""The spatial-database substrate (simulated per DESIGN.md §3).
+
+R-tree [6], grid file [9], the Figure 3 box-as-point range-query
+reduction, a z-order join in the style of PROBE [10], and the
+:class:`SpatialTable` facade the query engine uses.
+"""
+
+from .gridfile import GridFile, GridStats
+from .join import index_nested_loop_join, synchronized_rtree_join
+from .rangequery import (
+    OPEN_EPS,
+    PointRange,
+    compile_range,
+    figure3_rectangle,
+    matches_via_point,
+)
+from .rtree import RTree, RTreeStats
+from .table import SpatialObject, SpatialTable
+from .zorder import (
+    ZGrid,
+    ZOrderIndex,
+    ZRange,
+    interleave,
+    zorder_join,
+    zorder_overlap_query,
+)
+
+__all__ = [
+    "GridFile",
+    "GridStats",
+    "OPEN_EPS",
+    "PointRange",
+    "RTree",
+    "RTreeStats",
+    "SpatialObject",
+    "SpatialTable",
+    "ZGrid",
+    "ZOrderIndex",
+    "ZRange",
+    "compile_range",
+    "index_nested_loop_join",
+    "figure3_rectangle",
+    "interleave",
+    "matches_via_point",
+    "synchronized_rtree_join",
+    "zorder_join",
+    "zorder_overlap_query",
+]

@@ -1,0 +1,189 @@
+"""Tests for BoxQuery / StepTemplate and the solved-form conversion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import RegionAlgebra
+from repro.boolean import FALSE, TRUE, Var
+from repro.boxes import (
+    BOT,
+    Box,
+    BoxQuery,
+    BoxVar,
+    EMPTY_BOX,
+    StepTemplate,
+    TOP,
+    bjoin,
+    compile_solved_constraint,
+)
+from repro.constraints import (
+    Disequation,
+    SMUGGLERS_ORDER,
+    SolvedConstraint,
+    smugglers_system,
+    triangular_form,
+)
+from tests.strategies import PLANE, boxes, nonempty_boxes
+
+UNIVERSE = PLANE.universe_box
+
+
+class TestBoxQuery:
+    def test_inside(self):
+        q = BoxQuery(inside=Box((0, 0), (4, 4)))
+        assert q.matches(Box((1, 1), (2, 2)))
+        assert not q.matches(Box((1, 1), (5, 5)))
+
+    def test_covers(self):
+        q = BoxQuery(covers=Box((1, 1), (2, 2)))
+        assert q.matches(Box((0, 0), (4, 4)))
+        assert not q.matches(Box((1.5, 1.5), (4, 4)))
+
+    def test_overlap(self):
+        q = BoxQuery(overlap=(Box((0, 0), (1, 1)), Box((2, 2), (3, 3))))
+        assert q.matches(Box((0.5, 0.5), (2.5, 2.5)))
+        assert not q.matches(Box((0.5, 0.5), (1.5, 1.5)))
+
+    def test_unsatisfiable_empty_overlap(self):
+        q = BoxQuery(overlap=(EMPTY_BOX,))
+        assert q.is_unsatisfiable()
+
+    def test_unsatisfiable_covers_not_in_inside(self):
+        q = BoxQuery(inside=Box((0, 0), (1, 1)), covers=Box((2, 2), (3, 3)))
+        assert q.is_unsatisfiable()
+
+    def test_satisfiable_plain(self):
+        q = BoxQuery(inside=Box((0, 0), (4, 4)), covers=Box((1, 1), (2, 2)))
+        assert not q.is_unsatisfiable()
+
+    def test_render(self):
+        q = BoxQuery(inside=Box((0, 0), (4, 4)), overlap=(Box((1, 1), (2, 2)),))
+        text = q.render()
+        assert "<=" in text and "!= empty" in text
+        assert BoxQuery().render() == "true"
+
+    @given(boxes(), nonempty_boxes(), nonempty_boxes())
+    @settings(max_examples=80)
+    def test_matches_is_conjunction(self, target, inside, overlap):
+        q = BoxQuery(inside=inside, overlap=(overlap,))
+        expected = target.le(inside) and target.overlaps(overlap)
+        assert q.matches(target) == expected
+
+
+class TestStepTemplate:
+    def test_instantiate_range(self):
+        t = StepTemplate(
+            variable="x",
+            lower=BoxVar("a"),
+            upper=bjoin(BoxVar("a"), BoxVar("b")),
+        )
+        env = {"a": Box((1, 1), (2, 2)), "b": Box((4, 4), (5, 5))}
+        q = t.instantiate(env, UNIVERSE)
+        assert q.covers == Box((1, 1), (2, 2))
+        assert q.inside == Box((1, 1), (5, 5))
+
+    def test_overlap_emitted_only_when_q_empty(self):
+        from repro.boxes import OverlapTemplate
+
+        t = StepTemplate(
+            variable="x",
+            lower=BOT,
+            upper=TOP,
+            overlaps=(
+                OverlapTemplate(p_upper=BoxVar("p"), q_upper=BoxVar("q")),
+            ),
+        )
+        env_q_empty = {"p": Box((0, 0), (1, 1)), "q": EMPTY_BOX}
+        env_q_full = {"p": Box((0, 0), (1, 1)), "q": Box((2, 2), (3, 3))}
+        q1 = t.instantiate(env_q_empty, UNIVERSE)
+        q2 = t.instantiate(env_q_full, UNIVERSE)
+        assert q1.overlap == (Box((0, 0), (1, 1)),)
+        assert q2.overlap == ()  # "the trivial constraint true otherwise"
+
+    def test_render(self):
+        t = StepTemplate(variable="x", lower=BOT, upper=BoxVar("c"))
+        assert "[x]" in t.render()
+
+    def test_compile_rejects_non_solved(self):
+        with pytest.raises(TypeError):
+            compile_solved_constraint("nope")
+
+
+class TestSmugglersConversion:
+    """The Section 2 bounding-box system, regenerated (E1, second half)."""
+
+    @pytest.fixture(scope="class")
+    def templates(self):
+        tri = triangular_form(smugglers_system(), SMUGGLERS_ORDER)
+        return {
+            c.variable: compile_solved_constraint(c) for c in tri.constraints
+        }
+
+    def test_step_T_is_trivial(self, templates):
+        # Line 1 of the paper's box system: 0 ⊑ ⌈T⌉ (all other parts
+        # trivial — U_{¬C} = TOP).
+        t = templates["T"]
+        assert t.lower == BOT
+        assert t.upper == TOP
+        assert len(t.overlaps) == 1
+        assert t.overlaps[0].p_upper == TOP  # ⌈¬C⌉ approximated by TOP
+        assert t.overlaps[0].q_upper == BOT
+
+    def test_step_R_matches_paper(self, templates):
+        # 0 ⊑ ⌈R⌉ ⊑ ⌈C⌉⊔⌈T⌉;  ⌈A⌉⊓⌈R⌉ ≠ ∅;  ⌈R⌉⊓⌈T⌉ ≠ ∅.
+        t = templates["R"]
+        assert t.lower == BOT
+        assert t.upper == bjoin(BoxVar("C"), BoxVar("T"))
+        ps = {o.p_upper for o in t.overlaps}
+        assert ps == {BoxVar("A"), BoxVar("T")}
+        for o in t.overlaps:
+            assert o.q_upper == BOT
+
+    def test_step_B_matches_paper(self, templates):
+        # 0 ⊑ ⌈B⌉ ⊑ ⌈C⌉  (lower bound's L is empty: the bound R∧¬A∧¬T
+        # contains no positive atom).
+        t = templates["B"]
+        assert t.lower == BOT
+        assert t.upper == BoxVar("C")
+        assert t.overlaps == ()
+
+    def test_instantiated_step_R_query(self, templates):
+        env = {
+            "C": Box((1.0, 1.0), (12.0, 12.0)),
+            "A": Box((8.0, 8.0), (11.0, 11.0)),
+            "T": Box((0.5, 5.0), (1.5, 6.0)),
+        }
+        q = templates["R"].instantiate(env, UNIVERSE)
+        assert q.inside == Box((0.5, 1.0), (12.0, 12.0))
+        assert set(q.overlap) == {env["A"], env["T"]}
+        # A road box satisfying the exact constraints must match.
+        road_box = Box((1.0, 5.0), (9.0, 9.0))
+        assert q.matches(road_box)
+        # A road far from the town must not.
+        assert not q.matches(Box((9.0, 9.0), (10.0, 10.0)))
+
+
+class TestNecessityOfTemplates:
+    """The compiled BoxQuery is a NECESSARY condition: every region value
+    satisfying the exact solved constraint has a box matching the query."""
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_on_smugglers_level_R(self, data):
+        from tests.strategies import region_elements
+
+        tri = triangular_form(smugglers_system(), SMUGGLERS_ORDER)
+        solved = tri.constraint_for("R")
+        template = compile_solved_constraint(solved)
+
+        env = {
+            "C": data.draw(region_elements(), label="C"),
+            "A": data.draw(region_elements(), label="A"),
+            "T": data.draw(region_elements(), label="T"),
+        }
+        value = data.draw(region_elements(), label="R")
+        if not solved.holds(PLANE, value, env):
+            return
+        box_env = {n: env[n].bounding_box() for n in env}
+        q = template.instantiate(box_env, UNIVERSE)
+        assert q.matches(value.bounding_box())

@@ -1,0 +1,213 @@
+"""Tests for the Figure 3 point-mapping reduction and the z-order join."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boxes import Box, BoxQuery, EMPTY_BOX
+from repro.spatial import (
+    PointRange,
+    SpatialTable,
+    ZGrid,
+    ZOrderIndex,
+    compile_range,
+    figure3_rectangle,
+    interleave,
+    matches_via_point,
+    zorder_join,
+    zorder_overlap_query,
+)
+from repro.algebra import Region
+from tests.strategies import boxes, nonempty_boxes
+
+UNIVERSE = Box((0.0, 0.0), (64.0, 64.0))
+
+
+def _grid_boxes(n, seed=0, span=60.0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        lo = (rng.randrange(0, int(span)), rng.randrange(0, int(span)))
+        size = (rng.randrange(1, 8), rng.randrange(1, 8))
+        out.append(Box(lo, (lo[0] + size[0], lo[1] + size[1])))
+    return out
+
+
+class TestCompileRange:
+    """Figure 3: the three constraint forms become ONE orthogonal range."""
+
+    def test_inside_constraint(self):
+        q = BoxQuery(inside=Box((0, 0), (4, 4)))
+        pr = compile_range(q, 2)
+        assert pr.contains(Box((1, 1), (2, 2)).to_point())
+        assert not pr.contains(Box((1, 1), (5, 5)).to_point())
+
+    def test_covers_constraint(self):
+        q = BoxQuery(covers=Box((1, 1), (2, 2)))
+        pr = compile_range(q, 2)
+        assert pr.contains(Box((0, 0), (4, 4)).to_point())
+        assert not pr.contains(Box((1.5, 0), (4, 4)).to_point())
+
+    def test_overlap_constraint(self):
+        q = BoxQuery(overlap=(Box((2, 2), (4, 4)),))
+        pr = compile_range(q, 2)
+        assert pr.contains(Box((3, 3), (5, 5)).to_point())
+        assert not pr.contains(Box((4, 4), (6, 6)).to_point())  # touching
+
+    def test_empty_overlap_gives_empty_range(self):
+        q = BoxQuery(overlap=(EMPTY_BOX,))
+        assert compile_range(q, 2).is_empty()
+
+    def test_clip_finite(self):
+        q = BoxQuery(overlap=(Box((2, 2), (4, 4)),))
+        pr = compile_range(q, 2).clip_finite(UNIVERSE)
+        assert all(v != float("-inf") for v in pr.lo)
+        assert all(v != float("inf") for v in pr.hi)
+
+    @given(nonempty_boxes(grid=1), nonempty_boxes(grid=1), nonempty_boxes(grid=1), nonempty_boxes(grid=1))
+    @settings(max_examples=200)
+    def test_point_mapping_equals_direct_evaluation(self, target, a, b, c):
+        """The reduction is exact on integer-grid boxes: BoxQuery.matches
+        agrees with membership of the 2k-point in the compiled range."""
+        q = BoxQuery(inside=a, covers=b, overlap=(c,))
+        assert matches_via_point(q, target) == q.matches(target)
+
+    @given(nonempty_boxes(grid=1), nonempty_boxes(grid=1))
+    @settings(max_examples=120)
+    def test_single_constraints_roundtrip(self, target, probe):
+        for q in [
+            BoxQuery(inside=probe),
+            BoxQuery(covers=probe),
+            BoxQuery(overlap=(probe,)),
+        ]:
+            assert matches_via_point(q, target) == q.matches(target)
+
+
+class TestFigure3:
+    def test_rectangle_semantics(self):
+        # a ⊑ x, x ⊑ b, x ⊓ c ≠ ∅ over the line.
+        pr = figure3_rectangle(a=(4, 5), b=(0, 10), c=(7, 9))
+        # x = [3, 8): contains [4,5), inside [0,10), overlaps [7,9).
+        assert pr.contains((3.0, 8.0))
+        # x = [4, 6): fails the overlap with [7,9).
+        assert not pr.contains((4.0, 6.0))
+        # x = [5, 8): fails to cover [4,5).
+        assert not pr.contains((5.0, 8.0))
+        # x = [-1, 11): not inside [0,10).
+        assert not pr.contains((-1.0, 11.0))
+
+    def test_rectangle_is_2d(self):
+        pr = figure3_rectangle((4, 5), (0, 10), (7, 9))
+        assert pr.dim == 2
+
+
+class TestTableBackendsAgree:
+    """The same BoxQuery must return the same rows on every backend."""
+
+    def _tables(self):
+        tables = {}
+        for kind in ("rtree", "grid", "scan"):
+            tables[kind] = SpatialTable(
+                f"t_{kind}", dim=2, index=kind, universe=UNIVERSE
+            )
+        for i, b in enumerate(_grid_boxes(250, seed=4)):
+            for t in tables.values():
+                t.insert(i, Region.from_box(b))
+        return tables
+
+    def test_agreement_on_random_queries(self):
+        tables = self._tables()
+        rng = random.Random(9)
+        for trial in range(30):
+            lo = (rng.randrange(0, 50), rng.randrange(0, 50))
+            probe = Box(lo, (lo[0] + rng.randrange(1, 12), lo[1] + rng.randrange(1, 12)))
+            shape = rng.choice(["overlap", "inside", "combined"])
+            if shape == "overlap":
+                q = BoxQuery(overlap=(probe,))
+            elif shape == "inside":
+                q = BoxQuery(inside=probe)
+            else:
+                q = BoxQuery(
+                    inside=Box((0, 0), (40, 40)), overlap=(probe,)
+                )
+            results = {
+                kind: {o.oid for o in t.range_query(q)}
+                for kind, t in tables.items()
+            }
+            assert results["rtree"] == results["scan"], f"trial {trial}"
+            assert results["grid"] == results["scan"], f"trial {trial}"
+
+    def test_probe_counters(self):
+        tables = self._tables()
+        t = tables["rtree"]
+        t.reset_stats()
+        t.range_query(BoxQuery(overlap=(Box((0, 0), (5, 5)),)))
+        assert t.probes == 1
+        assert t.index_stats()["kind"] == "rtree"
+
+
+class TestZOrder:
+    def test_interleave(self):
+        # 2-D: x=0b11, y=0b01 -> bits x0,y0,x1,y1 = 1,1,1,0 -> 0b0111.
+        assert interleave((0b11, 0b01), bits=2) == 0b0111
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            ZGrid(EMPTY_BOX)
+        with pytest.raises(ValueError):
+            ZGrid(UNIVERSE, levels=0)
+
+    def test_decompose_full_universe_is_one_range(self):
+        grid = ZGrid(UNIVERSE, levels=4)
+        ranges = grid.decompose(UNIVERSE)
+        assert len(ranges) == 1
+        assert ranges[0].lo == 0
+        assert ranges[0].hi == grid.cell_count()
+
+    def test_decompose_small_box(self):
+        grid = ZGrid(UNIVERSE, levels=5)
+        ranges = grid.decompose(Box((0.0, 0.0), (2.0, 2.0)))
+        assert ranges
+        total = sum(r.hi - r.lo for r in ranges)
+        assert total >= 1
+        # Ranges are sorted and non-adjacent after coalescing.
+        for r1, r2 in zip(ranges, ranges[1:]):
+            assert r1.hi < r2.lo
+
+    def test_decompose_outside_universe(self):
+        grid = ZGrid(UNIVERSE, levels=4)
+        assert grid.decompose(Box((100.0, 100.0), (110.0, 110.0))) == []
+        assert grid.decompose(EMPTY_BOX) == []
+
+    def test_join_agrees_with_nested_loop(self):
+        grid = ZGrid(UNIVERSE, levels=6)
+        left_boxes = _grid_boxes(60, seed=1)
+        right_boxes = _grid_boxes(60, seed=2)
+        left = ZOrderIndex(grid)
+        right = ZOrderIndex(grid)
+        for i, b in enumerate(left_boxes):
+            left.insert(b, ("L", i))
+        for j, b in enumerate(right_boxes):
+            right.insert(b, ("R", j))
+        got = {
+            (a[1], b[1]) for a, b in zorder_join(left, right, exact=True)
+        }
+        expected = {
+            (i, j)
+            for i, lb in enumerate(left_boxes)
+            for j, rb in enumerate(right_boxes)
+            if lb.overlaps(rb)
+        }
+        assert got == expected
+
+    def test_overlap_query_agrees_with_scan(self):
+        grid = ZGrid(UNIVERSE, levels=6)
+        items = _grid_boxes(120, seed=3)
+        index = ZOrderIndex(grid)
+        for i, b in enumerate(items):
+            index.insert(b, i)
+        probe = Box((10.0, 10.0), (20.0, 20.0))
+        got = set(zorder_overlap_query(index, probe, exact=True))
+        expected = {i for i, b in enumerate(items) if b.overlaps(probe)}
+        assert got == expected

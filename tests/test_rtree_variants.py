@@ -1,0 +1,135 @@
+"""Tests for R-tree variants: linear split and STR bulk loading."""
+
+import random
+
+import pytest
+
+from repro.boxes import Box, BoxQuery
+from repro.spatial import RTree
+
+
+def _random_boxes(n, seed=0, span=100.0):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        lo = (rng.uniform(0, span), rng.uniform(0, span))
+        out.append(
+            Box(lo, (lo[0] + rng.uniform(0.5, 8), lo[1] + rng.uniform(0.5, 8)))
+        )
+    return out
+
+
+class TestLinearSplit:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(split_method="cubic")
+
+    def test_invariants_hold(self):
+        tree = RTree(max_entries=4, split_method="linear")
+        for i, b in enumerate(_random_boxes(250, seed=2)):
+            tree.insert(b, i)
+        tree.check_invariants()
+        assert len(tree) == 250
+
+    def test_search_agrees_with_quadratic(self):
+        items = _random_boxes(300, seed=5)
+        quad = RTree(max_entries=6, split_method="quadratic")
+        lin = RTree(max_entries=6, split_method="linear")
+        for i, b in enumerate(items):
+            quad.insert(b, i)
+            lin.insert(b, i)
+        for seed in range(12):
+            rng = random.Random(seed)
+            lo = (rng.uniform(0, 90), rng.uniform(0, 90))
+            probe = Box(lo, (lo[0] + 15, lo[1] + 15))
+            q = BoxQuery(overlap=(probe,))
+            got_q = {v for _b, v in quad.search(q)}
+            got_l = {v for _b, v in lin.search(q)}
+            expected = {i for i, b in enumerate(items) if q.matches(b)}
+            assert got_q == expected
+            assert got_l == expected
+
+
+class TestBulkLoad:
+    def test_empty_input(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.all_entries()) == []
+
+    def test_small_input_single_leaf(self):
+        items = _random_boxes(5, seed=1)
+        tree = RTree.bulk_load([(b, i) for i, b in enumerate(items)])
+        assert len(tree) == 5
+        assert tree.height() == 1
+        tree.check_invariants()
+
+    def test_invariants_and_contents(self):
+        items = _random_boxes(400, seed=3)
+        tree = RTree.bulk_load([(b, i) for i, b in enumerate(items)])
+        tree.check_invariants()
+        assert sorted(v for _b, v in tree.all_entries()) == list(range(400))
+
+    def test_search_agrees_with_incremental(self):
+        items = _random_boxes(350, seed=7)
+        bulk = RTree.bulk_load([(b, i) for i, b in enumerate(items)])
+        incr = RTree(max_entries=8)
+        for i, b in enumerate(items):
+            incr.insert(b, i)
+        for seed in range(10):
+            rng = random.Random(100 + seed)
+            lo = (rng.uniform(0, 85), rng.uniform(0, 85))
+            q = BoxQuery(overlap=(Box(lo, (lo[0] + 10, lo[1] + 10)),))
+            assert {v for _b, v in bulk.search(q)} == {
+                v for _b, v in incr.search(q)
+            }
+
+    def test_bulk_load_is_shallower_or_equal(self):
+        items = _random_boxes(500, seed=9)
+        bulk = RTree.bulk_load(
+            [(b, i) for i, b in enumerate(items)], max_entries=8
+        )
+        incr = RTree(max_entries=8)
+        for i, b in enumerate(items):
+            incr.insert(b, i)
+        assert bulk.height() <= incr.height()
+
+    def test_bulk_load_probes_fewer_nodes(self):
+        """STR packing's point: better clustering, fewer reads/query."""
+        items = _random_boxes(600, seed=11)
+        bulk = RTree.bulk_load(
+            [(b, i) for i, b in enumerate(items)], max_entries=8
+        )
+        incr = RTree(max_entries=8)
+        for i, b in enumerate(items):
+            incr.insert(b, i)
+        bulk.stats.reset()
+        incr.stats.reset()
+        for seed in range(20):
+            rng = random.Random(200 + seed)
+            lo = (rng.uniform(0, 90), rng.uniform(0, 90))
+            q = BoxQuery(overlap=(Box(lo, (lo[0] + 5, lo[1] + 5)),))
+            list(bulk.search(q))
+            list(incr.search(q))
+        assert bulk.stats.node_reads <= incr.stats.node_reads
+
+    def test_bulk_load_supports_insert_after(self):
+        items = _random_boxes(50, seed=13)
+        tree = RTree.bulk_load([(b, i) for i, b in enumerate(items)])
+        extra = Box((1, 1), (2, 2))
+        tree.insert(extra, "extra")
+        assert len(tree) == 51
+        q = BoxQuery(overlap=(Box((0.5, 0.5), (1.5, 1.5)),))
+        assert "extra" in {v for _b, v in tree.search(q)}
+
+    def test_1d_bulk_load(self):
+        rng = random.Random(4)
+        items = [
+            Box((rng.uniform(0, 100),), (rng.uniform(0, 100) + 1,))
+            for _ in range(100)
+        ]
+        items = [Box((min(b.lo[0], b.hi[0] - 1),), (b.hi[0],)) for b in items]
+        tree = RTree.bulk_load([(b, i) for i, b in enumerate(items)])
+        tree.check_invariants()
+        q = BoxQuery(overlap=(Box((20.0,), (30.0,)),))
+        expected = {i for i, b in enumerate(items) if q.matches(b)}
+        assert {v for _b, v in tree.search(q)} == expected

@@ -1,0 +1,221 @@
+"""Tests for the R-tree and grid file, incl. backend agreement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boxes import Box, BoxQuery, EMPTY_BOX
+from repro.errors import DimensionMismatchError
+from repro.spatial import GridFile, RTree, compile_range
+from tests.strategies import boxes, nonempty_boxes
+
+
+def _random_boxes(n, seed=0, span=100.0):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        lo = (rng.uniform(0, span), rng.uniform(0, span))
+        size = (rng.uniform(0.5, 10), rng.uniform(0.5, 10))
+        out.append(Box(lo, (lo[0] + size[0], lo[1] + size[1])))
+    return out
+
+
+class TestRTreeStructure:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=0)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_insert_grows_and_invariants_hold(self):
+        tree = RTree(max_entries=4)
+        for i, b in enumerate(_random_boxes(200)):
+            tree.insert(b, i)
+        assert len(tree) == 200
+        tree.check_invariants()
+        assert tree.height() >= 3
+
+    def test_all_entries_roundtrip(self):
+        tree = RTree(max_entries=4)
+        items = _random_boxes(50)
+        for i, b in enumerate(items):
+            tree.insert(b, i)
+        got = sorted(v for _b, v in tree.all_entries())
+        assert got == list(range(50))
+
+    def test_delete(self):
+        tree = RTree(max_entries=4)
+        items = _random_boxes(60)
+        for i, b in enumerate(items):
+            tree.insert(b, i)
+        for i in range(0, 60, 2):
+            assert tree.delete(items[i], i)
+        assert len(tree) == 30
+        tree.check_invariants()
+        got = sorted(v for _b, v in tree.all_entries())
+        assert got == list(range(1, 60, 2))
+        assert not tree.delete(items[0], 0)  # already gone
+
+    def test_delete_to_empty(self):
+        tree = RTree(max_entries=4)
+        items = _random_boxes(20)
+        for i, b in enumerate(items):
+            tree.insert(b, i)
+        for i, b in enumerate(items):
+            assert tree.delete(b, i)
+        assert len(tree) == 0
+        assert list(tree.all_entries()) == []
+
+
+class TestRTreeSearch:
+    def setup_method(self):
+        self.items = _random_boxes(300, seed=7)
+        self.tree = RTree(max_entries=6)
+        for i, b in enumerate(self.items):
+            self.tree.insert(b, i)
+
+    def _scan(self, query):
+        return {
+            i for i, b in enumerate(self.items) if query.matches(b)
+        }
+
+    def test_overlap_query(self):
+        q = BoxQuery(overlap=(Box((20, 20), (40, 40)),))
+        got = {v for _b, v in self.tree.search(q)}
+        assert got == self._scan(q)
+        assert got  # non-trivial
+
+    def test_containment_query(self):
+        q = BoxQuery(inside=Box((0, 0), (50, 50)))
+        got = {v for _b, v in self.tree.search(q)}
+        assert got == self._scan(q)
+
+    def test_covers_query(self):
+        target = self.items[13]
+        inner = Box(
+            tuple(c + 0.1 for c in target.lo),
+            tuple(c - 0.1 for c in target.hi),
+        )
+        q = BoxQuery(covers=inner)
+        got = {v for _b, v in self.tree.search(q)}
+        assert 13 in got
+        assert got == self._scan(q)
+
+    def test_combined_query(self):
+        q = BoxQuery(
+            inside=Box((0, 0), (60, 60)),
+            overlap=(Box((10, 10), (30, 30)), Box((5, 5), (50, 50))),
+        )
+        got = {v for _b, v in self.tree.search(q)}
+        assert got == self._scan(q)
+
+    def test_unsatisfiable_short_circuits(self):
+        self.tree.stats.reset()
+        q = BoxQuery(overlap=(EMPTY_BOX,))
+        assert list(self.tree.search(q)) == []
+        assert self.tree.stats.node_reads == 0
+
+    def test_search_reads_fewer_nodes_than_scan(self):
+        self.tree.stats.reset()
+        q = BoxQuery(overlap=(Box((20, 20), (22, 22)),))
+        list(self.tree.search(q))
+        # A selective query must not visit every leaf entry.
+        assert self.tree.stats.node_reads < len(self.items) / 2
+
+    @given(st.integers(0, 2**30))
+    @settings(max_examples=20, deadline=None)
+    def test_random_queries_agree_with_scan(self, seed):
+        rng = random.Random(seed)
+        lo = (rng.uniform(0, 90), rng.uniform(0, 90))
+        hi = (lo[0] + rng.uniform(1, 30), lo[1] + rng.uniform(1, 30))
+        probe = Box(lo, hi)
+        kind = rng.choice(["overlap", "inside", "covers"])
+        if kind == "overlap":
+            q = BoxQuery(overlap=(probe,))
+        elif kind == "inside":
+            q = BoxQuery(inside=probe)
+        else:
+            q = BoxQuery(covers=Box(lo, (lo[0] + 0.2, lo[1] + 0.2)))
+        got = {v for _b, v in self.tree.search(q)}
+        assert got == self._scan(q)
+
+
+class TestGridFile:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GridFile(0)
+        with pytest.raises(ValueError):
+            GridFile(2, bucket_capacity=1)
+
+    def test_insert_and_exact_search(self):
+        g = GridFile(2, bucket_capacity=4)
+        g.insert((1.0, 2.0), "a")
+        g.insert((1.0, 2.0), "b")
+        g.insert((3.0, 4.0), "c")
+        assert sorted(g.exact_search((1.0, 2.0))) == ["a", "b"]
+        assert list(g.exact_search((9.0, 9.0))) == []
+
+    def test_dimension_checked(self):
+        g = GridFile(2)
+        with pytest.raises(DimensionMismatchError):
+            g.insert((1.0,), "a")
+        with pytest.raises(DimensionMismatchError):
+            list(g.range_search((0,), (1,)))
+
+    def test_splits_maintain_invariants(self):
+        rng = random.Random(3)
+        g = GridFile(2, bucket_capacity=4)
+        pts = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(300)]
+        for i, p in enumerate(pts):
+            g.insert(p, i)
+        g.check_invariants()
+        assert len(g) == 300
+        assert g.stats.splits > 0
+        shape = g.directory_shape()
+        assert all(s >= 2 for s in shape)
+
+    def test_duplicate_points_dont_livelock(self):
+        g = GridFile(2, bucket_capacity=2)
+        for i in range(20):
+            g.insert((5.0, 5.0), i)
+        assert len(g) == 20
+        assert sorted(g.exact_search((5.0, 5.0))) == list(range(20))
+
+    def test_delete(self):
+        g = GridFile(2, bucket_capacity=4)
+        g.insert((1.0, 1.0), "a")
+        assert g.delete((1.0, 1.0), "a")
+        assert not g.delete((1.0, 1.0), "a")
+        assert len(g) == 0
+
+    def test_range_search_agrees_with_scan(self):
+        rng = random.Random(11)
+        g = GridFile(2, bucket_capacity=8)
+        pts = [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(400)]
+        for i, p in enumerate(pts):
+            g.insert(p, i)
+        for _ in range(25):
+            lo = (rng.uniform(0, 45), rng.uniform(0, 45))
+            hi = (lo[0] + rng.uniform(0, 20), lo[1] + rng.uniform(0, 20))
+            got = {v for _p, v in g.range_search(lo, hi)}
+            expected = {
+                i
+                for i, p in enumerate(pts)
+                if lo[0] <= p[0] <= hi[0] and lo[1] <= p[1] <= hi[1]
+            }
+            assert got == expected
+
+    def test_range_search_visits_subset_of_cells(self):
+        rng = random.Random(5)
+        g = GridFile(2, bucket_capacity=4)
+        for i in range(500):
+            g.insert((rng.uniform(0, 100), rng.uniform(0, 100)), i)
+        g.stats.reset()
+        list(g.range_search((10, 10), (12, 12)))
+        total_cells = 1
+        for s in g.directory_shape():
+            total_cells *= s
+        assert g.stats.cell_visits < total_cells

@@ -1,0 +1,151 @@
+"""Tests for the streaming (pipelined) executor and dimension coverage."""
+
+import pytest
+
+from repro.algebra import Region
+from repro.boxes import Box
+from repro.constraints import ConstraintSystem, nonempty, overlaps, subset
+from repro.datagen import smugglers_query
+from repro.engine import (
+    SpatialQuery,
+    answers_as_oid_tuples,
+    compile_query,
+    execute,
+    execute_iter,
+    first_k,
+)
+from repro.spatial import SpatialTable
+
+
+class TestStreamingExecutor:
+    def test_same_answer_set_as_batch(self):
+        q, _m = smugglers_query(
+            seed=9, n_towns=10, n_roads=10, states_grid=(2, 2)
+        )
+        plan = compile_query(q)
+        batch, _ = execute(plan, "boxplan")
+        streamed = list(execute_iter(plan, "boxplan"))
+        assert answers_as_oid_tuples(streamed, ["T", "R", "B"]) == (
+            answers_as_oid_tuples(batch, ["T", "R", "B"])
+        )
+
+    def test_exact_mode_streams_too(self):
+        q, _m = smugglers_query(seed=9, n_towns=8, n_roads=8)
+        plan = compile_query(q)
+        batch, _ = execute(plan, "exact")
+        streamed = list(execute_iter(plan, "exact"))
+        assert answers_as_oid_tuples(streamed, ["T", "R", "B"]) == (
+            answers_as_oid_tuples(batch, ["T", "R", "B"])
+        )
+
+    def test_unsupported_mode(self):
+        q, _m = smugglers_query(seed=0, n_towns=4, n_roads=4)
+        plan = compile_query(q)
+        with pytest.raises(ValueError):
+            list(execute_iter(plan, "naive"))
+
+    def test_first_k_stops_early(self):
+        q, _m = smugglers_query(
+            seed=11, n_towns=25, n_roads=25, states_grid=(3, 3)
+        )
+        plan = compile_query(q)
+        all_answers, _ = execute(plan, "boxplan")
+        assert len(all_answers) >= 2
+        got = first_k(plan, 2)
+        assert len(got) == 2
+        full = {
+            t
+            for t in answers_as_oid_tuples(all_answers, ["T", "R", "B"])
+        }
+        for a in got:
+            assert (a["T"].oid, a["R"].oid, a["B"].oid) in full
+
+    def test_first_k_touches_less_than_full_run(self):
+        q, _m = smugglers_query(
+            seed=11, n_towns=25, n_roads=25, states_grid=(3, 3)
+        )
+        plan = compile_query(q)
+        for t in q.tables.values():
+            t.reset_stats()
+        first_k(plan, 1)
+        probes_first = sum(t.probes for t in q.tables.values())
+        for t in q.tables.values():
+            t.reset_stats()
+        list(execute_iter(plan, "boxplan"))
+        probes_full = sum(t.probes for t in q.tables.values())
+        assert probes_first < probes_full
+
+    def test_answers_are_independent_dicts(self):
+        q, _m = smugglers_query(seed=9, n_towns=8, n_roads=8)
+        plan = compile_query(q)
+        answers = list(execute_iter(plan, "boxplan"))
+        if len(answers) >= 2:
+            assert answers[0] is not answers[1]
+            answers[0]["T"] = None
+            assert answers[1]["T"] is not None
+
+
+class TestOtherDimensions:
+    """The engine is dimension-generic; exercise 1-D and 3-D."""
+
+    def _run_1d(self, index):
+        universe = Box((0.0,), (100.0,))
+        segments = SpatialTable("segments", 1, index=index, universe=universe)
+        data = [
+            (0, (5.0, 15.0)),
+            (1, (20.0, 45.0)),
+            (2, (40.0, 60.0)),
+            (3, (70.0, 72.0)),
+        ]
+        for oid, (a, b) in data:
+            segments.insert(oid, Region.from_box(Box((a,), (b,))))
+        window = Region.from_box(Box((18.0,), (65.0,)))
+        q = SpatialQuery(
+            system=ConstraintSystem.build(
+                subset("x", "W"), nonempty("x")
+            ),
+            tables={"x": segments},
+            bindings={"W": window},
+            order=["x"],
+        )
+        plan = compile_query(q)
+        answers, _ = execute(plan, "boxplan")
+        return sorted(a["x"].oid for a in answers)
+
+    @pytest.mark.parametrize("index", ["rtree", "grid", "scan"])
+    def test_1d_interval_query(self, index):
+        assert self._run_1d(index) == [1, 2]
+
+    def test_3d_overlap_join(self):
+        universe = Box((0.0, 0.0, 0.0), (50.0, 50.0, 50.0))
+        import random
+
+        rng = random.Random(3)
+        a = SpatialTable("a", 3, universe=universe)
+        b = SpatialTable("b", 3, universe=universe)
+        boxes_a, boxes_b = [], []
+        for i in range(25):
+            lo = tuple(rng.uniform(0, 44) for _ in range(3))
+            box = Box(lo, tuple(c + rng.uniform(1, 6) for c in lo))
+            boxes_a.append(box)
+            a.insert(i, Region.from_box(box))
+        for j in range(25):
+            lo = tuple(rng.uniform(0, 44) for _ in range(3))
+            box = Box(lo, tuple(c + rng.uniform(1, 6) for c in lo))
+            boxes_b.append(box)
+            b.insert(j, Region.from_box(box))
+        q = SpatialQuery(
+            system=ConstraintSystem.build(overlaps("x", "y")),
+            tables={"x": a, "y": b},
+            order=["x", "y"],
+        )
+        plan = compile_query(q)
+        answers, _ = execute(plan, "boxplan")
+        got = {(ans["x"].oid, ans["y"].oid) for ans in answers}
+        expected = {
+            (i, j)
+            for i, ba in enumerate(boxes_a)
+            for j, bb in enumerate(boxes_b)
+            if ba.overlaps(bb)
+        }
+        assert got == expected
