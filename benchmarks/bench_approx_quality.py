@@ -9,7 +9,6 @@ differ (the paper's hidden-atom/consensus cases).
 
 import random
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.algebra import Region

@@ -8,7 +8,6 @@ primitive-operation gap directly on representative operands.
 
 import random
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.algebra import Region, RegionAlgebra

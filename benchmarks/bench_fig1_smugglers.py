@@ -47,7 +47,7 @@ def test_triangular_form_matches_paper(benchmark):
 
 def test_box_system_matches_paper(benchmark):
     """The §2 bounding-box system, regenerated."""
-    from repro.boxes import BOT, TOP, compile_solved_constraint
+    from repro.boxes import TOP, compile_solved_constraint
 
     tri = triangular_form(smugglers_system(), SMUGGLERS_ORDER)
     templates = {

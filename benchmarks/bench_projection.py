@@ -10,11 +10,10 @@ nonzero by design, showing why atomlessness matters.
 
 import random
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.algebra import BitVectorAlgebra, IntervalAlgebra
-from repro.boolean import FALSE, TRUE, Var, conj, disj, neg
+from repro.boolean import Var, conj, disj, neg
 from repro.constraints import (
     EquationalSystem,
     WitnessError,

@@ -6,7 +6,6 @@ exhausted.  This bench measures time-to-first-answer and index probes
 for the depth-first streaming executor against the batch executor.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.datagen import smugglers_query

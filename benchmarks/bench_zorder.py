@@ -16,13 +16,11 @@ z-ordering methods" is not evaluated (no hybrid is built).
 
 import random
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.algebra import Region
 from repro.boxes import Box
-from repro.datagen import overlay_query
-from repro.engine import answers_as_oid_tuples, compile_query, execute
+from repro.engine import compile_query, execute
 from repro.spatial import ZGrid, ZOrderIndex, zorder_join
 
 N = 120

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""CI benchmark smoke: machine-independent counters → ``BENCH_ci.json``.
+
+Runs reduced-scale versions of the two headline benchmarks
+(``bench_join_scaling`` and ``bench_order_ablation``) plus the
+full-scale STR-vs-insertion comparison, and writes the paper's cost
+counters (partial tuples, region ops, index node reads) to a JSON
+artifact that CI uploads on every run — the perf trajectory the ROADMAP
+asks for.
+
+Two acceptance gates are enforced (non-zero exit on failure):
+
+1. STR-packed r-trees cut aggregate node reads by ≥ 20% versus the
+   insertion-built baseline at the join-scaling bench's largest
+   configured scale;
+2. the histogram (statistics-catalog) planner never picks an order with
+   more measured partial tuples than the greedy heuristic on the
+   benchmark query set.
+
+Usage::
+
+    python benchmarks/ci_smoke.py [--out BENCH_ci.json] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_REPO, os.path.join(_REPO, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from benchmarks.bench_join_scaling import (  # noqa: E402
+    STR_CAPACITY,
+    STR_GRID,
+    STR_SEEDS,
+    STR_SIZE,
+    _str_node_reads,
+)
+from repro.datagen import containment_chain_query, smugglers_query  # noqa: E402
+from repro.engine import (  # noqa: E402
+    SpatialQuery,
+    compile_query,
+    enumerate_orders,
+    execute,
+    plan_order,
+)
+
+
+def _run_join(size: int, mode: str) -> dict:
+    query, _world = smugglers_query(
+        seed=size, n_towns=size, n_roads=size, states_grid=(3, 3)
+    )
+    plan = compile_query(query)
+    _answers, stats = execute(plan, mode)
+    counters = stats.as_dict()
+    counters.pop("per_step", None)
+    return {"size": size, **counters}
+
+
+def join_scaling_section(full: bool) -> list:
+    sizes = [8, 16, 24] if full else [8, 16]
+    rows = []
+    for size in sizes:
+        for mode in ("naive", "exact", "boxplan"):
+            if mode == "naive" and size > 8:
+                continue  # minutes of cross-product work; shape visible at 8
+            rows.append(_run_join(size, mode))
+    return rows
+
+
+def str_packing_section() -> dict:
+    insertion = sum(_str_node_reads(s, pack=False) for s in STR_SEEDS)
+    packed = sum(_str_node_reads(s, pack=True) for s in STR_SEEDS)
+    reduction = 1.0 - packed / insertion if insertion else 0.0
+    return {
+        "size": STR_SIZE,
+        "states_grid": list(STR_GRID),
+        "node_capacity": STR_CAPACITY,
+        "seeds": len(STR_SEEDS),
+        "node_reads_insertion": insertion,
+        "node_reads_str": packed,
+        "reduction": round(reduction, 4),
+    }
+
+
+def _measured_partials(query: SpatialQuery, order) -> int:
+    plan = compile_query(query, order=order)
+    _answers, stats = execute(plan, "boxplan")
+    return stats.partial_tuples
+
+
+def order_planning_section(full: bool) -> list:
+    queries = []
+    n = 18 if full else 12
+    for seed in (21, 3, 7):
+        q, _world = smugglers_query(
+            seed=seed, n_towns=n, n_roads=n, states_grid=(3, 3)
+        )
+        queries.append(
+            (
+                f"smugglers/seed={seed}",
+                SpatialQuery(
+                    system=q.system, tables=q.tables, bindings=q.bindings
+                ),
+            )
+        )
+    for seed in (0, 4):
+        queries.append(
+            (
+                f"chain/seed={seed}",
+                containment_chain_query(
+                    n_per_table=40 if full else 25, depth=3, seed=seed
+                ),
+            )
+        )
+    rows = []
+    for label, query in queries:
+        greedy = plan_order(query, "greedy")
+        hist = plan_order(query, "histogram")
+        measured = {
+            order: _measured_partials(query, order)
+            for order in enumerate_orders(query)
+        }
+        rows.append(
+            {
+                "query": label,
+                "greedy_order": list(greedy),
+                "greedy_partials": measured[greedy],
+                "histogram_order": list(hist),
+                "histogram_partials": measured[hist],
+                "best_partials": min(measured.values()),
+                "worst_partials": max(measured.values()),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_ci.json")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-scale run (CI uses the reduced default)",
+    )
+    args = parser.parse_args(argv)
+
+    result = {
+        "python": platform.python_version(),
+        "scale": "full" if args.full else "reduced",
+        "join_scaling": join_scaling_section(args.full),
+        "str_packing": str_packing_section(),
+        "order_planning": order_planning_section(args.full),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    failures = []
+    str_red = result["str_packing"]["reduction"]
+    print(
+        f"STR packing: {result['str_packing']['node_reads_str']} vs "
+        f"{result['str_packing']['node_reads_insertion']} node reads "
+        f"({str_red:.1%} reduction)"
+    )
+    if str_red < 0.20:
+        failures.append(
+            f"STR node-read reduction {str_red:.1%} is below the 20% bar"
+        )
+    for row in result["order_planning"]:
+        print(
+            f"planner {row['query']}: greedy={row['greedy_partials']} "
+            f"histogram={row['histogram_partials']} "
+            f"(best={row['best_partials']}, worst={row['worst_partials']})"
+        )
+        if row["histogram_partials"] > row["greedy_partials"]:
+            failures.append(
+                f"histogram planner worse than greedy on {row['query']}"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("all benchmark gates passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,6 @@ measurable-regions model):
 Run:  python examples/constraint_reasoning.py
 """
 
-from fractions import Fraction
 
 from repro import IntervalAlgebra, parse_system
 from repro.constraints import (

@@ -22,7 +22,7 @@ Run:  python examples/visual_language_parsing.py
 """
 
 import random
-from typing import List, Tuple
+from typing import List
 
 from repro import Region, parse_system
 from repro.boxes import Box

@@ -15,8 +15,8 @@ designed to avoid.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Generic, Iterable, List, Optional, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Generic, Iterable, Tuple, TypeVar
 
 E = TypeVar("E")
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..boxes.box import Box, EMPTY_BOX, enclose_all
+from ..boxes.box import Box, enclose_all
 from ..errors import DimensionMismatchError, UniverseMismatchError
 from .base import BooleanAlgebra
 

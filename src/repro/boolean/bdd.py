@@ -24,9 +24,9 @@ integer node ids tied to their manager.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .syntax import And, Const, Formula, Not, Or, Var, conj, disj, neg
+from .syntax import And, Const, Formula, Not, Or, Var
 from .terms import Term
 
 

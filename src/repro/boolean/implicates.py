@@ -19,12 +19,12 @@ Implemented by duality: ``clause C is a prime implicate of f`` iff
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from .blake import blake_canonical_form
 from .semantics import implies as semantic_implies
-from .syntax import Formula, TRUE, conj, disj, neg
-from .terms import Term, absorb
+from .syntax import Formula, TRUE, conj, neg
+from .terms import Term
 
 
 class Clause:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from .syntax import And, Const, FALSE, Formula, Not, Or, TRUE, Var, conj, disj, neg
+from .syntax import And, Const, Formula, Not, Or, TRUE, Var, conj, neg
 from .terms import Term, cover_to_formula, formula_to_cover, _to_nnf
 
 

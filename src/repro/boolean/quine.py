@@ -13,7 +13,7 @@ collect the implicants that never merged.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from .normal_forms import minterms
 from .syntax import Formula

@@ -29,7 +29,7 @@ Worked example (paper Examples 2/3): ``f = x∧y ∨ ¬x∧(y ∨ z∧w)`` has
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..boolean.blake import blake_canonical_form
 from ..boolean.syntax import Formula

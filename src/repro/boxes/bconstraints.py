@@ -29,12 +29,12 @@ Conversion of a solved constraint ``C_i`` (paper §4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
 
 from .approximation import lower_approximation, upper_approximation
-from .box import Box, EMPTY_BOX
-from .functions import BOT, TOP, BoxFunc, evaluate_boxfunc, render_boxfunc
+from .box import Box
+from .functions import TOP, BoxFunc, evaluate_boxfunc, render_boxfunc
 
 
 @dataclass(frozen=True)

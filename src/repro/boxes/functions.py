@@ -20,7 +20,7 @@ syntactic transliteration.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 from .box import Box, EMPTY_BOX
 
@@ -281,7 +281,7 @@ def naive_transform(formula) -> BoxFunc:
     and it is representation-dependent: equal formulas can give different
     box functions (the paper's ``(x∧y)∨(x∧z)`` vs ``x∧(y∨z)`` example).
     """
-    from ..boolean.syntax import And, Const, Formula, Not, Or, Var
+    from ..boolean.syntax import And, Const, Not, Or, Var
 
     def walk(g) -> BoxFunc:
         if isinstance(g, Const):

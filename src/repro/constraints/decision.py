@@ -23,11 +23,10 @@ Both functions are exact for atomless algebras and sound (no false
 
 from __future__ import annotations
 
-from typing import List
 
 from ..boolean.semantics import is_contradiction, is_tautology
 from ..boolean.simplify import simplify
-from ..boolean.syntax import FALSE, Formula, TRUE, disj
+from ..boolean.syntax import FALSE, disj
 from .projection import eliminate_to_ground
 from .system import ConstraintSystem, EquationalSystem
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from ..boolean.syntax import Var, conj, disj, neg
+from ..boolean.syntax import Var, disj, neg
 from .system import (
     ConstraintSystem,
     not_subset,

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from .decision import entails_atomless
-from .system import ConstraintSystem, Negative, Positive
+from .system import ConstraintSystem
 
 
 def _without(constraints: List, index: int) -> ConstraintSystem:

@@ -27,14 +27,11 @@ outside the language — paper Section 1); only ``!= 0`` is accepted.
 from __future__ import annotations
 
 import re
-from typing import List
 
 from ..boolean.parser import parse as parse_formula
 from ..errors import ParseError
 from .system import (
     ConstraintSystem,
-    Negative,
-    Positive,
     equal,
     nonempty,
     not_subset,

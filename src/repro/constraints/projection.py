@@ -31,7 +31,7 @@ algebra ``∃x S`` additionally requires ``|y| ≥ 2``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Sequence
 
 from ..boolean.simplify import simplify
 from ..boolean.syntax import Formula, conj, disj, neg

@@ -19,7 +19,7 @@ In the paper's containment notation, ``x∧p ≠ 0`` is ``x ⊄ ¬p`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Mapping, Optional, Tuple
 
 from ..boolean.printer import to_str
 from ..boolean.semantics import evaluate

@@ -26,7 +26,7 @@ what the projection/triangularisation algorithms consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Mapping, Tuple
 
 from ..boolean.semantics import evaluate
 from ..boolean.simplify import simplify

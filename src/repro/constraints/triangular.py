@@ -27,8 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..boolean.printer import to_str
-from ..boolean.semantics import evaluate
 from ..boolean.syntax import Formula, neg
 from .projection import project
 from .solved import SolvedConstraint, solve_for
@@ -176,7 +174,7 @@ def _subsume_solved(
     checked modulo the ground residue ``care`` when provided, matching
     the paper's display of the Section 2 example.
     """
-    from ..boolean.semantics import implies, implies_under
+    from ..boolean.semantics import implies_under
     from ..boolean.syntax import TRUE
 
     hyp = TRUE if care is None else care

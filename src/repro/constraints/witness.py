@@ -30,7 +30,6 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..boolean.semantics import evaluate
-from ..boolean.syntax import Formula
 from ..errors import ReproError
 from .projection import project
 from .solved import SolvedConstraint, solve_for

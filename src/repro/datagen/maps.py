@@ -48,18 +48,35 @@ class SmugglersMap:
     good_road_ids: List[int] = field(default_factory=list)
 
     def tables(
-        self, index: str = "rtree"
+        self,
+        index: str = "rtree",
+        pack: Optional[bool] = None,
+        split_method: str = "quadratic",
+        node_capacity: int = 8,
     ) -> Dict[str, SpatialTable]:
-        """Build ``T``/``R``/``B`` tables with the chosen index backend."""
-        towns = SpatialTable("towns", 2, index=index, universe=self.universe)
-        towns.bulk_insert(list(enumerate(self.towns)))
-        roads = SpatialTable("roads", 2, index=index, universe=self.universe)
-        roads.bulk_insert(list(enumerate(self.roads)))
-        states = SpatialTable(
-            "states", 2, index=index, universe=self.universe
-        )
-        states.bulk_insert(list(enumerate(self.states)))
-        return {"T": towns, "R": roads, "B": states}
+        """Build ``T``/``R``/``B`` tables with the chosen index backend.
+
+        ``pack=None`` (the default) STR-packs r-tree tables — the map is
+        a static workload; ``pack=False`` keeps the insertion-built
+        baseline for the index benchmarks.
+        """
+        out: Dict[str, SpatialTable] = {}
+        for key, name, regions in (
+            ("T", "towns", self.towns),
+            ("R", "roads", self.roads),
+            ("B", "states", self.states),
+        ):
+            t = SpatialTable(
+                name,
+                2,
+                index=index,
+                universe=self.universe,
+                split_method=split_method,
+                node_capacity=node_capacity,
+            )
+            t.bulk_insert(list(enumerate(regions)), pack=pack)
+            out[key] = t
+        return out
 
 
 def make_map(

@@ -8,7 +8,7 @@ region algebra's carrier.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..algebra.regions import Region
 from ..boxes.box import Box

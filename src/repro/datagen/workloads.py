@@ -9,7 +9,7 @@ workloads.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..algebra.regions import Region
 from ..boxes.box import Box
@@ -30,14 +30,27 @@ def smugglers_query(
     map_: Optional[SmugglersMap] = None,
     index: str = "rtree",
     seed: int = 0,
+    pack: Optional[bool] = None,
+    split_method: str = "quadratic",
+    node_capacity: int = 8,
     **map_kwargs,
 ) -> Tuple[SpatialQuery, SmugglersMap]:
-    """The paper's Section 2 query over a generated map (E1/E5)."""
+    """The paper's Section 2 query over a generated map (E1/E5).
+
+    ``pack``/``split_method``/``node_capacity`` configure the r-tree
+    build (STR-packed by default; ``pack=False`` gives the
+    insertion-built baseline).
+    """
     if map_ is None:
         map_ = make_map(seed=seed, **map_kwargs)
     query = SpatialQuery(
         system=smugglers_system(),
-        tables=map_.tables(index=index),
+        tables=map_.tables(
+            index=index,
+            pack=pack,
+            split_method=split_method,
+            node_capacity=node_capacity,
+        ),
         bindings={"C": map_.country, "A": map_.area},
         order=list(SMUGGLERS_ORDER),
     )
@@ -60,6 +73,8 @@ def overlay_query(
         left.insert(i, Region.from_box(random_box(rng, universe)))
     for j in range(n_right):
         right.insert(j, Region.from_box(random_box(rng, universe)))
+    left.pack()
+    right.pack()
     return SpatialQuery(
         system=ConstraintSystem.build(overlaps("x", "y")),
         tables={"x": left, "y": right},
@@ -93,6 +108,7 @@ def containment_chain_query(
             t.insert(i, Region.from_box(
                 random_box(rng, universe, min_side, max_side)
             ))
+        t.pack()
         tables[name] = t
         if level > 1:
             constraints.append(subset(f"x{level - 1}", f"x{level}"))
@@ -115,6 +131,7 @@ def sandwich_query(
     t = SpatialTable("items", 2, index=index, universe=universe)
     for i in range(n_items):
         t.insert(i, Region.from_box(random_box(rng, universe, 2.0, 20.0)))
+    t.pack()
     hi_box = Box((20.0, 20.0), (80.0, 80.0))
     lo_box = Box((45.0, 45.0), (50.0, 50.0))
     return SpatialQuery(

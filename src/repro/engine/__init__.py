@@ -1,5 +1,6 @@
-"""The query engine: compiler, executors, planner, statistics."""
+"""The query engine: compiler, executors, planner, catalog, statistics."""
 
+from .catalog import Catalog, Histogram, TableStatistics, collect_statistics
 from .compiler import QueryPlan, StepPlan, compile_query
 from .executor import (
     MODES,
@@ -10,29 +11,39 @@ from .executor import (
     run_query,
 )
 from .planner import (
+    ORDER_STRATEGIES,
     best_order_by_estimate,
     choose_order,
     enumerate_orders,
     estimate_order_cost,
+    estimate_order_cost_histogram,
+    plan_order,
 )
 from .query import SpatialQuery
 from .stats import ExecutionStats, StepStats
 
 __all__ = [
+    "Catalog",
     "ExecutionStats",
+    "Histogram",
     "MODES",
+    "ORDER_STRATEGIES",
     "QueryPlan",
     "SpatialQuery",
     "StepPlan",
     "StepStats",
+    "TableStatistics",
     "answers_as_oid_tuples",
     "best_order_by_estimate",
     "choose_order",
+    "collect_statistics",
     "compile_query",
     "enumerate_orders",
     "estimate_order_cost",
+    "estimate_order_cost_histogram",
     "execute",
     "execute_iter",
     "first_k",
+    "plan_order",
     "run_query",
 ]

@@ -1,0 +1,283 @@
+"""Table-statistics catalog for cost-based planning.
+
+Relational optimizers choose join orders from per-table statistics
+rather than raw sizes; the same applies to the paper's retrieval order
+(Section 2 picks it "arbitrarily").  This module computes, per
+:class:`~repro.spatial.table.SpatialTable`:
+
+* object counts and the extent (MBR) of the stored boxes;
+* per-dimension **equi-width histograms** of the box lo/hi edges, from
+  which the selectivity of each of the three range-query constraint
+  forms (``⊑ a``, ``b ⊑``, ``⊓ c ≠ ∅``) is estimated under a
+  per-dimension independence assumption;
+* a small **random sample** of stored rows, used both to cross-check
+  the histogram estimates (sampled predicate selectivities) and to let
+  the planner roll out candidate retrieval orders on representative
+  objects.
+
+Statistics are cached on the table itself (see
+:meth:`repro.spatial.table.SpatialTable.statistics`) and invalidated by
+its mutation counter, so repeated planning is cheap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple, TYPE_CHECKING
+
+from ..boxes.bconstraints import BoxQuery
+from ..boxes.box import Box, EMPTY_BOX, enclose_all
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spatial.table import SpatialObject, SpatialTable
+
+DEFAULT_BINS = 16
+DEFAULT_SAMPLE_SIZE = 24
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """An equi-width histogram over a one-dimensional population.
+
+    ``counts[k]`` holds the number of values in bucket ``k`` of the
+    range ``[lo, hi]``; a degenerate population (all values equal)
+    collapses to a single bucket.
+    """
+
+    lo: float
+    hi: float
+    counts: Tuple[int, ...]
+    total: int
+
+    @staticmethod
+    def from_values(
+        values: Iterable[float], bins: int = DEFAULT_BINS
+    ) -> "Histogram":
+        vals = list(values)
+        if not vals:
+            return Histogram(0.0, 0.0, (), 0)
+        lo, hi = min(vals), max(vals)
+        if hi <= lo:
+            return Histogram(lo, lo, (len(vals),), len(vals))
+        counts = [0] * bins
+        width = (hi - lo) / bins
+        for v in vals:
+            counts[min(bins - 1, int((v - lo) / width))] += 1
+        return Histogram(lo, hi, tuple(counts), len(vals))
+
+    def fraction_below(self, x: float) -> float:
+        """Estimated fraction of values ``< x`` (linear within buckets)."""
+        if self.total == 0:
+            return 0.0
+        if x <= self.lo:
+            return 0.0
+        if self.hi <= self.lo:  # single-point population, x > lo here
+            return 1.0
+        if x >= self.hi:
+            return 1.0
+        width = (self.hi - self.lo) / len(self.counts)
+        k = min(len(self.counts) - 1, int((x - self.lo) / width))
+        below = sum(self.counts[:k])
+        in_bucket = (x - (self.lo + k * width)) / width
+        return (below + self.counts[k] * in_bucket) / self.total
+
+    def fraction_at_most(self, x: float) -> float:
+        """Estimated fraction of values ``<= x``.
+
+        Coincides with :meth:`fraction_below` in the continuous
+        approximation but treats point populations inclusively.
+        """
+        if self.total == 0 or x < self.lo:
+            return 0.0
+        if self.hi <= self.lo or x >= self.hi:
+            return 1.0
+        return self.fraction_below(x)
+
+    def fraction_at_least(self, x: float) -> float:
+        """Estimated fraction of values ``>= x``."""
+        return 1.0 - self.fraction_below(x)
+
+
+def _clamp(p: float) -> float:
+    return min(1.0, max(0.0, p))
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Per-table statistics driving the cost-based planner.
+
+    ``lo_hists[d]`` / ``hi_hists[d]`` are histograms of the stored
+    boxes' lower/upper edges in dimension ``d``; ``sample`` is a
+    uniform random sample of the rows themselves.
+    """
+
+    name: str
+    dim: int
+    count: int
+    mbr: Box
+    lo_hists: Tuple[Histogram, ...]
+    hi_hists: Tuple[Histogram, ...]
+    avg_sides: Tuple[float, ...]
+    sample: Tuple["SpatialObject", ...]
+
+    # -- per-constraint selectivity (histogram-based) -------------------------
+    def sel_inside(self, a: Box) -> float:
+        """Estimated fraction of boxes with ``box ⊑ a``."""
+        if self.count == 0 or a.is_empty():
+            return 0.0
+        p = 1.0
+        for d in range(self.dim):
+            p *= self.lo_hists[d].fraction_at_least(a.lo[d])
+            p *= self.hi_hists[d].fraction_at_most(a.hi[d])
+        return _clamp(p)
+
+    def sel_covers(self, b: Box) -> float:
+        """Estimated fraction of boxes with ``b ⊑ box``."""
+        if self.count == 0:
+            return 0.0
+        if b.is_empty():
+            return 1.0
+        p = 1.0
+        for d in range(self.dim):
+            p *= self.lo_hists[d].fraction_at_most(b.lo[d])
+            p *= self.hi_hists[d].fraction_at_least(b.hi[d])
+        return _clamp(p)
+
+    def sel_overlap(self, c: Box) -> float:
+        """Estimated fraction of boxes with ``box ⊓ c ≠ ∅``."""
+        if self.count == 0 or c.is_empty():
+            return 0.0
+        p = 1.0
+        for d in range(self.dim):
+            # Overlap in dimension d means lo < c.hi and hi > c.lo;
+            # {hi <= c.lo} nests inside {lo < c.hi}, so the difference
+            # of the marginals is a direct estimate.
+            admits = self.lo_hists[d].fraction_below(c.hi[d])
+            excluded = self.hi_hists[d].fraction_at_most(c.lo[d])
+            p *= max(0.0, admits - excluded)
+        return _clamp(p)
+
+    # -- whole-query selectivity ----------------------------------------------
+    def sel_query(self, query: BoxQuery) -> float:
+        """Histogram estimate of the fraction of rows matching ``query``.
+
+        Conjunct selectivities multiply (attribute-value independence,
+        the textbook assumption); the result is clamped to ``[0, 1]``.
+        """
+        if self.count == 0 or query.is_unsatisfiable():
+            return 0.0
+        p = 1.0
+        if query.inside is not None:
+            p *= self.sel_inside(query.inside)
+        if query.covers is not None and not query.covers.is_empty():
+            p *= self.sel_covers(query.covers)
+        for c in query.overlap:
+            p *= self.sel_overlap(c)
+        return _clamp(p)
+
+    def sampled_fraction(self, query: BoxQuery) -> Optional[float]:
+        """Exact fraction of the stored *sample* matching ``query``.
+
+        ``None`` when no sample is available (empty table).
+        """
+        if not self.sample:
+            return None
+        if query.is_unsatisfiable():
+            return 0.0
+        hits = sum(
+            1
+            for obj in self.sample
+            if not obj.box.is_empty() and query.matches(obj.box)
+        )
+        return hits / len(self.sample)
+
+    def selectivity(self, query: BoxQuery) -> float:
+        """Blended selectivity: histogram estimate averaged with the
+        sampled predicate selectivity when a sample exists."""
+        hist = self.sel_query(query)
+        sampled = self.sampled_fraction(query)
+        if sampled is None:
+            return hist
+        return _clamp((hist + sampled) / 2.0)
+
+    def estimate_cardinality(self, query: BoxQuery) -> float:
+        """Expected number of rows matching ``query``."""
+        return self.count * self.selectivity(query)
+
+
+def collect_statistics(
+    table: "SpatialTable",
+    bins: int = DEFAULT_BINS,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+) -> TableStatistics:
+    """Compute :class:`TableStatistics` for a table (one full scan)."""
+    rows = [obj for obj in table if not obj.box.is_empty()]
+    boxes = [obj.box for obj in rows]
+    mbr = enclose_all(boxes) if boxes else EMPTY_BOX
+    dim = table.dim
+    lo_hists = []
+    hi_hists = []
+    avg_sides = []
+    for d in range(dim):
+        lo_hists.append(
+            Histogram.from_values((b.lo[d] for b in boxes), bins=bins)
+        )
+        hi_hists.append(
+            Histogram.from_values((b.hi[d] for b in boxes), bins=bins)
+        )
+        if boxes:
+            avg_sides.append(
+                sum(b.hi[d] - b.lo[d] for b in boxes) / len(boxes)
+            )
+        else:
+            avg_sides.append(0.0)
+    rng = random.Random(seed)
+    if len(rows) <= sample_size:
+        sample = tuple(rows)
+    else:
+        sample = tuple(rng.sample(rows, sample_size))
+    return TableStatistics(
+        name=table.name,
+        dim=dim,
+        count=len(table),
+        mbr=mbr,
+        lo_hists=tuple(lo_hists),
+        hi_hists=tuple(hi_hists),
+        avg_sides=tuple(avg_sides),
+        sample=sample,
+    )
+
+
+class Catalog:
+    """A view over per-table statistics for one planning session.
+
+    Thin by design: the cache itself lives on each table (invalidated by
+    the table's mutation counter); the catalog only fixes the histogram
+    resolution and sampling parameters so every table in a query is
+    profiled consistently.
+    """
+
+    def __init__(
+        self,
+        bins: int = DEFAULT_BINS,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        seed: int = 0,
+    ):
+        self.bins = bins
+        self.sample_size = sample_size
+        self.seed = seed
+
+    def statistics(self, table: "SpatialTable") -> TableStatistics:
+        """Statistics for one table (cached on the table)."""
+        return table.statistics(
+            bins=self.bins, sample_size=self.sample_size, seed=self.seed
+        )
+
+    def for_query(self, query) -> dict:
+        """``variable -> TableStatistics`` for every unknown of a query."""
+        return {
+            name: self.statistics(table)
+            for name, table in query.tables.items()
+        }

@@ -19,9 +19,9 @@ box templates (for the index probes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..algebra.regions import Region, RegionAlgebra
+from ..algebra.regions import RegionAlgebra
 from ..boxes.bconstraints import StepTemplate, compile_solved_constraint
 from ..constraints.solved import SolvedConstraint
 from ..constraints.triangular import TriangularForm, triangular_form

@@ -94,8 +94,10 @@ def _execute_naive(plan: QueryPlan) -> Tuple[List[Answer], ExecutionStats]:
     for variable in order:
         table = plan.query.tables[variable]
         step = stats.step(variable)
+        reads_before = table.index_read_count()
         rows = table.scan()
-        step.index_probes = 1
+        step.index_probes += 1
+        step.node_reads += table.index_read_count() - reads_before
         new_partials: List[Answer] = []
         for partial in partials:
             for obj in rows:
@@ -138,15 +140,16 @@ def _execute_incremental(
         step = stats.step(variable)
         new_partials: List[Answer] = []
         for partial in partials:
+            reads_before = table.index_read_count()
             if use_boxes:
                 box_env = _box_env(plan, partial)
                 query = step_plan.template.instantiate(box_env, universe)
                 stats.box_ops_estimate += 1
                 rows = table.range_query(query)
-                step.index_probes += 1
             else:
                 rows = table.scan()
-                step.index_probes += 1
+            step.index_probes += 1
+            step.node_reads += table.index_read_count() - reads_before
             step.candidates += len(rows)
             for obj in rows:
                 if exact_steps:

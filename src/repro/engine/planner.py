@@ -7,17 +7,40 @@ results, exactly like join ordering in relational optimizers.  We provide
 * :func:`choose_order` — the default heuristic: greedy most-constrained-
   first using connectivity to already-placed variables and table sizes;
 * :func:`enumerate_orders` — all permutations (for the E9 ablation);
-* :func:`estimate_order_cost` — a cheap cardinality estimate used by
-  :func:`best_order_by_estimate`.
+* :func:`estimate_order_cost` — the legacy raw-size cardinality estimate;
+* :func:`estimate_order_cost_histogram` — the cost-based estimate: each
+  candidate order is compiled to its box templates and rolled out over
+  the statistics catalog (:mod:`repro.engine.catalog`) — per-step
+  candidate counts from histogram selectivities, per-step survivor
+  fractions from sampled exact-predicate selectivities;
+* :func:`plan_order` / :func:`best_order_by_estimate` — strategy
+  dispatch with the greedy heuristic as the safe fallback (the ablation
+  hook ``bench_order_ablation.py`` compares all strategies).
 """
 
 from __future__ import annotations
 
+import random
 from itertools import permutations
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..constraints.system import ConstraintSystem
+from .catalog import Catalog
 from .query import SpatialQuery
+
+#: Strategies accepted by :func:`plan_order`.
+ORDER_STRATEGIES = ("greedy", "estimate", "histogram")
+
+#: Beyond this many unknowns, exhaustive order enumeration is skipped
+#: and the greedy heuristic is used directly.
+MAX_ENUMERATED_UNKNOWNS = 7
+
+#: The histogram planner only overrides the greedy order when its
+#: estimate is decisively better (below this fraction of the greedy
+#: order's estimate).  Near-ties are estimator noise: deferring to the
+#: greedy heuristic there keeps the cost-based planner from ever doing
+#: measurably worse while preserving its large wins.
+HISTOGRAM_CONFIDENCE_MARGIN = 0.8
 
 
 def _constraint_edges(system: ConstraintSystem) -> List[Tuple[frozenset, bool]]:
@@ -121,9 +144,177 @@ def estimate_order_cost(
     return cost + partials
 
 
-def best_order_by_estimate(query: SpatialQuery) -> Tuple[str, ...]:
-    """Exhaustively pick the order minimising the estimate (small n)."""
-    return min(
-        enumerate_orders(query),
-        key=lambda order: estimate_order_cost(query, order),
+def estimate_order_cost_histogram(
+    query: SpatialQuery,
+    order: Sequence[str],
+    catalog: Optional[Catalog] = None,
+    rollouts: int = 6,
+    seed: int = 0,
+) -> float:
+    """Statistics-driven cost estimate for one retrieval order.
+
+    The order is triangularised and compiled to its per-step bounding-box
+    templates (exactly what the executor will run); the estimate then
+    simulates ``rollouts`` executions over the statistics catalog:
+
+    * the **candidate count** of a step is the table size times the
+      histogram selectivity of the step's instantiated box query;
+    * the **survivor fraction** is the sampled selectivity of the step's
+      exact solved constraint, evaluated on the table's row sample
+      (this is what separates a selective disequation like ``T ⊄ C``
+      from an unselective inclusion like ``B ⊆ C`` — their *box*
+      queries can look equally permissive);
+    * representative objects for later steps are drawn from the sample.
+
+    The returned cost is the expected total number of partial tuples
+    (the executor's ``partial_tuples`` counter) plus a small candidate
+    term so index work breaks ties.
+    """
+    from ..boxes.bconstraints import compile_solved_constraint
+    from ..constraints.triangular import triangular_form
+
+    catalog = catalog or Catalog()
+    stats = {name: catalog.statistics(t) for name, t in query.tables.items()}
+    tri = triangular_form(query.system, list(order))
+    steps = {c.variable: (c, compile_solved_constraint(c)) for c in tri.constraints}
+    algebra = query.algebra()
+    universe = algebra.universe_box
+
+    base_box_env = {
+        name: region.bounding_box() for name, region in query.bindings.items()
+    }
+    base_region_env = dict(query.bindings)
+
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(max(1, rollouts)):
+        box_env = dict(base_box_env)
+        region_env = dict(base_region_env)
+        partials = 1.0
+        partial_sum = 0.0
+        candidate_sum = 0.0
+        for name in order:
+            st = stats[name]
+            step = steps.get(name)
+            if step is None:  # unconstrained variable: full scan fanout
+                box_sel, exact_frac, matching = 1.0, 1.0, list(st.sample)
+            else:
+                solved, template = step
+                box_query = template.instantiate(box_env, universe)
+                box_sel = st.selectivity(box_query)
+                matching = [
+                    obj
+                    for obj in st.sample
+                    if not obj.box.is_empty() and box_query.matches(obj.box)
+                ]
+
+                def holds(obj, solved=solved):
+                    try:
+                        return solved.holds(algebra, obj.region, region_env)
+                    except KeyError:
+                        # An earlier variable had no representative row,
+                        # so its region binding was dropped: no usable
+                        # sample env — assume the predicate holds.
+                        return True
+                # Sampled exact-predicate selectivity among the rows the
+                # box filter admits.
+                pool = matching if matching else list(st.sample)
+                holding = [obj for obj in pool if holds(obj)]
+                exact_frac = len(holding) / len(pool) if pool else 0.0
+                if holding:
+                    matching = holding
+            candidates = st.count * box_sel
+            survivors = candidates * exact_frac
+            candidate_sum += partials * candidates
+            partials *= survivors
+            partial_sum += partials
+            # Choose a representative retrieved object for later steps;
+            # with no representative row, later exact sampling against
+            # this variable falls back to box-only costing.
+            if matching:
+                pick = rng.choice(matching)
+                box_env[name] = pick.box
+                region_env[name] = pick.region
+            else:
+                box_env[name] = universe if st.mbr.is_empty() else st.mbr
+        total += partial_sum + 1e-3 * candidate_sum
+    return total / max(1, rollouts)
+
+
+def _exhaustive_costs(
+    query: SpatialQuery, cost
+) -> Dict[Tuple[str, ...], float]:
+    return {order: cost(order) for order in enumerate_orders(query)}
+
+
+def _argmin_order(costs: Dict[Tuple[str, ...], float]) -> Tuple[str, ...]:
+    return min(costs, key=lambda order: (costs[order], order))
+
+
+def best_order_by_estimate(
+    query: SpatialQuery,
+    estimator: str = "histogram",
+    catalog: Optional[Catalog] = None,
+) -> Tuple[str, ...]:
+    """Exhaustively pick the order minimising the estimate (small n).
+
+    ``estimator`` selects the cost model: ``"histogram"`` (the
+    statistics catalog, default) or ``"raw"`` (the legacy raw-size
+    estimate).  Any failure of the histogram path — empty catalog,
+    unsupported system — falls back to the greedy heuristic.
+    """
+    if estimator == "raw":
+        return _argmin_order(
+            _exhaustive_costs(
+                query, lambda order: estimate_order_cost(query, order)
+            )
+        )
+    if estimator != "histogram":
+        raise ValueError(
+            f"unknown estimator {estimator!r}; expected 'histogram' or 'raw'"
+        )
+    greedy = choose_order(query)
+    if len(query.unknowns) > MAX_ENUMERATED_UNKNOWNS:
+        return greedy
+    try:
+        costs = _exhaustive_costs(
+            query,
+            lambda order: estimate_order_cost_histogram(
+                query, order, catalog=catalog
+            ),
+        )
+        best = _argmin_order(costs)
+        if best == greedy:
+            return best
+        if costs[best] < HISTOGRAM_CONFIDENCE_MARGIN * costs[greedy]:
+            return best
+        return greedy
+    except Exception:
+        # The greedy heuristic needs no statistics and always succeeds.
+        return greedy
+
+
+def plan_order(
+    query: SpatialQuery,
+    strategy: str = "greedy",
+    catalog: Optional[Catalog] = None,
+) -> Tuple[str, ...]:
+    """Pick a retrieval order with the named strategy.
+
+    ``"greedy"`` — the connectivity heuristic (default, no statistics
+    needed); ``"estimate"`` — exhaustive over the raw-size estimate;
+    ``"histogram"`` — exhaustive over the statistics-catalog estimate,
+    falling back to greedy when statistics are unusable.  This is the
+    ablation hook used by ``bench_order_ablation.py``.
+    """
+    if strategy == "greedy":
+        return choose_order(query)
+    if strategy == "estimate":
+        return best_order_by_estimate(query, estimator="raw")
+    if strategy == "histogram":
+        return best_order_by_estimate(
+            query, estimator="histogram", catalog=catalog
+        )
+    raise ValueError(
+        f"unknown strategy {strategy!r}; expected one of {ORDER_STRATEGIES}"
     )

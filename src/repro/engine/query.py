@@ -17,7 +17,7 @@ underlying regions satisfy the constraint system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from ..algebra.regions import Region, RegionAlgebra
 from ..boxes.box import Box

@@ -16,12 +16,19 @@ from typing import Dict, List
 
 @dataclass
 class StepStats:
-    """Per-retrieval-step counters."""
+    """Per-retrieval-step counters.
+
+    Every executor mode fills every field: ``index_probes`` counts
+    range-query/scan calls issued by the step and ``node_reads`` the
+    index reads (r-tree node or grid bucket reads) those probes cost —
+    0 for probes that never touch an index (table scans).
+    """
 
     variable: str = ""
     candidates: int = 0  # rows returned by the range query / scan
     survivors: int = 0  # rows surviving the step's exact filter
     index_probes: int = 0
+    node_reads: int = 0  # index reads consumed by this step's probes
 
     @property
     def filter_ratio(self) -> float:
@@ -53,6 +60,16 @@ class ExecutionStats:
         """Candidates summed over all steps."""
         return sum(s.candidates for s in self.steps)
 
+    @property
+    def index_probes(self) -> int:
+        """Range-query/scan calls summed over all steps."""
+        return sum(s.index_probes for s in self.steps)
+
+    @property
+    def node_reads(self) -> int:
+        """Index reads (r-tree nodes / grid buckets) over all steps."""
+        return sum(s.node_reads for s in self.steps)
+
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary for benchmark tables."""
         return {
@@ -62,6 +79,8 @@ class ExecutionStats:
             "region_ops": self.region_ops,
             "box_ops": self.box_ops_estimate,
             "candidates": self.total_candidates,
+            "index_probes": self.index_probes,
+            "node_reads": self.node_reads,
             "per_step": [
                 (s.variable, s.candidates, s.survivors) for s in self.steps
             ],

@@ -23,7 +23,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from itertools import product
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..errors import DimensionMismatchError
 

@@ -24,7 +24,7 @@ data for the docs/benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box

@@ -18,7 +18,7 @@ costs.  Deletion uses the classic condense-and-reinsert strategy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..boxes.bconstraints import BoxQuery
@@ -32,9 +32,10 @@ class RTreeStats:
     node_reads: int = 0
     splits: int = 0
     inserts: int = 0
+    reinserts: int = 0
 
     def reset(self) -> None:
-        self.node_reads = self.splits = self.inserts = 0
+        self.node_reads = self.splits = self.inserts = self.reinserts = 0
 
 
 class _Node:
@@ -63,14 +64,21 @@ class RTree:
         Minimum fill ``m`` (default ``M // 2``), used by split and
         condense.
     split_method:
-        ``"quadratic"`` (Guttman's default) or ``"linear"`` (his cheaper
+        ``"quadratic"`` (Guttman's default), ``"linear"`` (his cheaper
         variant: seeds are the pair with greatest normalized separation,
         remaining entries are assigned by least enlargement without the
-        quadratic preference scan).  The ablation bench E11 compares
-        both.
+        quadratic preference scan) or ``"rstar"`` (R*-tree style: on the
+        first leaf overflow of an insertion the farthest-from-center 30%
+        of entries are *force-reinserted* instead of splitting, and
+        actual splits use the R* topological split — minimum margin axis,
+        minimum overlap distribution).  The ablation bench E11 compares
+        the variants.
     """
 
-    SPLIT_METHODS = ("quadratic", "linear")
+    SPLIT_METHODS = ("quadratic", "linear", "rstar")
+
+    #: Fraction of a leaf's entries ejected by an R* forced reinsert.
+    REINSERT_FRACTION = 0.3
 
     def __init__(
         self,
@@ -94,6 +102,7 @@ class RTree:
         self.split_method = split_method
         self._root = _Node(leaf=True)
         self._size = 0
+        self._reinserting = False
         self.stats = RTreeStats()
 
     # -- bulk loading (STR) ---------------------------------------------------
@@ -177,13 +186,58 @@ class RTree:
     def insert(self, box: Box, value) -> None:
         """Insert an entry (empty boxes are legal but match no query)."""
         self.stats.inserts += 1
+        self._insert_entry(box, value)
+
+    def _insert_entry(self, box: Box, value) -> None:
         leaf = self._choose_leaf(self._root, box)
         leaf.entries.append((box, value))
         self._size += 1
         self._refresh_upwards(leaf)  # AdjustTree: enlarge ancestor MBRs
         node = leaf
         while node is not None and len(node.entries) > self.max_entries:
+            if (
+                self.split_method == "rstar"
+                and node.leaf
+                and node.parent is not None
+                and not self._reinserting
+                and not node.mbr().is_empty()
+            ):
+                # R* OverflowTreatment: reinsert before resorting to a
+                # split (once per insertion, leaf level only).
+                self._forced_reinsert(node)
+                return
             node = self._split(node)
+
+    def _forced_reinsert(self, node: _Node) -> None:
+        """Eject the ~30% entries farthest from the node's center and
+        re-insert them from the root (R* forced reinsert).
+
+        The ejected entries usually land in better-fitting siblings,
+        deferring the split and tightening MBRs — the R*-tree's main
+        robustness trick for dynamic workloads.
+        """
+        self.stats.reinserts += 1
+        center = node.mbr().center()
+
+        def dist2(entry: Tuple[Box, object]) -> float:
+            box = entry[0]
+            if box.is_empty():
+                return -1.0  # keep empty boxes in place
+            c = box.center()
+            return sum((a - b) ** 2 for a, b in zip(c, center))
+
+        entries = sorted(node.entries, key=dist2)
+        eject_n = max(1, round(len(entries) * self.REINSERT_FRACTION))
+        keep, eject = entries[:-eject_n], entries[-eject_n:]
+        node.entries = keep
+        self._refresh_upwards(node)
+        self._size -= len(eject)
+        self._reinserting = True
+        try:
+            for box, value in eject:
+                self._insert_entry(box, value)
+        finally:
+            self._reinserting = False
 
     def _choose_leaf(self, node: _Node, box: Box) -> _Node:
         while not node.leaf:
@@ -245,10 +299,77 @@ class RTree:
                 best_pair = tuple(sorted((highest_low[0], lowest_high[0])))
         return best_pair
 
+    def _pick_split_rstar(
+        self, entries: List[Tuple[Box, object]]
+    ) -> Tuple[List[Tuple[Box, object]], List[Tuple[Box, object]]]:
+        """R* topological split: choose the split axis by minimum total
+        margin over all candidate distributions, then the distribution
+        on that axis with minimum overlap (area breaks ties)."""
+        m = self.min_entries
+        total = len(entries)
+        dim = next(
+            (b.dim for b, _v in entries if not b.is_empty()), 0
+        )
+        if dim == 0 or total < 2 * m:
+            mid = total // 2
+            return entries[:mid], entries[mid:]
+        neg_inf = float("-inf")
+
+        def margin(box: Box) -> float:
+            return sum(box.sides())
+
+        best_margin = None
+        best_candidates: List[Tuple[float, float, int, list]] = []
+        for d in range(dim):
+            for by_upper in (False, True):
+                def sort_key(entry, d=d, by_upper=by_upper):
+                    box = entry[0]
+                    if box.is_empty():
+                        return (neg_inf, neg_inf)
+                    if by_upper:
+                        return (box.hi[d], box.lo[d])
+                    return (box.lo[d], box.hi[d])
+
+                ordered = sorted(entries, key=sort_key)
+                prefix: List[Box] = []
+                acc = EMPTY_BOX
+                for box, _v in ordered:
+                    acc = acc.enclose(box)
+                    prefix.append(acc)
+                suffix: List[Box] = [EMPTY_BOX] * total
+                acc = EMPTY_BOX
+                for k in range(total - 1, -1, -1):
+                    acc = acc.enclose(ordered[k][0])
+                    suffix[k] = acc
+                margin_sum = 0.0
+                candidates: List[Tuple[float, float, int, list]] = []
+                for k in range(m, total - m + 1):
+                    left, right = prefix[k - 1], suffix[k]
+                    margin_sum += margin(left) + margin(right)
+                    candidates.append(
+                        (
+                            left.meet(right).volume(),
+                            left.volume() + right.volume(),
+                            k,
+                            ordered,
+                        )
+                    )
+                if best_margin is None or margin_sum < best_margin:
+                    best_margin = margin_sum
+                    best_candidates = candidates
+        _overlap, _area, k, ordered = min(
+            best_candidates, key=lambda c: (c[0], c[1])
+        )
+        return ordered[:k], ordered[k:]
+
     def _split(self, node: _Node) -> Optional[_Node]:
-        """Node split (quadratic or linear); returns the parent."""
+        """Node split (quadratic, linear or R* topological); returns the
+        parent."""
         self.stats.splits += 1
         entries = node.entries
+        if self.split_method == "rstar":
+            group1, group2 = self._pick_split_rstar(entries)
+            return self._relink_split(node, group1, group2)
         if self.split_method == "linear":
             i, j = self._pick_seeds_linear(entries)
         else:
@@ -294,7 +415,15 @@ class RTree:
             else:
                 group2.append((b, v))
                 mbr2 = mbr2.enclose(b)
+        return self._relink_split(node, group1, group2)
 
+    def _relink_split(
+        self,
+        node: _Node,
+        group1: List[Tuple[Box, object]],
+        group2: List[Tuple[Box, object]],
+    ) -> Optional[_Node]:
+        """Install the two split groups into the tree; returns the parent."""
         sibling = _Node(leaf=node.leaf)
         sibling.entries = group2
         if not node.leaf:

@@ -55,6 +55,11 @@ class SpatialTable:
     universe:
         Universe box; required for the grid backend (to bound the point
         space) and recommended generally.
+    split_method:
+        R-tree overflow handling (``"quadratic"``, ``"linear"`` or
+        ``"rstar"``); ignored by the other backends.
+    node_capacity:
+        R-tree node capacity ``M``.
     """
 
     VALID_INDEXES = ("rtree", "grid", "scan")
@@ -65,6 +70,8 @@ class SpatialTable:
         dim: int,
         index: str = "rtree",
         universe: Optional[Box] = None,
+        split_method: str = "quadratic",
+        node_capacity: int = 8,
     ):
         if index not in self.VALID_INDEXES:
             raise ValueError(
@@ -74,13 +81,23 @@ class SpatialTable:
         self.dim = dim
         self.index_kind = index
         self.universe = universe
+        self.split_method = split_method
+        self.node_capacity = node_capacity
         self._objects: Dict[object, SpatialObject] = {}
-        self._rtree: Optional[RTree] = RTree() if index == "rtree" else None
+        self._rtree: Optional[RTree] = (
+            RTree(max_entries=node_capacity, split_method=split_method)
+            if index == "rtree"
+            else None
+        )
         self._grid: Optional[GridFile] = (
             GridFile(2 * dim) if index == "grid" else None
         )
         self.probes = 0
         self.candidates_returned = 0
+        # Mutation counter; invalidates the cached statistics below.
+        self._version = 0
+        self._stats_cache = None
+        self._stats_key: Optional[Tuple] = None
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -100,16 +117,92 @@ class SpatialTable:
             raise ValueError(f"duplicate oid {oid!r} in table {self.name!r}")
         obj = SpatialObject(oid=oid, region=region, box=region.bounding_box())
         self._objects[oid] = obj
+        self._version += 1
         if self._rtree is not None and not obj.box.is_empty():
             self._rtree.insert(obj.box, obj)
         if self._grid is not None and not obj.box.is_empty():
             self._grid.insert(obj.box.to_point(), obj)
         return obj
 
-    def bulk_insert(self, rows: Sequence[Tuple[object, Region]]) -> None:
-        """Insert many rows."""
-        for oid, region in rows:
-            self.insert(oid, region)
+    def bulk_insert(
+        self,
+        rows: Sequence[Tuple[object, Region]],
+        pack: Optional[bool] = None,
+    ) -> None:
+        """Insert many rows.
+
+        For r-tree tables the index is rebuilt afterwards with STR bulk
+        loading (``pack=True``, the default): static workloads get a
+        packed tree with near-full nodes and markedly fewer node reads
+        per query than one-at-a-time insertion builds.  Pass
+        ``pack=False`` for the insertion-built baseline.
+        """
+        if pack is None:
+            pack = self.index_kind == "rtree"
+        if pack and self.index_kind == "rtree":
+            saved, self._rtree = self._rtree, None
+            try:
+                for oid, region in rows:
+                    self.insert(oid, region)
+            finally:
+                # Rebuild even on error so the index covers whatever
+                # rows made it in before the failure.
+                self._rtree = saved
+                self.pack()
+        else:
+            for oid, region in rows:
+                self.insert(oid, region)
+
+    def pack(self) -> None:
+        """Rebuild the r-tree with STR bulk loading over current rows.
+
+        No-op for non-r-tree backends.  Index counters start fresh (as
+        after :meth:`reset_stats`).
+        """
+        self.reindex(pack=True)
+
+    def reindex(
+        self,
+        pack: bool = True,
+        split_method: Optional[str] = None,
+        node_capacity: Optional[int] = None,
+    ) -> None:
+        """Rebuild the r-tree index, optionally changing its parameters.
+
+        ``pack=True`` uses STR bulk loading; ``pack=False`` rebuilds by
+        repeated insertion (the baseline the benchmarks compare
+        against).  No-op for non-r-tree backends.
+        """
+        if self.index_kind != "rtree":
+            return
+        if split_method is not None:
+            if split_method not in RTree.SPLIT_METHODS:
+                raise ValueError(
+                    f"unknown split method {split_method!r}; expected one "
+                    f"of {RTree.SPLIT_METHODS}"
+                )
+            self.split_method = split_method
+        if node_capacity is not None:
+            self.node_capacity = node_capacity
+        entries = [
+            (obj.box, obj)
+            for obj in self._objects.values()
+            if not obj.box.is_empty()
+        ]
+        if pack:
+            self._rtree = RTree.bulk_load(
+                entries,
+                max_entries=self.node_capacity,
+                split_method=self.split_method,
+            )
+        else:
+            self._rtree = RTree(
+                max_entries=self.node_capacity,
+                split_method=self.split_method,
+            )
+            for box, obj in entries:
+                self._rtree.insert(box, obj)
+        self._version += 1
 
     def get(self, oid) -> SpatialObject:
         """Row lookup by id."""
@@ -164,13 +257,25 @@ class SpatialTable:
         if self._grid is not None:
             self._grid.stats.reset()
 
+    def index_read_count(self) -> int:
+        """Backend-neutral cumulative read counter (r-tree node reads,
+        grid bucket reads; 0 for the scan backend)."""
+        if self._rtree is not None:
+            return self._rtree.stats.node_reads
+        if self._grid is not None:
+            return self._grid.stats.bucket_reads
+        return 0
+
     def index_stats(self) -> dict:
         """Backend-specific counters for reporting."""
         if self._rtree is not None:
             return {
                 "kind": "rtree",
                 "node_reads": self._rtree.stats.node_reads,
+                "splits": self._rtree.stats.splits,
+                "reinserts": self._rtree.stats.reinserts,
                 "height": self._rtree.height(),
+                "split_method": self.split_method,
             }
         if self._grid is not None:
             return {
@@ -179,3 +284,26 @@ class SpatialTable:
                 "cells": self._grid.directory_shape(),
             }
         return {"kind": "scan"}
+
+    # -- statistics (cost-based planning) -----------------------------------------
+    def statistics(
+        self,
+        bins: int = 16,
+        sample_size: int = 24,
+        seed: int = 0,
+    ):
+        """Table statistics for the cost-based planner, cached here.
+
+        The cache key includes the table's mutation counter, so any
+        insert or reindex invalidates it.  See
+        :mod:`repro.engine.catalog` for the statistics' contents.
+        """
+        key = (self._version, bins, sample_size, seed)
+        if self._stats_key != key:
+            from ..engine.catalog import collect_statistics
+
+            self._stats_cache = collect_statistics(
+                self, bins=bins, sample_size=sample_size, seed=seed
+            )
+            self._stats_key = key
+        return self._stats_cache

@@ -21,7 +21,7 @@ the one query shape both can do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..boxes.box import Box
@@ -90,7 +90,6 @@ class ZGrid:
         if target.is_empty():
             return []
         out: List[ZRange] = []
-        span = (1 << (self.k * self.levels))
 
         def recurse(cell_lo: Tuple[int, ...], level: int, z_lo: int) -> None:
             size = 1 << (self.levels - level)

@@ -12,7 +12,6 @@ from repro.algebra import (
     BitVectorAlgebra,
     FreeBooleanAlgebra,
     PowersetAlgebra,
-    TwoValuedAlgebra,
     check_all_laws,
 )
 from repro.algebra.laws import (

@@ -7,10 +7,8 @@ the naive syntactic transform (U_f must never be worse), and (c) against
 alternative SOP covers (Theorem 17's representation independence).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.algebra import Region, RegionAlgebra
 from repro.boolean import FALSE, TRUE, evaluate, formula_to_cover, variables
 from repro.boxes import (
     BOT,
@@ -166,7 +164,6 @@ class TestOptimality:
 
     def test_lower_dominates_any_atom_below_f(self):
         """Theorem 15's shape: every atom x ≤ f contributes ⌈x⌉ ≤ L_f."""
-        from repro.boolean import implies
 
         x, y, z = variables("x", "y", "z")
         f = y | (x & z) | (x & ~z)  # == y | x; atoms below: x, y

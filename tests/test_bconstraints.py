@@ -3,8 +3,6 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.algebra import RegionAlgebra
-from repro.boolean import FALSE, TRUE, Var
 from repro.boxes import (
     BOT,
     Box,
@@ -17,9 +15,7 @@ from repro.boxes import (
     compile_solved_constraint,
 )
 from repro.constraints import (
-    Disequation,
     SMUGGLERS_ORDER,
-    SolvedConstraint,
     smugglers_system,
     triangular_form,
 )

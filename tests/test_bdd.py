@@ -12,7 +12,6 @@ from repro.boolean import (
     cover_to_formula,
     equivalent,
     equivalent_under,
-    eval_bool,
     implies,
     simplify,
     simplify_under,

@@ -8,7 +8,6 @@ from repro.boolean import (
     And,
     Const,
     Not,
-    Or,
     Var,
     conj,
     disj,
@@ -16,7 +15,6 @@ from repro.boolean import (
     neg,
     rename,
     to_str,
-    var,
     variables,
 )
 

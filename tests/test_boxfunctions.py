@@ -7,7 +7,6 @@ from repro.boxes import (
     BOT,
     Box,
     BoxConst,
-    BoxJoin,
     BoxMeet,
     BoxVar,
     EMPTY_BOX,
@@ -19,7 +18,7 @@ from repro.boxes import (
     naive_transform,
     render_boxfunc,
 )
-from tests.strategies import boxes, nonempty_boxes
+from tests.strategies import boxes
 
 UNIVERSE = Box((0.0, 0.0), (16.0, 16.0))
 

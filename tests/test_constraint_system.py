@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.algebra import BitVectorAlgebra
-from repro.boolean import FALSE, Var, conj, disj, equivalent, neg
+from repro.boolean import FALSE, Var, conj, equivalent
 from repro.constraints import (
     ConstraintSystem,
     EquationalSystem,

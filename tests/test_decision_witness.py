@@ -10,8 +10,7 @@ The two directions of Theorems 7/8 are machine-checked end to end:
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.algebra import IntervalAlgebra, RegionAlgebra
-from repro.boolean import FALSE, TRUE, Var, conj, disj, neg
+from repro.boolean import FALSE, TRUE, Var, neg
 from repro.boxes import Box
 from repro.constraints import (
     ConstraintSystem,

@@ -4,10 +4,9 @@ import pytest
 
 from repro.algebra import Region
 from repro.boxes import Box
-from repro.constraints import ConstraintSystem, nonempty, overlaps, subset
+from repro.constraints import ConstraintSystem, nonempty, subset
 from repro.datagen import (
     containment_chain_query,
-    make_map,
     overlay_query,
     sandwich_query,
     smugglers_query,

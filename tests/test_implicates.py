@@ -10,7 +10,6 @@ from repro.boolean import (
     blake_canonical_form,
     equivalent,
     implicates_formula,
-    implies,
     is_implicate,
     is_prime_implicate,
     lower_atoms_via_implicates,

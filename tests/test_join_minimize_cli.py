@@ -4,14 +4,12 @@ import random
 import subprocess
 import sys
 
-import pytest
 
 from repro.boxes import Box
 from repro.constraints import (
     ConstraintSystem,
     minimize_system,
     nonempty,
-    parse_system,
     redundant_constraints,
     subset,
 )
@@ -188,3 +186,25 @@ class TestCli:
         proc = _cli("bcf", "x & y | ~x & (y | z & w)")
         assert proc.returncode == 0
         assert "L: [y]" in proc.stdout
+
+    def test_bench_json(self):
+        import json
+
+        proc = _cli(
+            "bench", "--workload", "smugglers", "--size", "6", "--json"
+        )
+        assert proc.returncode == 0, proc.stderr
+        result = json.loads(proc.stdout)
+        assert result["workload"] == "smugglers"
+        assert result["packed"] is True
+        assert sorted(result["order"]) == ["B", "R", "T"]
+        assert "node_reads" in result["counters"]
+        assert result["tables"]["T"]["kind"] == "rtree"
+
+    def test_bench_no_pack_rstar(self):
+        proc = _cli(
+            "bench", "--workload", "chain", "--size", "10",
+            "--no-pack", "--split", "rstar",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "order (histogram):" in proc.stdout

@@ -19,7 +19,6 @@ from repro.algebra import RegionAlgebra
 from repro.boolean import FALSE, TRUE, Var, equivalent, equivalent_under, neg
 from repro.boxes import Box
 from repro.constraints import (
-    SMUGGLERS_CONSTANTS,
     SMUGGLERS_ORDER,
     smugglers_system,
     triangular_form,
@@ -129,7 +128,6 @@ class TestGroundResidue:
         # border town) — the latter computed as ¬A∧¬C, equal modulo A⊆C.
         bodies = [g for g in tri.ground.disequations]
         assert len(bodies) == 2
-        rendered = {str(g.variables()) for g in bodies}
         for g in bodies:
             assert equivalent_under(GROUND, g, A & C) or equivalent_under(
                 GROUND, g, ~C

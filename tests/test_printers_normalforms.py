@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from repro.boolean import (
     FALSE,
     TRUE,
-    Var,
     equivalent,
     from_minterms,
     is_dnf,

@@ -9,11 +9,10 @@ The key properties:
 * non-exactness on atomic carriers (paper Example 1).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algebra import BitVectorAlgebra, IntervalAlgebra
-from repro.boolean import FALSE, TRUE, Var, conj, disj, equivalent, neg
+from repro.boolean import FALSE, Var, equivalent
 from repro.constraints import (
     EquationalSystem,
     eliminate_to_ground,

@@ -8,7 +8,6 @@ Hypothesis generates random systems over random little databases.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.algebra import Region

@@ -3,11 +3,10 @@
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.boxes import Box, BoxQuery, EMPTY_BOX
 from repro.spatial import (
-    PointRange,
     SpatialTable,
     ZGrid,
     ZOrderIndex,
@@ -19,7 +18,7 @@ from repro.spatial import (
     zorder_overlap_query,
 )
 from repro.algebra import Region
-from tests.strategies import boxes, nonempty_boxes
+from tests.strategies import nonempty_boxes
 
 UNIVERSE = Box((0.0, 0.0), (64.0, 64.0))
 

@@ -50,6 +50,76 @@ class TestLinearSplit:
             assert got_l == expected
 
 
+class TestRStarSplit:
+    def test_invariants_hold(self):
+        tree = RTree(max_entries=4, split_method="rstar")
+        for i, b in enumerate(_random_boxes(250, seed=21)):
+            tree.insert(b, i)
+        tree.check_invariants()
+        assert len(tree) == 250
+
+    def test_forced_reinserts_fire(self):
+        tree = RTree(max_entries=6, split_method="rstar")
+        for i, b in enumerate(_random_boxes(300, seed=22)):
+            tree.insert(b, i)
+        assert tree.stats.reinserts > 0
+        assert len(tree) == 300
+
+    def test_search_agrees_with_quadratic(self):
+        items = _random_boxes(300, seed=23)
+        quad = RTree(max_entries=6, split_method="quadratic")
+        rstar = RTree(max_entries=6, split_method="rstar")
+        for i, b in enumerate(items):
+            quad.insert(b, i)
+            rstar.insert(b, i)
+        for seed in range(12):
+            rng = random.Random(seed)
+            lo = (rng.uniform(0, 90), rng.uniform(0, 90))
+            q = BoxQuery(overlap=(Box(lo, (lo[0] + 12, lo[1] + 12)),))
+            expected = {i for i, b in enumerate(items) if q.matches(b)}
+            assert {v for _b, v in rstar.search(q)} == expected
+            assert {v for _b, v in quad.search(q)} == expected
+
+    def test_rstar_reads_no_more_than_quadratic(self):
+        """Forced reinserts + topological split: tighter clustering."""
+        items = _random_boxes(600, seed=24)
+        quad = RTree(max_entries=6, split_method="quadratic")
+        rstar = RTree(max_entries=6, split_method="rstar")
+        for i, b in enumerate(items):
+            quad.insert(b, i)
+            rstar.insert(b, i)
+        quad.stats.reset()
+        rstar.stats.reset()
+        for seed in range(25):
+            rng = random.Random(300 + seed)
+            lo = (rng.uniform(0, 90), rng.uniform(0, 90))
+            q = BoxQuery(overlap=(Box(lo, (lo[0] + 5, lo[1] + 5)),))
+            list(quad.search(q))
+            list(rstar.search(q))
+        assert rstar.stats.node_reads <= quad.stats.node_reads
+
+    def test_empty_boxes_legal(self):
+        from repro.boxes.box import EMPTY_BOX
+
+        tree = RTree(max_entries=4, split_method="rstar")
+        for i in range(20):
+            tree.insert(EMPTY_BOX, f"e{i}")
+        for i, b in enumerate(_random_boxes(60, seed=25)):
+            tree.insert(b, i)
+        tree.check_invariants()
+        assert len(tree) == 80
+
+    def test_delete_after_rstar_build(self):
+        items = _random_boxes(120, seed=26)
+        tree = RTree(max_entries=4, split_method="rstar")
+        for i, b in enumerate(items):
+            tree.insert(b, i)
+        assert tree.delete(items[5], 5)
+        assert not tree.delete(items[5], 5)
+        assert len(tree) == 119
+        tree.check_invariants()
+
+
 class TestBulkLoad:
     def test_empty_input(self):
         tree = RTree.bulk_load([])

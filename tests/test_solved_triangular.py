@@ -3,8 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.algebra import BitVectorAlgebra
-from repro.boolean import FALSE, TRUE, Var, disj, equivalent, evaluate, neg
+from repro.boolean import FALSE, TRUE, Var, disj, evaluate
 from repro.constraints import (
     ConstraintSystem,
     EquationalSystem,

@@ -7,8 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.boxes import Box, BoxQuery, EMPTY_BOX
 from repro.errors import DimensionMismatchError
-from repro.spatial import GridFile, RTree, compile_range
-from tests.strategies import boxes, nonempty_boxes
+from repro.spatial import GridFile, RTree
 
 
 def _random_boxes(n, seed=0, span=100.0):

@@ -5,7 +5,7 @@ Includes the paper's worked BCF computation (Section 4, Example 2):
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.boolean import (
     Term,
