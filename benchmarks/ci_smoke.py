@@ -8,14 +8,19 @@ counters (partial tuples, region ops, index node reads) to a JSON
 artifact that CI uploads on every run — the perf trajectory the ROADMAP
 asks for.
 
-Two acceptance gates are enforced (non-zero exit on failure):
+Four acceptance gates are enforced (non-zero exit on failure):
 
 1. STR-packed r-trees cut aggregate node reads by ≥ 20% versus the
    insertion-built baseline at the join-scaling bench's largest
    configured scale;
 2. the histogram (statistics-catalog) planner never picks an order with
    more measured partial tuples than the greedy heuristic on the
-   benchmark query set.
+   benchmark query set;
+3. streaming: ``execute_iter(..., limit=1)`` yields the first answer in
+   under 25% of the full-materialization time at the smoke scale (the
+   operator tree pipelines instead of materializing levels);
+4. probe cache: re-running a query through a shared ``ProbeCache`` hits
+   on ≥ 90% of its index probes and costs zero index node reads.
 
 Usage::
 
@@ -44,7 +49,9 @@ from benchmarks.bench_join_scaling import (  # noqa: E402
 )
 from repro.datagen import containment_chain_query, smugglers_query  # noqa: E402
 from repro.engine import (  # noqa: E402
+    ProbeCache,
     SpatialQuery,
+    build_physical_plan,
     compile_query,
     enumerate_orders,
     execute,
@@ -141,6 +148,68 @@ def order_planning_section(full: bool) -> list:
     return rows
 
 
+def streaming_section(full: bool) -> dict:
+    """Time-to-first-answer vs full materialization (best of 5 each).
+
+    The smoke scale is chosen so the full run takes tens of
+    milliseconds — large enough that the <25% gate has headroom over
+    timer noise, small enough for CI.
+    """
+    from time import perf_counter
+
+    n = 60 if full else 40
+    query, _world = smugglers_query(
+        seed=13, n_towns=n, n_roads=n, states_grid=(3, 3)
+    )
+    plan = compile_query(query)
+    pplan = build_physical_plan(plan, "boxplan", estimate=False)
+
+    def time_first() -> float:
+        start = perf_counter()
+        got = next(iter(pplan.execute_iter(limit=1)), None)
+        assert got is not None, "streaming smoke workload has no answers"
+        return perf_counter() - start
+
+    def time_total() -> float:
+        start = perf_counter()
+        list(pplan.execute_iter())
+        return perf_counter() - start
+
+    first = min(time_first() for _ in range(5))
+    total = min(time_total() for _ in range(5))
+    answers = len(list(pplan.execute_iter()))
+    return {
+        "size": n,
+        "answers": answers,
+        "first_answer_ms": round(first * 1e3, 3),
+        "all_answers_ms": round(total * 1e3, 3),
+        "ratio": round(first / total, 4) if total else 0.0,
+    }
+
+
+def probe_cache_section(full: bool) -> dict:
+    """The repeated-query scenario: identical plan executed twice
+    through one shared cache; the warm run must be all hits."""
+    n = 30 if full else 20
+    query, _world = smugglers_query(
+        seed=21, n_towns=n, n_roads=n, states_grid=(3, 3)
+    )
+    plan = compile_query(query)
+    cache = ProbeCache(maxsize=4096)
+    answers_cold, cold = execute(plan, "boxplan", cache=cache)
+    answers_warm, warm = execute(plan, "boxplan", cache=cache)
+    assert len(answers_warm) == len(answers_cold)
+    return {
+        "size": n,
+        "answers": len(answers_warm),
+        "cold_node_reads": cold.node_reads,
+        "warm_node_reads": warm.node_reads,
+        "cold_hit_rate": round(cold.cache_hit_rate, 4),
+        "warm_hit_rate": round(warm.cache_hit_rate, 4),
+        "cache_entries": len(cache),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_ci.json")
@@ -157,6 +226,8 @@ def main(argv=None) -> int:
         "join_scaling": join_scaling_section(args.full),
         "str_packing": str_packing_section(),
         "order_planning": order_planning_section(args.full),
+        "streaming": streaming_section(args.full),
+        "probe_cache": probe_cache_section(args.full),
     }
     with open(args.out, "w") as handle:
         json.dump(result, handle, indent=2)
@@ -183,6 +254,31 @@ def main(argv=None) -> int:
             failures.append(
                 f"histogram planner worse than greedy on {row['query']}"
             )
+    stream = result["streaming"]
+    print(
+        f"streaming: first answer {stream['first_answer_ms']}ms vs "
+        f"{stream['all_answers_ms']}ms for all {stream['answers']} "
+        f"({stream['ratio']:.1%} of full materialization)"
+    )
+    if stream["ratio"] >= 0.25:
+        failures.append(
+            f"first answer took {stream['ratio']:.1%} of the full "
+            "materialization time; the streaming gate requires < 25%"
+        )
+    pc = result["probe_cache"]
+    print(
+        f"probe cache: warm run hit rate {pc['warm_hit_rate']:.1%}, "
+        f"node reads {pc['cold_node_reads']} -> {pc['warm_node_reads']}"
+    )
+    if pc["warm_hit_rate"] < 0.90:
+        failures.append(
+            f"warm probe-cache hit rate {pc['warm_hit_rate']:.1%} is "
+            "below the 90% bar"
+        )
+    if pc["warm_node_reads"] >= max(1, pc["cold_node_reads"]):
+        failures.append(
+            "probe cache did not reduce node reads on the repeated query"
+        )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

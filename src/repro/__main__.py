@@ -9,6 +9,9 @@ Usage::
     python -m repro bench    [--workload smugglers] [--size 12] [--json]
                              [--no-pack] [--split rstar]
                              [--order-strategy histogram]
+                             [--stream] [--limit K] [--probe-cache N]
+    python -m repro explain  [--workload ...] [--mode boxplan] [--analyze]
+    python -m repro run      [--workload ...] [--stream] [--limit K]
 
 ``FILE`` contains one constraint per line in the Figure-1 syntax
 (``A <= C``, ``R & A != 0``, ``T !<= C``, comments with ``#``); ``-``
@@ -18,7 +21,17 @@ or omitted reads stdin.
 strategy, executes it and prints the machine-independent counters
 (partial tuples, region ops, index node reads).  R-tree tables are
 STR-packed by default — ``--no-pack`` gives the insertion-built
-baseline the benchmarks compare against.
+baseline the benchmarks compare against.  ``--stream`` executes through
+the streaming iterator and reports time-to-first-answer alongside the
+total.
+
+``explain`` prints the physical operator tree for the chosen mode with
+catalog cost estimates; ``--analyze`` also executes the plan and
+annotates each operator with actual rows/probes/node reads.
+
+``run`` executes a workload and prints the answers themselves (oid
+tuples), streaming them as found with ``--stream``; ``--limit K`` stops
+after the first ``K`` answers without exhausting the search space.
 """
 
 from __future__ import annotations
@@ -128,8 +141,11 @@ def _build_workload(args):
     return sandwich_query(n_items=size, seed=args.seed, index=args.index)
 
 
-def cmd_bench(args) -> int:
-    from .engine import SpatialQuery, compile_query, execute, plan_order
+def _plan_workload(args):
+    """Build the workload, pick an order, and compile — shared by the
+    ``bench``/``explain``/``run`` subcommands.  Returns
+    ``(query, plan, strategy)``."""
+    from .engine import SpatialQuery, compile_query, plan_order
 
     query = _build_workload(args)
     if args.workload != "smugglers" and args.index == "rtree":
@@ -151,9 +167,42 @@ def cmd_bench(args) -> int:
         )
         order = plan_order(unordered, strategy=strategy)
     plan = compile_query(query, order=order)
+    return query, plan, strategy
+
+
+def _probe_cache(args):
+    if getattr(args, "probe_cache", 0):
+        from .spatial import ProbeCache
+
+        return ProbeCache(maxsize=args.probe_cache)
+    return None
+
+
+def cmd_bench(args) -> int:
+    from time import perf_counter
+
+    query, plan, strategy = _plan_workload(args)
+    cache = _probe_cache(args)
     for table in query.tables.values():
         table.reset_stats()  # report query-time reads, not build-time
-    answers, stats = execute(plan, args.mode)
+    pplan = plan.physical(args.mode, estimate=False)
+    timing = {}
+    if args.stream or args.limit is not None:
+        start = perf_counter()
+        first = None
+        answers = []
+        for answer in pplan.execute_iter(limit=args.limit, cache=cache):
+            if first is None:
+                first = perf_counter() - start
+            answers.append(answer)
+        timing = {
+            "time_to_first_s": first,
+            "total_s": perf_counter() - start,
+            "limit": args.limit,
+        }
+        stats = pplan.stats()
+    else:
+        answers, stats = pplan.run(cache=cache)
     index_stats = {
         name: table.index_stats() for name, table in query.tables.items()
     }
@@ -169,6 +218,7 @@ def cmd_bench(args) -> int:
         "answers": len(answers),
         "counters": stats.as_dict(),
         "tables": index_stats,
+        **timing,
     }
     if args.json:
         print(json.dumps(result, indent=2, default=str))
@@ -176,6 +226,11 @@ def cmd_bench(args) -> int:
         print(f"workload={args.workload} size={args.size} mode={args.mode}")
         print(f"order ({strategy}): {', '.join(plan.order)}")
         print(stats.summary())
+        if timing and timing["time_to_first_s"] is not None:
+            print(
+                f"streamed: first answer {timing['time_to_first_s'] * 1e3:.2f}ms,"
+                f" total {timing['total_s'] * 1e3:.2f}ms"
+            )
         print(
             "index: "
             + " ".join(
@@ -183,6 +238,47 @@ def cmd_bench(args) -> int:
                 for name, s in index_stats.items()
             )
         )
+    return 0
+
+
+def cmd_explain(args) -> int:
+    _query, plan, strategy = _plan_workload(args)
+    pplan = plan.physical(args.mode)
+    if args.analyze:
+        pplan.run(cache=_probe_cache(args))
+        print(pplan.explain())
+        print()
+        print(pplan.stats().summary())
+    else:
+        print(pplan.explain())
+    print(f"# order strategy: {strategy}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from time import perf_counter
+
+    _query, plan, _strategy = _plan_workload(args)
+    pplan = plan.physical(args.mode, estimate=False)
+    cache = _probe_cache(args)
+    variables = list(plan.order)
+    print("# " + ", ".join(variables))
+    start = perf_counter()
+    first = None
+    count = 0
+    for answer in pplan.execute_iter(limit=args.limit, cache=cache):
+        if first is None:
+            first = perf_counter() - start
+        count += 1
+        print(tuple(answer[v].oid for v in variables))
+    total = perf_counter() - start
+    if args.stream and first is not None:
+        print(
+            f"# {count} answers; first after {first * 1e3:.2f}ms, "
+            f"all after {total * 1e3:.2f}ms"
+        )
+    else:
+        print(f"# {count} answers")
     return 0
 
 
@@ -211,39 +307,84 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("formula")
     p.set_defaults(func=cmd_bcf)
 
+    def add_workload_args(p):
+        p.add_argument("--workload", choices=WORKLOADS, default="smugglers")
+        p.add_argument("--size", type=int, default=12, help="per-table rows")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--index", choices=("rtree", "grid", "scan"), default="rtree"
+        )
+        p.add_argument(
+            "--mode",
+            choices=("naive", "exact", "boxplan", "boxonly"),
+            default="boxplan",
+        )
+        p.add_argument(
+            "--split",
+            choices=("quadratic", "linear", "rstar"),
+            default="quadratic",
+            help="r-tree overflow handling for unpacked builds",
+        )
+        p.add_argument(
+            "--no-pack",
+            action="store_true",
+            help="insertion-built r-trees instead of STR bulk loading",
+        )
+        p.add_argument(
+            "--order-strategy",
+            choices=("paper", "greedy", "estimate", "histogram"),
+            default="histogram",
+            help="retrieval-order planner ('paper' keeps the workload's order)",
+        )
+        p.add_argument(
+            "--probe-cache",
+            type=int,
+            default=0,
+            metavar="N",
+            help="share an N-entry LRU probe cache across index probes",
+        )
+
+    def add_streaming_args(p):
+        p.add_argument(
+            "--limit",
+            type=int,
+            default=None,
+            metavar="K",
+            help="stop after the first K answers (early exit)",
+        )
+        p.add_argument(
+            "--stream",
+            action="store_true",
+            help="execute through the streaming iterator and report "
+            "time-to-first-answer",
+        )
+
     p = sub.add_parser(
         "bench", help="run a synthetic workload and print cost counters"
     )
-    p.add_argument("--workload", choices=WORKLOADS, default="smugglers")
-    p.add_argument("--size", type=int, default=12, help="per-table rows")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument(
-        "--index", choices=("rtree", "grid", "scan"), default="rtree"
-    )
-    p.add_argument(
-        "--mode",
-        choices=("naive", "exact", "boxplan", "boxonly"),
-        default="boxplan",
-    )
-    p.add_argument(
-        "--split",
-        choices=("quadratic", "linear", "rstar"),
-        default="quadratic",
-        help="r-tree overflow handling for unpacked builds",
-    )
-    p.add_argument(
-        "--no-pack",
-        action="store_true",
-        help="insertion-built r-trees instead of STR bulk loading",
-    )
-    p.add_argument(
-        "--order-strategy",
-        choices=("paper", "greedy", "estimate", "histogram"),
-        default="histogram",
-        help="retrieval-order planner ('paper' keeps the workload's order)",
-    )
+    add_workload_args(p)
+    add_streaming_args(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "explain",
+        help="print the physical operator tree with cost estimates",
+    )
+    add_workload_args(p)
+    p.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the plan and annotate actual per-operator stats",
+    )
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "run", help="execute a workload and print the answers"
+    )
+    add_workload_args(p)
+    add_streaming_args(p)
+    p.set_defaults(func=cmd_run)
     return parser
 
 

@@ -1,5 +1,12 @@
-"""The query engine: compiler, executors, planner, catalog, statistics."""
+"""The query engine: compiler, physical plans, planner, catalog, stats.
 
+The execution pipeline is three-stage: a :class:`SpatialQuery` is
+compiled to a logical :class:`QueryPlan` (triangular solved forms + box
+templates), lowered to a :class:`PhysicalPlan` (a tree of streaming
+operators), and pulled as an iterator of answers.
+"""
+
+from ..spatial.table import ProbeCache
 from .catalog import Catalog, Histogram, TableStatistics, collect_statistics
 from .compiler import QueryPlan, StepPlan, compile_query
 from .executor import (
@@ -10,31 +17,57 @@ from .executor import (
     first_k,
     run_query,
 )
+from .physical import (
+    BoxFilter,
+    CrossProduct,
+    ExactFilter,
+    ExtendStep,
+    IndexProbe,
+    Once,
+    PhysicalOperator,
+    PhysicalPlan,
+    TableScan,
+    build_physical_plan,
+)
 from .planner import (
     ORDER_STRATEGIES,
+    StepEstimate,
     best_order_by_estimate,
     choose_order,
     enumerate_orders,
     estimate_order_cost,
     estimate_order_cost_histogram,
     plan_order,
+    rollout_step_estimates,
 )
 from .query import SpatialQuery
 from .stats import ExecutionStats, StepStats
 
 __all__ = [
+    "BoxFilter",
     "Catalog",
+    "CrossProduct",
+    "ExactFilter",
     "ExecutionStats",
+    "ExtendStep",
     "Histogram",
+    "IndexProbe",
     "MODES",
     "ORDER_STRATEGIES",
+    "Once",
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "ProbeCache",
     "QueryPlan",
     "SpatialQuery",
+    "StepEstimate",
     "StepPlan",
     "StepStats",
+    "TableScan",
     "TableStatistics",
     "answers_as_oid_tuples",
     "best_order_by_estimate",
+    "build_physical_plan",
     "choose_order",
     "collect_statistics",
     "compile_query",
@@ -45,5 +78,6 @@ __all__ = [
     "execute_iter",
     "first_k",
     "plan_order",
+    "rollout_step_estimates",
     "run_query",
 ]

@@ -205,6 +205,35 @@ class TableStatistics:
         """Expected number of rows matching ``query``."""
         return self.count * self.selectivity(query)
 
+    def exact_selectivity(
+        self,
+        solved,
+        algebra,
+        env,
+        pool: Optional[Iterable["SpatialObject"]] = None,
+    ) -> Tuple[float, Tuple["SpatialObject", ...]]:
+        """Sampled selectivity of an exact solved constraint.
+
+        Evaluates ``solved`` on ``pool`` (default: the stored row
+        sample) with the regions in ``env`` bound; returns the
+        satisfying fraction and the satisfying rows themselves (the
+        planner's rollouts draw representative objects from them).  A
+        row whose evaluation needs a variable missing from ``env``
+        counts as satisfying — the conservative choice for costing.
+        """
+        rows = tuple(pool) if pool is not None else self.sample
+        if not rows:
+            return 0.0, ()
+        holding = []
+        for obj in rows:
+            try:
+                ok = solved.holds(algebra, obj.region, env)
+            except KeyError:
+                ok = True
+            if ok:
+                holding.append(obj)
+        return len(holding) / len(rows), tuple(holding)
+
 
 def collect_statistics(
     table: "SpatialTable",

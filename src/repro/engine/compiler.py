@@ -61,6 +61,33 @@ class QueryPlan:
             lines.append(step.template.render())
         return "\n".join(lines)
 
+    def physical(
+        self, mode: str = "boxplan", catalog=None, estimate: bool = True
+    ):
+        """Lower to a physical operator tree (the third pipeline stage).
+
+        ``estimate=False`` skips the EXPLAIN-only catalog cost rollouts
+        (they cost far more than executing a small query).  See
+        :func:`repro.engine.physical.build_physical_plan`.
+        """
+        from .physical import build_physical_plan
+
+        return build_physical_plan(
+            self, mode=mode, catalog=catalog, estimate=estimate
+        )
+
+    def explain(self, mode: str = "boxplan", analyze: bool = False) -> str:
+        """EXPLAIN: the rendered physical operator tree for ``mode``.
+
+        With ``analyze=True`` the plan is executed first, so the tree
+        carries per-operator actual rows/probes/node-reads next to the
+        catalog estimates.
+        """
+        pplan = self.physical(mode=mode)
+        if analyze:
+            pplan.run()
+        return pplan.explain()
+
 
 def compile_query(
     query: SpatialQuery,

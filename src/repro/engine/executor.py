@@ -1,7 +1,9 @@
-"""Query executors: naive, exact-incremental, and the paper's box plan.
+"""Query execution: the public façade over the physical operator engine.
 
-All three return the same answer set (property-tested); they differ in
-how much work they do:
+All four modes return the same answer set (property-tested); since the
+operator-tree refactor they are *plan configurations* — see
+:mod:`repro.engine.physical` for the operator set and per-mode plan
+shapes — rather than separate executors:
 
 ``naive``
     The unoptimised strawman: full cross product of all tables, with the
@@ -27,214 +29,82 @@ how much work they do:
     A diagnostic mode: box filtering only, exact check deferred to the
     final complete tuples.  Shows how much the (incomplete) box filter
     over-admits — used by the approximation-quality benchmarks.
+
+Every mode streams: :func:`execute_iter` yields answers as they are
+found (depth-first through the operator tree), and ``limit=k`` stops
+after ``k`` answers without materialising the rest of the search space.
+:func:`execute` simply drains the iterator and returns the classic
+``(answers, stats)`` pair.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..algebra.regions import Region
-from ..boxes.box import Box
-from ..spatial.table import SpatialObject
+from ..spatial.table import ProbeCache, SpatialObject
 from .compiler import QueryPlan
+from .physical import MODES, build_physical_plan
 from .query import SpatialQuery
 from .stats import ExecutionStats
 
 Answer = Dict[str, SpatialObject]
 
-MODES = ("naive", "exact", "boxplan", "boxonly")
+__all__ = [
+    "MODES",
+    "Answer",
+    "answers_as_oid_tuples",
+    "execute",
+    "execute_iter",
+    "first_k",
+    "run_query",
+]
 
 
-def execute(plan: QueryPlan, mode: str = "boxplan") -> Tuple[List[Answer], ExecutionStats]:
+def execute(
+    plan: QueryPlan,
+    mode: str = "boxplan",
+    cache: Optional[ProbeCache] = None,
+) -> Tuple[List[Answer], ExecutionStats]:
     """Run a compiled plan in the given mode.
 
     Returns ``(answers, stats)``; answers are dictionaries mapping each
-    unknown variable to the chosen :class:`SpatialObject`.
+    unknown variable to the chosen :class:`SpatialObject`.  ``cache`` is
+    an optional shared :class:`~repro.spatial.table.ProbeCache` through
+    which all index probes go — repeated executions over unchanged
+    tables then skip the index entirely.  An unknown ``mode`` raises
+    :class:`~repro.errors.UnknownModeError` naming the valid modes.
     """
-    if mode == "naive":
-        return _execute_naive(plan)
-    if mode == "exact":
-        return _execute_incremental(plan, use_boxes=False, exact_steps=True)
-    if mode == "boxplan":
-        return _execute_incremental(plan, use_boxes=True, exact_steps=True)
-    if mode == "boxonly":
-        return _execute_incremental(plan, use_boxes=True, exact_steps=False)
-    raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
-
-
-def _region_env(
-    plan: QueryPlan, partial: Mapping[str, SpatialObject]
-) -> Dict[str, Region]:
-    env: Dict[str, Region] = dict(plan.query.bindings)
-    for name, obj in partial.items():
-        env[name] = obj.region
-    return env
-
-
-def _box_env(
-    plan: QueryPlan, partial: Mapping[str, SpatialObject]
-) -> Dict[str, Box]:
-    env: Dict[str, Box] = {
-        name: region.bounding_box()
-        for name, region in plan.query.bindings.items()
-    }
-    for name, obj in partial.items():
-        env[name] = obj.box
-    return env
-
-
-def _execute_naive(plan: QueryPlan) -> Tuple[List[Answer], ExecutionStats]:
-    """Cross product + full exact check (the unoptimised baseline)."""
-    stats = ExecutionStats(mode="naive")
-    algebra = plan.algebra
-    system = plan.query.system
-    order = plan.order
-
-    partials: List[Answer] = [{}]
-    for variable in order:
-        table = plan.query.tables[variable]
-        step = stats.step(variable)
-        reads_before = table.index_read_count()
-        rows = table.scan()
-        step.index_probes += 1
-        step.node_reads += table.index_read_count() - reads_before
-        new_partials: List[Answer] = []
-        for partial in partials:
-            for obj in rows:
-                extended = dict(partial)
-                extended[variable] = obj
-                new_partials.append(extended)
-        step.candidates = len(new_partials)
-        step.survivors = len(new_partials)
-        partials = new_partials
-    stats.partial_tuples = len(partials)
-
-    answers: List[Answer] = []
-    before = algebra.ops.total
-    for partial in partials:
-        env = _region_env(plan, partial)
-        if system.holds(algebra, env):
-            answers.append(partial)
-    stats.region_ops += algebra.ops.total - before
-    stats.tuples_emitted = len(answers)
-    return answers, stats
-
-
-def _execute_incremental(
-    plan: QueryPlan, use_boxes: bool, exact_steps: bool
-) -> Tuple[List[Answer], ExecutionStats]:
-    """The paper's incremental join (with or without the box layer)."""
-    mode = (
-        "boxplan"
-        if use_boxes and exact_steps
-        else "boxonly" if use_boxes else "exact"
+    # estimate=False: catalog cost annotations are EXPLAIN-only and the
+    # rollouts would otherwise dominate small-query execution time.
+    return build_physical_plan(plan, mode=mode, estimate=False).run(
+        cache=cache
     )
-    stats = ExecutionStats(mode=mode)
-    algebra = plan.algebra
-    universe = algebra.universe_box
-
-    partials: List[Answer] = [{}]
-    for step_plan in plan.steps:
-        variable = step_plan.variable
-        table = step_plan.table
-        step = stats.step(variable)
-        new_partials: List[Answer] = []
-        for partial in partials:
-            reads_before = table.index_read_count()
-            if use_boxes:
-                box_env = _box_env(plan, partial)
-                query = step_plan.template.instantiate(box_env, universe)
-                stats.box_ops_estimate += 1
-                rows = table.range_query(query)
-            else:
-                rows = table.scan()
-            step.index_probes += 1
-            step.node_reads += table.index_read_count() - reads_before
-            step.candidates += len(rows)
-            for obj in rows:
-                if exact_steps:
-                    env = _region_env(plan, partial)
-                    before = algebra.ops.total
-                    ok = step_plan.exact.holds(algebra, obj.region, env)
-                    stats.region_ops += algebra.ops.total - before
-                    if not ok:
-                        continue
-                extended = dict(partial)
-                extended[variable] = obj
-                new_partials.append(extended)
-        step.survivors = len(new_partials)
-        partials = new_partials
-        stats.partial_tuples += len(partials)
-
-    if exact_steps:
-        # C_1..C_n checked exactly at every level already rewrite the
-        # whole system: the final partials ARE the answers.
-        answers = partials
-    else:
-        answers = []
-        system = plan.query.system
-        before = algebra.ops.total
-        for partial in partials:
-            env = _region_env(plan, partial)
-            if system.holds(algebra, env):
-                answers.append(partial)
-        stats.region_ops += algebra.ops.total - before
-    stats.tuples_emitted = len(answers)
-    return answers, stats
 
 
 def execute_iter(
-    plan: QueryPlan, mode: str = "boxplan"
+    plan: QueryPlan,
+    mode: str = "boxplan",
+    limit: Optional[int] = None,
+    cache: Optional[ProbeCache] = None,
 ) -> Iterator[Answer]:
-    """Depth-first streaming execution — answers are yielded as found.
+    """Streaming execution — answers are yielded as found.
 
-    The breadth-first executors materialise every level's partial-tuple
-    list; this pipelined variant explores one candidate path at a time,
-    so the *first* answers arrive after touching only a sliver of the
-    search space (benchmark E12 measures first-k latency).  Supports the
-    incremental modes (``exact``/``boxplan``); answer *sets* are
-    identical to :func:`execute`'s, order may differ.
+    The operator tree is pulled depth-first, so the *first* answers
+    arrive after touching only a sliver of the search space (benchmark
+    E12 measures first-k latency).  All four modes stream; answer *sets*
+    equal :func:`execute`'s, order may differ between modes.  ``limit``
+    bounds the number of answers with early exit.
     """
-    if mode not in ("exact", "boxplan"):
-        raise ValueError(
-            f"streaming execution supports 'exact' and 'boxplan', not {mode!r}"
-        )
-    use_boxes = mode == "boxplan"
-    algebra = plan.algebra
-    universe = algebra.universe_box
-
-    def descend(level: int, partial: Answer) -> Iterator[Answer]:
-        if level == len(plan.steps):
-            yield dict(partial)
-            return
-        step_plan = plan.steps[level]
-        if use_boxes:
-            box_env = _box_env(plan, partial)
-            query = step_plan.template.instantiate(box_env, universe)
-            rows = step_plan.table.range_query(query)
-        else:
-            rows = step_plan.table.scan()
-        env = _region_env(plan, partial)
-        for obj in rows:
-            if not step_plan.exact.holds(algebra, obj.region, env):
-                continue
-            partial[step_plan.variable] = obj
-            yield from descend(level + 1, partial)
-            del partial[step_plan.variable]
-
-    yield from descend(0, {})
+    return build_physical_plan(
+        plan, mode=mode, estimate=False
+    ).execute_iter(limit=limit, cache=cache)
 
 
 def first_k(
     plan: QueryPlan, k: int, mode: str = "boxplan"
 ) -> List[Answer]:
     """The first ``k`` answers of a streaming execution."""
-    out: List[Answer] = []
-    for answer in execute_iter(plan, mode):
-        out.append(answer)
-        if len(out) >= k:
-            break
-    return out
+    return list(execute_iter(plan, mode, limit=k))
 
 
 def run_query(

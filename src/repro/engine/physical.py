@@ -1,0 +1,617 @@
+"""Physical operator trees: the Volcano-style streaming executor.
+
+The engine is a three-stage pipeline:
+
+1. :class:`~repro.engine.query.SpatialQuery` — what the user states;
+2. :class:`~repro.engine.compiler.QueryPlan` — the *logical* plan: the
+   triangular solved forms and their bounding-box templates, in a
+   retrieval order (the paper's Algorithms 1 and 2);
+3. a **physical plan** (this module) — a tree of pull-based operators,
+   each an iterator over partial *bindings* (``variable →
+   SpatialObject``).  Answers stream out of the root as they are found,
+   so ``limit=k`` touches only a sliver of the search space.
+
+The four semantics-equivalent execution modes are *plan-construction
+strategies* over one operator set rather than separate executors:
+
+``naive``
+    ``Once → CrossProduct* → ExactFilter(system)`` — the full cross
+    product with the original system checked on complete tuples only.
+``exact``
+    ``Once → (TableScan → ExactFilter(C_i))*`` — the paper's incremental
+    join pruned with the exact solved constraints, no box layer.
+``boxplan``
+    ``Once → (IndexProbe → ExactFilter(C_i))*`` — the full optimization:
+    ONE compiled range query per step, exact checks on the survivors.
+    Tables without an index (``"scan"`` backend) get the equivalent
+    ``TableScan → BoxFilter`` pair instead of an :class:`IndexProbe`.
+``boxonly``
+    ``Once → IndexProbe* → ExactFilter(system)`` — the diagnostic mode:
+    box filtering only, exact check deferred to complete tuples.
+
+Every operator keeps its own :class:`OperatorStats`;
+:meth:`PhysicalPlan.stats` folds them into the classic
+:class:`~repro.engine.stats.ExecutionStats` so all pre-existing counter
+consumers (benchmarks, CI gates) keep working.  :meth:`PhysicalPlan.
+explain` renders the tree with catalog cost estimates and — once the
+plan has run — per-operator actual rows/probes/node reads.
+
+Index probes optionally go through a shared
+:class:`~repro.spatial.table.ProbeCache` (bounded LRU keyed on
+``(table, box query)``), so repeated queries over unchanged tables skip
+the index entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..boxes.box import Box
+from ..constraints.solved import SolvedConstraint
+from ..constraints.system import ConstraintSystem
+from ..errors import UnknownModeError
+from ..spatial.table import ProbeCache, SpatialObject, SpatialTable
+from .compiler import QueryPlan
+from .stats import ExecutionStats
+
+#: A partial (or complete) answer: variable name → retrieved object.
+Binding = Dict[str, SpatialObject]
+
+MODES = ("naive", "exact", "boxplan", "boxonly")
+
+
+@dataclass
+class OperatorStats:
+    """Actual per-operator counters for the most recent execution."""
+
+    rows_in: int = 0  # bindings pulled from the child
+    rows_out: int = 0  # bindings yielded
+    probes: int = 0  # range-query/scan requests (cache hits included)
+    node_reads: int = 0  # index reads those probes cost
+    cache_hits: int = 0
+    cache_misses: int = 0
+    region_ops: int = 0  # exact region-algebra operations
+    box_evals: int = 0  # box-template instantiations
+    executed: bool = False  # has the operator been pulled at all?
+
+
+class ExecutionContext:
+    """Per-execution state shared by all operators of one plan run."""
+
+    def __init__(self, plan: QueryPlan, cache: Optional[ProbeCache] = None):
+        self.plan = plan
+        self.algebra = plan.algebra
+        self.universe: Box = plan.algebra.universe_box
+        self.cache = cache
+        self._base_box_env = {
+            name: region.bounding_box()
+            for name, region in plan.query.bindings.items()
+        }
+        self._base_region_env = dict(plan.query.bindings)
+
+    def box_env(self, binding: Binding) -> Dict[str, Box]:
+        """Constant boxes plus the boxes of the retrieved prefix."""
+        env = dict(self._base_box_env)
+        for name, obj in binding.items():
+            env[name] = obj.box
+        return env
+
+    def region_env(self, binding: Binding) -> Dict[str, object]:
+        """Constant regions plus the regions of the retrieved prefix."""
+        env = dict(self._base_region_env)
+        for name, obj in binding.items():
+            env[name] = obj.region
+        return env
+
+
+class PhysicalOperator:
+    """Base class: a node of the physical plan.
+
+    Subclasses implement :meth:`iterate` as a generator of bindings
+    pulled lazily from ``child`` (``None`` only for sources).  ``stats``
+    is reset by the owning :class:`PhysicalPlan` before each execution;
+    ``est_rows`` is the catalog's pre-run cardinality estimate (``None``
+    when no estimate could be computed).
+    """
+
+    kind = "operator"
+
+    def __init__(self, child: Optional["PhysicalOperator"] = None):
+        self.child = child
+        self.stats = OperatorStats()
+        self.est_rows: Optional[float] = None
+
+    @property
+    def children(self) -> Tuple["PhysicalOperator", ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line operator description for EXPLAIN output."""
+        return f"{self.kind}()"
+
+    def reset_stats(self) -> None:
+        self.stats = OperatorStats()
+        for c in self.children:
+            c.reset_stats()
+
+
+class Once(PhysicalOperator):
+    """Source: yields a single empty binding (the root of every chain)."""
+
+    kind = "Once"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        self.stats.executed = True
+        self.stats.rows_out += 1
+        yield {}
+
+
+class ExtendStep(PhysicalOperator):
+    """Base of the binding-extending operators.
+
+    An extend step pulls bindings from its child and, for each, yields
+    one extended binding per retrieved candidate row of ``table`` bound
+    to ``variable``.  Subclasses differ only in the access path.
+    """
+
+    kind = "ExtendStep"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+    ):
+        super().__init__(child)
+        self.variable = variable
+        self.table = table
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.variable} from {self.table.name})"
+
+    def _rows(
+        self, ctx: ExecutionContext, binding: Binding
+    ) -> List[SpatialObject]:
+        raise NotImplementedError
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        self.stats.executed = True
+        for binding in self.child.iterate(ctx):
+            self.stats.rows_in += 1
+            for obj in self._rows(ctx, binding):
+                extended = dict(binding)
+                extended[self.variable] = obj
+                self.stats.rows_out += 1
+                yield extended
+
+
+class TableScan(ExtendStep):
+    """Extend with every row of the table (one scan, lazily cached).
+
+    The access path of the ``exact`` mode and of box modes over
+    unindexed tables: the scan costs one probe regardless of how many
+    input bindings flow through.
+    """
+
+    kind = "TableScan"
+
+    def __init__(self, child, variable, table):
+        super().__init__(child, variable, table)
+        self._scanned: Optional[List[SpatialObject]] = None
+
+    def reset_stats(self) -> None:
+        self._scanned = None
+        super().reset_stats()
+
+    def _rows(self, ctx, binding):
+        if self._scanned is None:
+            before = self.table.index_read_count()
+            self._scanned = self.table.scan()
+            self.stats.probes += 1
+            self.stats.node_reads += (
+                self.table.index_read_count() - before
+            )
+        return self._scanned
+
+
+class CrossProduct(TableScan):
+    """A :class:`TableScan` in cross-product position (naive mode).
+
+    Identical mechanics; the distinct name keeps EXPLAIN output honest —
+    no per-step filter follows, so the operator's output really is the
+    running cross product.
+    """
+
+    kind = "CrossProduct"
+
+
+class IndexProbe(ExtendStep):
+    """Extend via ONE compiled range query per input binding (§4).
+
+    The step's box template is instantiated on the binding's prefix
+    boxes and sent to the table's index — optionally through the shared
+    :class:`~repro.spatial.table.ProbeCache`, in which case a repeated
+    ``(table, box query)`` pair costs no index work at all.
+    """
+
+    kind = "IndexProbe"
+
+    def __init__(self, child, variable, table, template):
+        super().__init__(child, variable, table)
+        self.template = template
+
+    def _rows(self, ctx, binding):
+        query = self.template.instantiate(ctx.box_env(binding), ctx.universe)
+        self.stats.box_evals += 1
+        self.stats.probes += 1
+        before = self.table.index_read_count()
+        rows, hit = self.table.range_query_cached(query, ctx.cache)
+        self.stats.node_reads += self.table.index_read_count() - before
+        if hit:
+            self.stats.cache_hits += 1
+        elif ctx.cache is not None:
+            self.stats.cache_misses += 1
+        return rows
+
+
+class BoxFilter(PhysicalOperator):
+    """Filter bindings by a step's instantiated box query.
+
+    The scan-backend replacement for :class:`IndexProbe`: upstream a
+    :class:`TableScan` supplies candidate extensions, and this operator
+    applies the same box predicate the index would have evaluated.
+    """
+
+    kind = "BoxFilter"
+
+    def __init__(self, child: PhysicalOperator, variable: str, template):
+        super().__init__(child)
+        self.variable = variable
+        self.template = template
+
+    def describe(self) -> str:
+        return f"{self.kind}([{self.variable}])"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        self.stats.executed = True
+        for binding in self.child.iterate(ctx):
+            self.stats.rows_in += 1
+            box = binding[self.variable].box
+            if box.is_empty():
+                continue
+            env = ctx.box_env(binding)
+            query = self.template.instantiate(env, ctx.universe)
+            self.stats.box_evals += 1
+            if query.is_unsatisfiable() or not query.matches(box):
+                continue
+            self.stats.rows_out += 1
+            yield binding
+
+
+class ExactFilter(PhysicalOperator):
+    """Filter bindings with exact region algebra.
+
+    Two flavours, matching the paper: a *step* filter checks one solved
+    constraint ``C_i`` against the binding's value for ``variable``
+    (``boxplan``/``exact``); a *final* filter checks the whole original
+    system on complete tuples (``naive``/``boxonly``).
+    """
+
+    kind = "ExactFilter"
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: Optional[str] = None,
+        solved: Optional[SolvedConstraint] = None,
+        system: Optional[ConstraintSystem] = None,
+    ):
+        if (solved is None) == (system is None):
+            raise ValueError(
+                "ExactFilter needs exactly one of solved= or system="
+            )
+        super().__init__(child)
+        self.variable = variable
+        self.solved = solved
+        self.system = system
+
+    def describe(self) -> str:
+        if self.solved is not None:
+            return f"{self.kind}(C_{self.variable})"
+        return f"{self.kind}(system)"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        self.stats.executed = True
+        algebra = ctx.algebra
+        for binding in self.child.iterate(ctx):
+            self.stats.rows_in += 1
+            env = ctx.region_env(binding)
+            before = algebra.ops.total
+            if self.solved is not None:
+                ok = self.solved.holds(
+                    algebra, binding[self.variable].region, env
+                )
+            else:
+                ok = self.system.holds(algebra, env)
+            self.stats.region_ops += algebra.ops.total - before
+            if ok:
+                self.stats.rows_out += 1
+                yield binding
+
+
+@dataclass
+class _StepOps:
+    """The operators implementing one retrieval step, for stats mapping."""
+
+    variable: str
+    extend: ExtendStep
+    box_filter: Optional[BoxFilter] = None
+    exact_filter: Optional[ExactFilter] = None
+
+
+@dataclass
+class PhysicalPlan:
+    """An executable operator tree over a compiled logical plan.
+
+    Not safe for concurrent executions of the *same* instance (operator
+    stats are per-plan); build one plan per thread instead.
+    """
+
+    logical: QueryPlan
+    mode: str
+    root: PhysicalOperator
+    step_ops: List[_StepOps] = field(default_factory=list)
+    final_filter: Optional[ExactFilter] = None
+
+    # -- execution ---------------------------------------------------------------
+    def execute_iter(
+        self,
+        limit: Optional[int] = None,
+        cache: Optional[ProbeCache] = None,
+    ) -> Iterator[Binding]:
+        """Stream answers as they are found (pull-based, depth-first).
+
+        ``limit=k`` stops after ``k`` answers without materialising the
+        rest of the search space.  Operator stats are reset at the start
+        of iteration and reflect work done *so far* while streaming.
+        """
+        if limit is not None and limit <= 0:
+            return
+        self.root.reset_stats()
+        ctx = ExecutionContext(self.logical, cache=cache)
+        emitted = 0
+        for binding in self.root.iterate(ctx):
+            yield binding
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+    def run(
+        self, cache: Optional[ProbeCache] = None
+    ) -> Tuple[List[Binding], ExecutionStats]:
+        """Materialise all answers; returns ``(answers, stats)``."""
+        answers = list(self.execute_iter(cache=cache))
+        return answers, self.stats()
+
+    # -- statistics --------------------------------------------------------------
+    def stats(self) -> ExecutionStats:
+        """Fold per-operator counters into classic execution stats.
+
+        Counter semantics match the historical per-mode executors', with
+        one deliberate exception: ``exact`` mode's ``index_probes`` is
+        now 1 per step (the :class:`TableScan` scans once and reuses the
+        rows) where the old breadth-first executor re-scanned per
+        partial tuple — an actual work reduction, not a counting change
+        elsewhere.
+        """
+        stats = ExecutionStats(mode=self.mode)
+        for ops in self.step_ops:
+            step = stats.step(ops.variable)
+            extend = ops.extend.stats
+            step.index_probes = extend.probes
+            step.node_reads = extend.node_reads
+            step.cache_hits = extend.cache_hits
+            step.cache_misses = extend.cache_misses
+            if ops.box_filter is not None:
+                step.candidates = ops.box_filter.stats.rows_out
+                stats.box_ops_estimate += ops.box_filter.stats.box_evals
+            else:
+                step.candidates = extend.rows_out
+            stats.box_ops_estimate += extend.box_evals
+            if ops.exact_filter is not None:
+                step.survivors = ops.exact_filter.stats.rows_out
+                stats.region_ops += ops.exact_filter.stats.region_ops
+            else:
+                step.survivors = step.candidates
+        if self.final_filter is not None:
+            stats.region_ops += self.final_filter.stats.region_ops
+        if self.mode == "naive":
+            # The historical naive executor reported only the final
+            # cross-product size.
+            stats.partial_tuples = (
+                self.step_ops[-1].extend.stats.rows_out
+                if self.step_ops
+                else 0
+            )
+        else:
+            stats.partial_tuples = sum(s.survivors for s in stats.steps)
+        stats.tuples_emitted = self.root.stats.rows_out
+        return stats
+
+    # -- rendering ---------------------------------------------------------------
+    def operators(self) -> List[PhysicalOperator]:
+        """All operators, root first."""
+        out: List[PhysicalOperator] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+        return out
+
+    def explain(self) -> str:
+        """Rendered operator tree, root at the top.
+
+        Each line shows the operator, the catalog's estimated output
+        cardinality, and — after the plan has executed — the actual
+        rows/probes/node-reads/cache counters.
+        """
+        executed = any(op.stats.executed for op in self.operators())
+        lines = [
+            f"PhysicalPlan[{self.mode}]"
+            f"  order: {', '.join(self.logical.order)}"
+        ]
+
+        def annotate(op: PhysicalOperator) -> str:
+            parts = []
+            if op.est_rows is not None:
+                parts.append(f"est_rows≈{op.est_rows:.1f}")
+            if executed:
+                s = op.stats
+                actual = [f"rows={s.rows_out}"]
+                if s.probes:
+                    actual.append(f"probes={s.probes}")
+                if s.node_reads:
+                    actual.append(f"node_reads={s.node_reads}")
+                if s.cache_hits or s.cache_misses:
+                    actual.append(
+                        f"cache={s.cache_hits}/"
+                        f"{s.cache_hits + s.cache_misses}"
+                    )
+                if s.region_ops:
+                    actual.append(f"region_ops={s.region_ops}")
+                parts.append("actual: " + " ".join(actual))
+            return ("  [" + " | ".join(parts) + "]") if parts else ""
+
+        def render(op: PhysicalOperator, depth: int) -> None:
+            prefix = "" if depth == 0 else "   " * (depth - 1) + "└─ "
+            lines.append(prefix + op.describe() + annotate(op))
+            for c in op.children:
+                render(c, depth + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+
+def build_physical_plan(
+    plan: QueryPlan,
+    mode: str = "boxplan",
+    catalog=None,
+    estimate: bool = True,
+) -> PhysicalPlan:
+    """Lower a logical :class:`QueryPlan` to a physical operator tree.
+
+    ``mode`` selects the plan-construction strategy (see module
+    docstring); an unknown mode raises
+    :class:`~repro.errors.UnknownModeError` naming the valid modes.
+    ``estimate=False`` skips the catalog cost annotations (they need a
+    pass over table statistics).
+    """
+    if mode not in MODES:
+        raise UnknownModeError(mode, MODES)
+
+    node: PhysicalOperator = Once()
+    step_ops: List[_StepOps] = []
+    final_filter: Optional[ExactFilter] = None
+
+    if mode == "naive":
+        for variable in plan.order:
+            node = CrossProduct(node, variable, plan.query.tables[variable])
+            step_ops.append(_StepOps(variable=variable, extend=node))
+        final_filter = ExactFilter(node, system=plan.query.system)
+        node = final_filter
+    else:
+        use_boxes = mode in ("boxplan", "boxonly")
+        exact_steps = mode in ("boxplan", "exact")
+        for sp in plan.steps:
+            box_filter: Optional[BoxFilter] = None
+            if use_boxes and sp.table.index_kind != "scan":
+                extend: ExtendStep = IndexProbe(
+                    node, sp.variable, sp.table, sp.template
+                )
+                node = extend
+            else:
+                extend = TableScan(node, sp.variable, sp.table)
+                node = extend
+                if use_boxes:
+                    box_filter = BoxFilter(node, sp.variable, sp.template)
+                    node = box_filter
+            exact_filter: Optional[ExactFilter] = None
+            if exact_steps:
+                exact_filter = ExactFilter(
+                    node, variable=sp.variable, solved=sp.exact
+                )
+                node = exact_filter
+            step_ops.append(
+                _StepOps(
+                    variable=sp.variable,
+                    extend=extend,
+                    box_filter=box_filter,
+                    exact_filter=exact_filter,
+                )
+            )
+        if not exact_steps:
+            final_filter = ExactFilter(node, system=plan.query.system)
+            node = final_filter
+
+    pplan = PhysicalPlan(
+        logical=plan,
+        mode=mode,
+        root=node,
+        step_ops=step_ops,
+        final_filter=final_filter,
+    )
+    if estimate:
+        _annotate_estimates(pplan, catalog)
+    return pplan
+
+
+def _annotate_estimates(pplan: PhysicalPlan, catalog=None) -> None:
+    """Attach catalog cardinality estimates to every operator.
+
+    Estimation failures (empty statistics, unsupported systems) leave
+    the annotations unset rather than failing plan construction.
+    """
+    from .planner import rollout_step_estimates
+
+    plan = pplan.logical
+    try:
+        estimates = {
+            e.variable: e
+            for e in rollout_step_estimates(
+                plan.query, plan.order, catalog=catalog
+            )
+        }
+    except Exception:
+        return
+
+    for op in pplan.operators():
+        if isinstance(op, Once):
+            op.est_rows = 1.0
+    running = 1.0  # cross-product cardinality for naive chains
+    for ops in pplan.step_ops:
+        est = estimates.get(ops.variable)
+        if est is None:
+            continue
+        if pplan.mode == "naive":
+            running *= max(1, len(plan.query.tables[ops.variable]))
+            ops.extend.est_rows = running
+        elif isinstance(ops.extend, IndexProbe):
+            ops.extend.est_rows = est.candidates
+        else:
+            ops.extend.est_rows = est.scan_candidates
+        if ops.box_filter is not None:
+            ops.box_filter.est_rows = est.candidates
+        if ops.exact_filter is not None:
+            ops.exact_filter.est_rows = est.survivors
+    if pplan.final_filter is not None and pplan.step_ops:
+        last = estimates.get(pplan.step_ops[-1].variable)
+        if last is not None:
+            # The rollouts' final survivor count estimates the answer
+            # set itself (the box query is necessary for the exact
+            # constraint, so the filtering order does not change it).
+            pplan.final_filter.est_rows = last.survivors

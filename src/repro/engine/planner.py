@@ -8,11 +8,14 @@ results, exactly like join ordering in relational optimizers.  We provide
   first using connectivity to already-placed variables and table sizes;
 * :func:`enumerate_orders` — all permutations (for the E9 ablation);
 * :func:`estimate_order_cost` — the legacy raw-size cardinality estimate;
-* :func:`estimate_order_cost_histogram` — the cost-based estimate: each
-  candidate order is compiled to its box templates and rolled out over
-  the statistics catalog (:mod:`repro.engine.catalog`) — per-step
-  candidate counts from histogram selectivities, per-step survivor
-  fractions from sampled exact-predicate selectivities;
+* :func:`rollout_step_estimates` — per-step expected cardinalities for a
+  candidate order: the order is compiled to its box templates and rolled
+  out over the statistics catalog (:mod:`repro.engine.catalog`) — step
+  candidate counts from histogram selectivities, survivor fractions from
+  sampled exact-predicate selectivities.  Shared by the cost model below
+  and by the physical plan's EXPLAIN annotations;
+* :func:`estimate_order_cost_histogram` — the cost-based estimate (the
+  rollouts' expected partial-tuple total);
 * :func:`plan_order` / :func:`best_order_by_estimate` — strategy
   dispatch with the greedy heuristic as the safe fallback (the ablation
   hook ``bench_order_ablation.py`` compares all strategies).
@@ -21,10 +24,13 @@ results, exactly like join ordering in relational optimizers.  We provide
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from itertools import permutations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..boxes.bconstraints import compile_solved_constraint
 from ..constraints.system import ConstraintSystem
+from ..constraints.triangular import triangular_form
 from .catalog import Catalog
 from .query import SpatialQuery
 
@@ -144,18 +150,45 @@ def estimate_order_cost(
     return cost + partials
 
 
-def estimate_order_cost_histogram(
+@dataclass(frozen=True)
+class StepEstimate:
+    """Expected per-step cardinalities for one retrieval order.
+
+    All figures are expectations over the statistics-catalog rollouts
+    (averaged across rollouts):
+
+    ``partials_in``
+        partial tuples entering the step;
+    ``candidates``
+        candidate extensions the step's *box* query admits (what an
+        :class:`~repro.engine.physical.IndexProbe` returns);
+    ``scan_candidates``
+        extensions a full table scan would produce instead;
+    ``survivors``
+        partial tuples after the step's exact filter.  The box query is
+        a necessary condition for the exact constraint, so this estimate
+        applies to the scan-based modes too.
+    """
+
+    variable: str
+    partials_in: float
+    candidates: float
+    scan_candidates: float
+    survivors: float
+
+
+def rollout_step_estimates(
     query: SpatialQuery,
     order: Sequence[str],
     catalog: Optional[Catalog] = None,
     rollouts: int = 6,
     seed: int = 0,
-) -> float:
-    """Statistics-driven cost estimate for one retrieval order.
+) -> List[StepEstimate]:
+    """Per-step cardinality estimates for one retrieval order.
 
     The order is triangularised and compiled to its per-step bounding-box
-    templates (exactly what the executor will run); the estimate then
-    simulates ``rollouts`` executions over the statistics catalog:
+    templates (exactly what the executor will run); ``rollouts``
+    executions are then simulated over the statistics catalog:
 
     * the **candidate count** of a step is the table size times the
       histogram selectivity of the step's instantiated box query;
@@ -166,13 +199,9 @@ def estimate_order_cost_histogram(
       queries can look equally permissive);
     * representative objects for later steps are drawn from the sample.
 
-    The returned cost is the expected total number of partial tuples
-    (the executor's ``partial_tuples`` counter) plus a small candidate
-    term so index work breaks ties.
+    Used by :func:`estimate_order_cost_histogram` (the planner's cost
+    model) and by the physical plan's EXPLAIN annotations.
     """
-    from ..boxes.bconstraints import compile_solved_constraint
-    from ..constraints.triangular import triangular_form
-
     catalog = catalog or Catalog()
     stats = {name: catalog.statistics(t) for name, t in query.tables.items()}
     tri = triangular_form(query.system, list(order))
@@ -186,13 +215,15 @@ def estimate_order_cost_histogram(
     base_region_env = dict(query.bindings)
 
     rng = random.Random(seed)
-    total = 0.0
-    for _ in range(max(1, rollouts)):
+    n_rollouts = max(1, rollouts)
+    sums = {
+        name: [0.0, 0.0, 0.0, 0.0]  # partials_in, candidates, scan, survivors
+        for name in order
+    }
+    for _ in range(n_rollouts):
         box_env = dict(base_box_env)
         region_env = dict(base_region_env)
         partials = 1.0
-        partial_sum = 0.0
-        candidate_sum = 0.0
         for name in order:
             st = stats[name]
             step = steps.get(name)
@@ -207,27 +238,24 @@ def estimate_order_cost_histogram(
                     for obj in st.sample
                     if not obj.box.is_empty() and box_query.matches(obj.box)
                 ]
-
-                def holds(obj, solved=solved):
-                    try:
-                        return solved.holds(algebra, obj.region, region_env)
-                    except KeyError:
-                        # An earlier variable had no representative row,
-                        # so its region binding was dropped: no usable
-                        # sample env — assume the predicate holds.
-                        return True
                 # Sampled exact-predicate selectivity among the rows the
-                # box filter admits.
-                pool = matching if matching else list(st.sample)
-                holding = [obj for obj in pool if holds(obj)]
-                exact_frac = len(holding) / len(pool) if pool else 0.0
+                # box filter admits (whole sample when none match).
+                exact_frac, holding = st.exact_selectivity(
+                    solved,
+                    algebra,
+                    region_env,
+                    pool=matching if matching else None,
+                )
                 if holding:
-                    matching = holding
+                    matching = list(holding)
             candidates = st.count * box_sel
             survivors = candidates * exact_frac
-            candidate_sum += partials * candidates
+            acc = sums[name]
+            acc[0] += partials
+            acc[1] += partials * candidates
+            acc[2] += partials * st.count
             partials *= survivors
-            partial_sum += partials
+            acc[3] += partials
             # Choose a representative retrieved object for later steps;
             # with no representative row, later exact sampling against
             # this variable falls back to box-only costing.
@@ -237,8 +265,38 @@ def estimate_order_cost_histogram(
                 region_env[name] = pick.region
             else:
                 box_env[name] = universe if st.mbr.is_empty() else st.mbr
-        total += partial_sum + 1e-3 * candidate_sum
-    return total / max(1, rollouts)
+    return [
+        StepEstimate(
+            variable=name,
+            partials_in=sums[name][0] / n_rollouts,
+            candidates=sums[name][1] / n_rollouts,
+            scan_candidates=sums[name][2] / n_rollouts,
+            survivors=sums[name][3] / n_rollouts,
+        )
+        for name in order
+    ]
+
+
+def estimate_order_cost_histogram(
+    query: SpatialQuery,
+    order: Sequence[str],
+    catalog: Optional[Catalog] = None,
+    rollouts: int = 6,
+    seed: int = 0,
+) -> float:
+    """Statistics-driven cost estimate for one retrieval order.
+
+    Rolls the order out over the statistics catalog (see
+    :func:`rollout_step_estimates`); the cost is the expected total
+    number of partial tuples (the executor's ``partial_tuples`` counter)
+    plus a small candidate term so index work breaks ties.
+    """
+    estimates = rollout_step_estimates(
+        query, order, catalog=catalog, rollouts=rollouts, seed=seed
+    )
+    return sum(e.survivors for e in estimates) + 1e-3 * sum(
+        e.candidates for e in estimates
+    )
 
 
 def _exhaustive_costs(

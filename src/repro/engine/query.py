@@ -92,13 +92,19 @@ class SpatialQuery:
     def algebra(self) -> RegionAlgebra:
         """A region algebra wide enough for exact checks.
 
-        Uses the declared universe box when available; otherwise computes
-        a box enclosing all stored objects and bindings (complement is
-        only ever taken within this universe, which is sound for the
-        constraint forms the engine checks: every formula evaluation is
-        relative to the same universe on both sides).
+        Uses the declared universe box when available — widened to
+        enclose any constant binding that sticks out of it, since the
+        algebra refuses to complement regions beyond its universe;
+        otherwise computes a box enclosing all stored objects and
+        bindings (complement is only ever taken within this universe,
+        which is sound for the constraint forms the engine checks: every
+        formula evaluation is relative to the same universe on both
+        sides).
         """
         box = self.universe_box()
+        if box is not None:
+            for region in self.bindings.values():
+                box = box.enclose(region.bounding_box())
         if box is None:
             from ..boxes.box import EMPTY_BOX
 

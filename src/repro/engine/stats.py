@@ -29,6 +29,8 @@ class StepStats:
     survivors: int = 0  # rows surviving the step's exact filter
     index_probes: int = 0
     node_reads: int = 0  # index reads consumed by this step's probes
+    cache_hits: int = 0  # probes answered from the probe cache
+    cache_misses: int = 0  # probes that fell through to the index
 
     @property
     def filter_ratio(self) -> float:
@@ -70,6 +72,24 @@ class ExecutionStats:
         """Index reads (r-tree nodes / grid buckets) over all steps."""
         return sum(s.node_reads for s in self.steps)
 
+    @property
+    def cache_hits(self) -> int:
+        """Probe-cache hits over all steps (0 when no cache is used)."""
+        return sum(s.cache_hits for s in self.steps)
+
+    @property
+    def cache_misses(self) -> int:
+        """Probe-cache misses over all steps (0 when no cache is used)."""
+        return sum(s.cache_misses for s in self.steps)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits as a fraction of cached probe requests (0.0 uncached)."""
+        requests = self.cache_hits + self.cache_misses
+        if requests == 0:
+            return 0.0
+        return self.cache_hits / requests
+
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary for benchmark tables."""
         return {
@@ -81,6 +101,8 @@ class ExecutionStats:
             "candidates": self.total_candidates,
             "index_probes": self.index_probes,
             "node_reads": self.node_reads,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "per_step": [
                 (s.variable, s.candidates, s.survivors) for s in self.steps
             ],
@@ -91,8 +113,14 @@ class ExecutionStats:
         steps = " ".join(
             f"{s.variable}:{s.survivors}/{s.candidates}" for s in self.steps
         )
+        cache = ""
+        if self.cache_hits or self.cache_misses:
+            cache = (
+                f" cache={self.cache_hits}/"
+                f"{self.cache_hits + self.cache_misses}"
+            )
         return (
             f"[{self.mode}] tuples={self.tuples_emitted} "
             f"partials={self.partial_tuples} region_ops={self.region_ops} "
-            f"steps=({steps})"
+            f"steps=({steps}){cache}"
         )

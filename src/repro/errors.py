@@ -51,5 +51,22 @@ class CompilationError(ReproError):
     """Raised when a constraint system cannot be compiled into a plan."""
 
 
+class UnknownModeError(ReproError, ValueError):
+    """Raised when an executor is asked for an execution mode it does not
+    know.
+
+    Carries the requested mode and the tuple of valid modes; the message
+    names every valid mode so the caller can correct the call site.
+    """
+
+    def __init__(self, mode: object, valid: tuple):
+        super().__init__(
+            f"unknown execution mode {mode!r}; expected one of "
+            + ", ".join(repr(m) for m in valid)
+        )
+        self.mode = mode
+        self.valid = tuple(valid)
+
+
 class UnboundVariableError(CompilationError):
     """Raised when a query references a variable with no table or binding."""

@@ -15,7 +15,7 @@ from .rangequery import (
     matches_via_point,
 )
 from .rtree import RTree, RTreeStats
-from .table import SpatialObject, SpatialTable
+from .table import ProbeCache, SpatialObject, SpatialTable
 from .zorder import (
     ZGrid,
     ZOrderIndex,
@@ -30,6 +30,7 @@ __all__ = [
     "GridStats",
     "OPEN_EPS",
     "PointRange",
+    "ProbeCache",
     "RTree",
     "RTreeStats",
     "SpatialObject",

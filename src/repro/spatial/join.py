@@ -18,7 +18,7 @@ holding regions follow up with an exact region-overlap filter.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, MutableMapping, Optional, Tuple
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box
@@ -26,14 +26,29 @@ from .rtree import RTree, _Node
 
 
 def index_nested_loop_join(
-    outer: List[Tuple[Box, object]], inner: RTree
+    outer: List[Tuple[Box, object]],
+    inner: RTree,
+    cache: Optional[
+        MutableMapping[BoxQuery, List[Tuple[Box, object]]]
+    ] = None,
 ) -> Iterator[Tuple[object, object]]:
-    """Overlap join: one index probe per outer entry."""
+    """Overlap join: one index probe per outer entry.
+
+    ``cache`` (any mutable mapping, e.g. a plain dict shared across
+    calls) memoises probe results by box query, so duplicate outer boxes
+    cost a single traversal of ``inner``.
+    """
     for box, value in outer:
         if box.is_empty():
             continue
         query = BoxQuery(overlap=(box,))
-        for _b, other in inner.search(query):
+        if cache is not None and query in cache:
+            matches = cache[query]
+        else:
+            matches = list(inner.search(query))
+            if cache is not None:
+                cache[query] = matches
+        for _b, other in matches:
             yield value, other
 
 

@@ -19,7 +19,7 @@ costs.  Deletion uses the classic condense-and-reinsert strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box, EMPTY_BOX, enclose_all
@@ -482,6 +482,27 @@ class RTree:
                 for mbr, child in node.entries:
                     if self._node_may_match(mbr, query):
                         stack.append(child)
+
+    def search_batch(
+        self, queries: Sequence[BoxQuery]
+    ) -> List[List[Tuple[Box, object]]]:
+        """Evaluate several box queries; duplicates share one traversal.
+
+        Batching entry point for bulk callers (the per-probe engine path
+        is :meth:`search` via ``SpatialTable.range_query_cached``):
+        results are aligned with ``queries``, and repeated identical
+        queries (common when a step's box template ignores part of the
+        retrieved prefix) cost a single descent.
+        """
+        memo: Dict[BoxQuery, List[Tuple[Box, object]]] = {}
+        out: List[List[Tuple[Box, object]]] = []
+        for query in queries:
+            rows = memo.get(query)
+            if rows is None:
+                rows = list(self.search(query))
+                memo[query] = rows
+            out.append(rows)
+        return out
 
     @staticmethod
     def _node_may_match(mbr: Box, query: BoxQuery) -> bool:

@@ -17,6 +17,7 @@ backends.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,80 @@ class SpatialObject:
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"SpatialObject({self.oid!r})"
+
+
+class ProbeCache:
+    """A bounded LRU cache of range-query results.
+
+    Keys are ``(table, table version, box query)``: the table's mutation
+    counter is part of the key, so any insert or reindex makes every
+    cached result for that table unreachable (stale entries age out of
+    the LRU).  The cached row lists are shared — callers must not mutate
+    them.
+
+    A cache may outlive a single execution (that is the point: repeated
+    queries over unchanged tables skip the index entirely), so it keeps
+    lifetime ``hits``/``misses`` counters of its own; per-execution
+    counters live in :class:`~repro.engine.stats.ExecutionStats`.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, List[SpatialObject]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(table: "SpatialTable", query: BoxQuery) -> tuple:
+        # The table itself (identity-hashed) is part of the key: two
+        # tables may share a name, and keeping the reference prevents an
+        # id() collision after garbage collection.
+        return (table, table._version, query)
+
+    def lookup(
+        self, table: "SpatialTable", query: BoxQuery
+    ) -> Optional[List["SpatialObject"]]:
+        """Cached rows for ``query`` on ``table``, or ``None`` on miss."""
+        key = self._key(table, query)
+        rows = self._entries.get(key)
+        if rows is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return rows
+
+    def store(
+        self,
+        table: "SpatialTable",
+        query: BoxQuery,
+        rows: List["SpatialObject"],
+    ) -> None:
+        """Remember a probe result, evicting least-recently-used entries."""
+        key = self._key(table, query)
+        self._entries[key] = rows
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hits as a fraction of lookups (0.0 before any)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 class SpatialTable:
@@ -239,6 +314,47 @@ class SpatialTable:
                 if not obj.box.is_empty() and query.matches(obj.box)
             ]
         self.candidates_returned += len(out)
+        return out
+
+    def range_query_cached(
+        self, query: BoxQuery, cache: Optional[ProbeCache] = None
+    ) -> Tuple[List[SpatialObject], bool]:
+        """Range query through an optional :class:`ProbeCache`.
+
+        Returns ``(rows, hit)``.  On a hit the index (and the table's
+        probe counter) is not touched at all; the returned list is the
+        cached one and must not be mutated.
+        """
+        if cache is None:
+            return self.range_query(query), False
+        rows = cache.lookup(self, query)
+        if rows is not None:
+            return rows, True
+        rows = self.range_query(query)
+        cache.store(self, query, rows)
+        return rows, False
+
+    def range_query_batch(
+        self,
+        queries: Sequence[BoxQuery],
+        cache: Optional[ProbeCache] = None,
+    ) -> List[List[SpatialObject]]:
+        """Answer many box queries, probing once per *distinct* query.
+
+        Batching entry point for bulk callers (the operator engine's
+        per-probe path is :meth:`range_query_cached`).  Duplicate
+        queries inside the batch share a single probe even without a
+        cache; with a ``cache`` the deduplicated probes also go through
+        it.  Result lists are aligned with ``queries``.
+        """
+        memo: Dict[BoxQuery, List[SpatialObject]] = {}
+        out: List[List[SpatialObject]] = []
+        for query in queries:
+            rows = memo.get(query)
+            if rows is None:
+                rows, _hit = self.range_query_cached(query, cache)
+                memo[query] = rows
+            out.append(rows)
         return out
 
     def scan(self) -> List[SpatialObject]:

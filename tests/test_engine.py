@@ -173,10 +173,19 @@ class TestExecutorAgreement:
         assert got["naive"] == got["boxplan"] == got["exact"] == got["boxonly"]
 
     def test_unknown_mode_rejected(self):
+        from repro.errors import UnknownModeError
+
         q = sandwich_query(n_items=5)
         plan = compile_query(q)
-        with pytest.raises(ValueError):
+        with pytest.raises(UnknownModeError) as info:
             execute(plan, "warp")
+        # The dedicated error is a ValueError naming every valid mode.
+        assert isinstance(info.value, ValueError)
+        message = str(info.value)
+        assert "'warp'" in message
+        for mode in MODES:
+            assert f"'{mode}'" in message
+        assert info.value.valid == MODES
 
 
 class TestPruningEffect:

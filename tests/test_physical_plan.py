@@ -1,0 +1,271 @@
+"""Tests for the physical operator engine, EXPLAIN, and the probe cache."""
+
+import pytest
+
+from repro.algebra import Region
+from repro.boxes import Box
+from repro.boxes.bconstraints import BoxQuery
+from repro.constraints import ConstraintSystem, overlaps, subset
+from repro.datagen import smugglers_query
+from repro.engine import (
+    MODES,
+    CrossProduct,
+    ExactFilter,
+    IndexProbe,
+    ProbeCache,
+    SpatialQuery,
+    TableScan,
+    answers_as_oid_tuples,
+    build_physical_plan,
+    compile_query,
+    execute,
+)
+from repro.errors import UnknownModeError
+from repro.spatial import SpatialTable
+
+
+@pytest.fixture()
+def plan():
+    q, _world = smugglers_query(
+        seed=5, n_towns=10, n_roads=10, states_grid=(2, 2)
+    )
+    return compile_query(q)
+
+
+class TestPlanShapes:
+    def test_boxplan_uses_index_probes(self, plan):
+        pplan = build_physical_plan(plan, "boxplan")
+        kinds = [op.kind for op in pplan.operators()]
+        assert kinds.count("IndexProbe") == 3
+        assert kinds.count("ExactFilter") == 3
+        assert "CrossProduct" not in kinds
+
+    def test_naive_is_cross_product_plus_final_filter(self, plan):
+        pplan = build_physical_plan(plan, "naive")
+        kinds = [op.kind for op in pplan.operators()]
+        assert kinds.count("CrossProduct") == 3
+        assert kinds.count("ExactFilter") == 1
+        assert pplan.final_filter is not None
+
+    def test_exact_scans_without_boxes(self, plan):
+        pplan = build_physical_plan(plan, "exact")
+        ops = pplan.operators()
+        assert sum(isinstance(op, TableScan) for op in ops) == 3
+        assert not any(isinstance(op, IndexProbe) for op in ops)
+        assert not any(isinstance(op, CrossProduct) for op in ops)
+
+    def test_boxonly_defers_the_exact_check(self, plan):
+        pplan = build_physical_plan(plan, "boxonly")
+        filters = [
+            op for op in pplan.operators() if isinstance(op, ExactFilter)
+        ]
+        assert len(filters) == 1
+        assert filters[0].system is not None
+
+    def test_scan_backend_lowers_to_scan_plus_box_filter(self):
+        q, _m = smugglers_query(seed=5, n_towns=8, n_roads=8, index="scan")
+        plan = compile_query(q)
+        pplan = build_physical_plan(plan, "boxplan")
+        kinds = [op.kind for op in pplan.operators()]
+        assert "IndexProbe" not in kinds
+        assert kinds.count("TableScan") == 3
+        assert kinds.count("BoxFilter") == 3
+        answers, _ = pplan.run()
+        expected, _ = execute(compile_query(q), "exact")
+        assert answers_as_oid_tuples(answers, ["T", "R", "B"]) == (
+            answers_as_oid_tuples(expected, ["T", "R", "B"])
+        )
+
+    def test_unknown_mode(self, plan):
+        with pytest.raises(UnknownModeError):
+            build_physical_plan(plan, "vectorized")
+
+
+class TestExplain:
+    def test_estimates_before_run(self, plan):
+        pplan = build_physical_plan(plan, "boxplan")
+        text = pplan.explain()
+        assert "PhysicalPlan[boxplan]" in text
+        assert "order: T, R, B" in text
+        assert "IndexProbe" in text
+        assert "est_rows≈" in text
+        assert "actual:" not in text
+
+    def test_actuals_after_run(self, plan):
+        pplan = build_physical_plan(plan, "boxplan")
+        answers, _stats = pplan.run()
+        text = pplan.explain()
+        assert "actual:" in text
+        assert f"rows={len(answers)}" in text
+        assert "probes=" in text and "node_reads=" in text
+
+    def test_queryplan_explain_analyze(self, plan):
+        text = plan.explain(mode="naive", analyze=True)
+        assert "CrossProduct" in text
+        assert "ExactFilter(system)" in text
+        assert "actual:" in text
+
+    def test_estimates_are_roughly_calibrated(self, plan):
+        """Estimated output of each probe within 10x of the actual."""
+        pplan = build_physical_plan(plan, "boxplan")
+        pplan.run()
+        for op in pplan.operators():
+            if isinstance(op, IndexProbe) and op.est_rows:
+                actual = max(1, op.stats.rows_out)
+                assert 0.1 <= op.est_rows / actual <= 10.0
+
+
+class TestStatsMapping:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_physical_stats_match_execute(self, plan, mode):
+        pplan = build_physical_plan(plan, mode)
+        _answers, stats = pplan.run()
+        _expected_answers, expected = execute(plan, mode)
+        assert stats.as_dict() == expected.as_dict()
+
+    def test_streaming_stats_are_partial(self, plan):
+        pplan = build_physical_plan(plan, "boxplan")
+        full_probes = pplan.run()[1].index_probes
+        consumed = 0
+        for _ in pplan.execute_iter(limit=1):
+            consumed += 1
+        assert consumed == 1
+        assert 0 < pplan.stats().index_probes <= full_probes
+
+
+class TestProbeCache:
+    def test_repeated_execution_hits(self, plan):
+        cache = ProbeCache(maxsize=512)
+        answers1, stats1 = execute(plan, "boxplan", cache=cache)
+        answers2, stats2 = execute(plan, "boxplan", cache=cache)
+        assert answers_as_oid_tuples(answers2, ["T", "R", "B"]) == (
+            answers_as_oid_tuples(answers1, ["T", "R", "B"])
+        )
+        assert stats1.cache_misses > 0
+        assert stats2.cache_misses == 0
+        assert stats2.cache_hits == stats1.cache_hits + stats1.cache_misses
+        assert stats2.cache_hit_rate == 1.0
+        assert stats2.node_reads == 0
+        assert cache.hit_rate > 0.0
+
+    def test_uncached_execution_reports_no_cache_traffic(self, plan):
+        _answers, stats = execute(plan, "boxplan")
+        assert stats.cache_hits == 0 and stats.cache_misses == 0
+
+    def test_lru_bound(self):
+        universe = Box((0.0, 0.0), (10.0, 10.0))
+        t = SpatialTable("t", 2, universe=universe)
+        t.insert(0, Region.from_box(Box((1, 1), (2, 2))))
+        cache = ProbeCache(maxsize=3)
+        for i in range(10):
+            q = BoxQuery(overlap=(Box((0, 0), (i + 1, i + 1)),))
+            t.range_query_cached(q, cache)
+        assert len(cache) <= 3
+
+    def test_mutation_invalidates(self):
+        universe = Box((0.0, 0.0), (10.0, 10.0))
+        t = SpatialTable("t", 2, universe=universe)
+        t.insert(0, Region.from_box(Box((1, 1), (2, 2))))
+        cache = ProbeCache()
+        query = BoxQuery(overlap=(Box((0, 0), (10, 10)),))
+        rows, hit = t.range_query_cached(query, cache)
+        assert not hit and len(rows) == 1
+        t.insert(1, Region.from_box(Box((3, 3), (4, 4))))
+        rows, hit = t.range_query_cached(query, cache)
+        assert not hit  # version changed → stale entry unreachable
+        assert len(rows) == 2
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            ProbeCache(maxsize=0)
+
+
+class TestBatchProbes:
+    def _table(self):
+        universe = Box((0.0, 0.0), (10.0, 10.0))
+        t = SpatialTable("t", 2, universe=universe)
+        for i in range(6):
+            t.insert(i, Region.from_box(Box((i, i), (i + 1.5, i + 1.5))))
+        return t
+
+    def test_range_query_batch_dedups(self):
+        t = self._table()
+        q1 = BoxQuery(overlap=(Box((0, 0), (3, 3)),))
+        q2 = BoxQuery(overlap=(Box((4, 4), (9, 9)),))
+        t.reset_stats()
+        results = t.range_query_batch([q1, q2, q1, q1])
+        assert t.probes == 2  # duplicates answered once
+        assert [sorted(o.oid for o in rows) for rows in results] == [
+            sorted(o.oid for o in results[0]),
+            sorted(o.oid for o in results[1]),
+            sorted(o.oid for o in results[0]),
+            sorted(o.oid for o in results[0]),
+        ]
+        assert results[0] and results[1]
+
+    def test_rtree_search_batch(self):
+        t = self._table()
+        q1 = BoxQuery(overlap=(Box((0, 0), (3, 3)),))
+        q2 = BoxQuery(overlap=(Box((4, 4), (9, 9)),))
+        batched = t._rtree.search_batch([q1, q2, q1])
+        assert [sorted(v.oid for _b, v in rows) for rows in batched] == [
+            sorted(v.oid for _b, v in t._rtree.search(q1)),
+            sorted(v.oid for _b, v in t._rtree.search(q2)),
+            sorted(v.oid for _b, v in t._rtree.search(q1)),
+        ]
+
+    def test_join_probe_cache(self):
+        from repro.spatial import index_nested_loop_join
+
+        t = self._table()
+        box = Box((0, 0), (5, 5))
+        outer = [(box, "a"), (box, "b")]
+        memo = {}
+        t._rtree.stats.reset()
+        pairs = list(index_nested_loop_join(outer, t._rtree, cache=memo))
+        reads_cached = t._rtree.stats.node_reads
+        t._rtree.stats.reset()
+        expected = list(index_nested_loop_join(outer, t._rtree))
+        reads_plain = t._rtree.stats.node_reads
+        assert sorted((a, b.oid) for a, b in pairs) == sorted(
+            (a, b.oid) for a, b in expected
+        )
+        assert reads_cached < reads_plain  # second outer row was free
+
+
+class TestMultiTableScanBackendAgreement:
+    """BoxFilter lowering agrees with IndexProbe on a fresh query."""
+
+    def test_two_table_overlap(self):
+        universe = Box((0.0, 0.0), (20.0, 20.0))
+        import random
+
+        def build(index):
+            a = SpatialTable("a", 2, index=index, universe=universe)
+            b = SpatialTable("b", 2, index=index, universe=universe)
+            rng_local = random.Random(7)
+            for i in range(15):
+                lo = (rng_local.uniform(0, 16), rng_local.uniform(0, 16))
+                box = Box(lo, (lo[0] + 3, lo[1] + 3))
+                a.insert(i, Region.from_box(box))
+                lo = (rng_local.uniform(0, 16), rng_local.uniform(0, 16))
+                box = Box(lo, (lo[0] + 3, lo[1] + 3))
+                b.insert(i, Region.from_box(box))
+            return SpatialQuery(
+                system=ConstraintSystem.build(
+                    overlaps("x", "y"), subset("x", "W")
+                ),
+                tables={"x": a, "y": b},
+                bindings={
+                    "W": Region.from_box(Box((0.0, 0.0), (14.0, 14.0)))
+                },
+                order=["x", "y"],
+            )
+
+        got = {}
+        for index in ("rtree", "scan", "grid"):
+            q = build(index)
+            answers, _ = execute(compile_query(q), "boxplan")
+            got[index] = answers_as_oid_tuples(answers, ["x", "y"])
+        assert got["rtree"] == got["scan"] == got["grid"]
+        assert got["rtree"]

@@ -149,3 +149,61 @@ def test_streaming_equals_batch_on_random_queries(system, seed):
     assert answers_as_oid_tuples(streamed, order) == (
         answers_as_oid_tuples(batch, order)
     )
+
+
+@given(
+    constraint_systems(),
+    st.integers(0, 10_000),
+    st.integers(1, 4),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_all_modes_agree_with_and_without_limit(system, seed, k):
+    """The operator engine: all four modes are plan configurations over
+    the same operator set, so answer sets must coincide — and a
+    ``limit=k`` stream must be a prefix of the unlimited stream (plans
+    are deterministic for fixed tables and order)."""
+    from repro.engine import MODES, execute_iter
+
+    rng = random.Random(seed)
+    sys_vars = system.variables()
+    tables = {
+        v: _random_table(v, rng, rng.randint(2, 4))
+        for v in VARS
+        if v in sys_vars
+    }
+    bindings = {}
+    for c in CONSTS:
+        if c in sys_vars:
+            lo = (rng.uniform(0, 24), rng.uniform(0, 24))
+            bindings[c] = Region.from_box(
+                Box(lo, (lo[0] + 6, lo[1] + 6))
+            )
+    if not tables:
+        return
+    query = SpatialQuery(system=system, tables=tables, bindings=bindings)
+    order = sorted(tables)
+    try:
+        plan = compile_query(query, order=order)
+    except UnsatisfiableError:
+        return
+    reference = None
+    for mode in MODES:
+        answers, stats = execute(plan, mode)
+        got = answers_as_oid_tuples(answers, order)
+        if reference is None:
+            reference = got
+        assert got == reference, f"mode {mode} diverged for:\n{system}"
+        assert stats.tuples_emitted == len(got)
+        full = [
+            tuple(a[v].oid for v in order)
+            for a in execute_iter(plan, mode)
+        ]
+        limited = [
+            tuple(a[v].oid for v in order)
+            for a in execute_iter(plan, mode, limit=k)
+        ]
+        assert limited == full[:k], f"mode {mode} limit={k} not a prefix"

@@ -38,11 +38,47 @@ class TestStreamingExecutor:
             answers_as_oid_tuples(batch, ["T", "R", "B"])
         )
 
-    def test_unsupported_mode(self):
+    def test_all_four_modes_stream(self):
+        q, _m = smugglers_query(seed=0, n_towns=6, n_roads=6)
+        plan = compile_query(q)
+        reference = None
+        for mode in ("naive", "exact", "boxplan", "boxonly"):
+            streamed = list(execute_iter(plan, mode))
+            got = answers_as_oid_tuples(streamed, ["T", "R", "B"])
+            if reference is None:
+                reference = got
+            assert got == reference, f"mode {mode} diverged"
+
+    def test_unknown_mode(self):
+        from repro.errors import UnknownModeError
+
         q, _m = smugglers_query(seed=0, n_towns=4, n_roads=4)
         plan = compile_query(q)
-        with pytest.raises(ValueError):
-            list(execute_iter(plan, "naive"))
+        with pytest.raises(UnknownModeError):
+            list(execute_iter(plan, "warp"))
+
+    def test_limit_is_prefix_of_unlimited(self):
+        q, _m = smugglers_query(
+            seed=11, n_towns=25, n_roads=25, states_grid=(3, 3)
+        )
+        plan = compile_query(q)
+        full = [
+            tuple(a[v].oid for v in ("T", "R", "B"))
+            for a in execute_iter(plan, "boxplan")
+        ]
+        assert len(full) >= 2
+        for k in (1, 2, len(full), len(full) + 5):
+            limited = [
+                tuple(a[v].oid for v in ("T", "R", "B"))
+                for a in execute_iter(plan, "boxplan", limit=k)
+            ]
+            assert limited == full[: k]
+
+    def test_limit_zero_and_negative_yield_nothing(self):
+        q, _m = smugglers_query(seed=0, n_towns=4, n_roads=4)
+        plan = compile_query(q)
+        assert list(execute_iter(plan, "boxplan", limit=0)) == []
+        assert list(execute_iter(plan, "boxplan", limit=-1)) == []
 
     def test_first_k_stops_early(self):
         q, _m = smugglers_query(
