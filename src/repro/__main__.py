@@ -10,8 +10,11 @@ Usage::
                              [--no-pack] [--split rstar]
                              [--order-strategy histogram]
                              [--stream] [--limit K] [--probe-cache N]
+                             [--partitions N] [--parallel W] [--join auto]
     python -m repro explain  [--workload ...] [--mode boxplan] [--analyze]
+                             [--partitions N] [--parallel W] [--join pbsm]
     python -m repro run      [--workload ...] [--stream] [--limit K]
+                             [--partitions N] [--parallel W]
 
 ``FILE`` contains one constraint per line in the Figure-1 syntax
 (``A <= C``, ``R & A != 0``, ``T !<= C``, comments with ``#``); ``-``
@@ -24,6 +27,12 @@ STR-packed by default — ``--no-pack`` gives the insertion-built
 baseline the benchmarks compare against.  ``--stream`` executes through
 the streaming iterator and reports time-to-first-answer alongside the
 total.
+
+``--partitions N`` enables spatial partitioning (STR partitions /
+PBSM tiles), ``--parallel W`` fans PBSM tile tasks over a W-worker
+pool (answers are identical to serial execution), and ``--join``
+forces a per-step join algorithm — by default the cost-based planner
+picks one per step whenever partitioning or parallelism is enabled.
 
 ``explain`` prints the physical operator tree for the chosen mode with
 catalog cost estimates; ``--analyze`` also executes the plan and
@@ -127,7 +136,10 @@ def _build_workload(args):
             n_roads=size,
             states_grid=(3, 3),
             split_method=args.split,
-            pack=not args.no_pack,
+            # Only the r-tree backend has a bulk-loading path; grid/scan
+            # tables must get the insertion default (pack=None), since an
+            # explicit pack=True now raises for them.
+            pack=(not args.no_pack) if args.index == "rtree" else None,
         )
         return query
     if args.workload == "chain":
@@ -165,7 +177,11 @@ def _plan_workload(args):
             tables=query.tables,
             bindings=query.bindings,
         )
-        order = plan_order(unordered, strategy=strategy)
+        # With partitioning enabled, the histogram strategy also costs
+        # partition pruning when ranking retrieval orders.
+        order = plan_order(
+            unordered, strategy=strategy, partitions=args.partitions
+        )
     plan = compile_query(query, order=order)
     return query, plan, strategy
 
@@ -178,6 +194,20 @@ def _probe_cache(args):
     return None
 
 
+def _physical_options(args) -> dict:
+    """Partitioned-execution keyword arguments for ``plan.physical``."""
+    join = args.join
+    if join is None and (args.partitions or args.parallel):
+        # Partitioning/parallelism without an explicit algorithm choice
+        # delegates the per-step pick to the cost-based planner.
+        join = "auto"
+    return {
+        "partitions": args.partitions,
+        "parallel": args.parallel,
+        "join_strategy": join,
+    }
+
+
 def cmd_bench(args) -> int:
     from time import perf_counter
 
@@ -185,7 +215,7 @@ def cmd_bench(args) -> int:
     cache = _probe_cache(args)
     for table in query.tables.values():
         table.reset_stats()  # report query-time reads, not build-time
-    pplan = plan.physical(args.mode, estimate=False)
+    pplan = plan.physical(args.mode, estimate=False, **_physical_options(args))
     timing = {}
     if args.stream or args.limit is not None:
         start = perf_counter()
@@ -215,6 +245,9 @@ def cmd_bench(args) -> int:
         "split": args.split,
         "order_strategy": strategy,
         "order": list(plan.order),
+        "partitions": pplan.partitions,
+        "parallel": args.parallel,
+        "joins": list(pplan.join_strategies),
         "answers": len(answers),
         "counters": stats.as_dict(),
         "tables": index_stats,
@@ -225,6 +258,12 @@ def cmd_bench(args) -> int:
     else:
         print(f"workload={args.workload} size={args.size} mode={args.mode}")
         print(f"order ({strategy}): {', '.join(plan.order)}")
+        if args.partitions or args.parallel:
+            print(
+                f"partitions={args.partitions or 'off'} "
+                f"parallel={args.parallel or 'serial'} "
+                f"joins={','.join(pplan.join_strategies)}"
+            )
         print(stats.summary())
         if timing and timing["time_to_first_s"] is not None:
             print(
@@ -243,7 +282,7 @@ def cmd_bench(args) -> int:
 
 def cmd_explain(args) -> int:
     _query, plan, strategy = _plan_workload(args)
-    pplan = plan.physical(args.mode)
+    pplan = plan.physical(args.mode, **_physical_options(args))
     if args.analyze:
         pplan.run(cache=_probe_cache(args))
         print(pplan.explain())
@@ -259,7 +298,7 @@ def cmd_run(args) -> int:
     from time import perf_counter
 
     _query, plan, _strategy = _plan_workload(args)
-    pplan = plan.physical(args.mode, estimate=False)
+    pplan = plan.physical(args.mode, estimate=False, **_physical_options(args))
     cache = _probe_cache(args)
     variables = list(plan.order)
     print("# " + ", ".join(variables))
@@ -342,6 +381,29 @@ def build_parser() -> argparse.ArgumentParser:
             default=0,
             metavar="N",
             help="share an N-entry LRU probe cache across index probes",
+        )
+        p.add_argument(
+            "--partitions",
+            type=int,
+            default=0,
+            metavar="N",
+            help="enable spatial partitioning with ~N partitions/tiles "
+            "(0 = single-partition execution)",
+        )
+        p.add_argument(
+            "--parallel",
+            type=int,
+            default=0,
+            metavar="W",
+            help="fan PBSM tile tasks out over W pool workers "
+            "(0/1 = deterministic serial execution)",
+        )
+        p.add_argument(
+            "--join",
+            choices=("auto", "probe", "partition", "pbsm", "zorder"),
+            default=None,
+            help="per-step join algorithm (default: backend-dependent; "
+            "'auto' picks cost-based per step)",
         )
 
     def add_streaming_args(p):

@@ -55,6 +55,12 @@ class Box:
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("Box is immutable")
 
+    def __reduce__(self):
+        # Explicit pickle support: the default slots protocol would call
+        # the blocked __setattr__.  Needed to ship boxes to process-pool
+        # workers (the Exchange driver's "process" kind).
+        return (Box, (self.lo, self.hi))
+
     # -- identity ------------------------------------------------------------------
     def __eq__(self, other) -> bool:
         if not isinstance(other, Box):

@@ -6,8 +6,15 @@ templates), lowered to a :class:`PhysicalPlan` (a tree of streaming
 operators), and pulled as an iterator of answers.
 """
 
+from ..spatial.partition import Exchange
 from ..spatial.table import ProbeCache
-from .catalog import Catalog, Histogram, TableStatistics, collect_statistics
+from .catalog import (
+    Catalog,
+    Histogram,
+    PartitionStatistics,
+    TableStatistics,
+    collect_statistics,
+)
 from .compiler import QueryPlan, StepPlan, compile_query
 from .executor import (
     MODES,
@@ -24,15 +31,20 @@ from .physical import (
     ExtendStep,
     IndexProbe,
     Once,
+    PartitionScan,
+    PartitionedSpatialJoin,
     PhysicalOperator,
     PhysicalPlan,
     TableScan,
+    ZOrderJoin,
     build_physical_plan,
 )
 from .planner import (
+    JOIN_STRATEGIES,
     ORDER_STRATEGIES,
     StepEstimate,
     best_order_by_estimate,
+    choose_join_strategies,
     choose_order,
     enumerate_orders,
     estimate_order_cost,
@@ -48,13 +60,18 @@ __all__ = [
     "Catalog",
     "CrossProduct",
     "ExactFilter",
+    "Exchange",
     "ExecutionStats",
     "ExtendStep",
     "Histogram",
     "IndexProbe",
+    "JOIN_STRATEGIES",
     "MODES",
     "ORDER_STRATEGIES",
     "Once",
+    "PartitionScan",
+    "PartitionStatistics",
+    "PartitionedSpatialJoin",
     "PhysicalOperator",
     "PhysicalPlan",
     "ProbeCache",
@@ -65,9 +82,11 @@ __all__ = [
     "StepStats",
     "TableScan",
     "TableStatistics",
+    "ZOrderJoin",
     "answers_as_oid_tuples",
     "best_order_by_estimate",
     "build_physical_plan",
+    "choose_join_strategies",
     "choose_order",
     "collect_statistics",
     "compile_query",

@@ -37,6 +37,20 @@ DEFAULT_SAMPLE_SIZE = 24
 
 
 @dataclass(frozen=True)
+class PartitionStatistics:
+    """Summary of one spatial partition: its MBR and row count.
+
+    The catalog records only the summaries — the partitions themselves
+    (with their member rows) are cached on the table by
+    :meth:`repro.spatial.table.SpatialTable.partitioning`.
+    """
+
+    pid: int
+    count: int
+    mbr: Box
+
+
+@dataclass(frozen=True)
 class Histogram:
     """An equi-width histogram over a one-dimensional population.
 
@@ -109,7 +123,9 @@ class TableStatistics:
 
     ``lo_hists[d]`` / ``hi_hists[d]`` are histograms of the stored
     boxes' lower/upper edges in dimension ``d``; ``sample`` is a
-    uniform random sample of the rows themselves.
+    uniform random sample of the rows themselves; ``partitions`` holds
+    per-partition summaries when the statistics were collected with a
+    partition count (empty otherwise).
     """
 
     name: str
@@ -120,6 +136,7 @@ class TableStatistics:
     hi_hists: Tuple[Histogram, ...]
     avg_sides: Tuple[float, ...]
     sample: Tuple["SpatialObject", ...]
+    partitions: Tuple[PartitionStatistics, ...] = ()
 
     # -- per-constraint selectivity (histogram-based) -------------------------
     def sel_inside(self, a: Box) -> float:
@@ -205,6 +222,27 @@ class TableStatistics:
         """Expected number of rows matching ``query``."""
         return self.count * self.selectivity(query)
 
+    def pruned_count(self, query: BoxQuery) -> float:
+        """Rows left to read after partition-MBR pruning for ``query``.
+
+        Sums the counts of partitions whose MBR could still contain a
+        match (``PartitionScan``'s read cost).  Without per-partition
+        statistics this is simply the full row count (no pruning).
+        """
+        if not self.partitions:
+            return float(self.count)
+        from ..spatial.partition import mbr_may_match
+
+        if query.is_unsatisfiable():
+            return 0.0
+        return float(
+            sum(
+                p.count
+                for p in self.partitions
+                if mbr_may_match(p.mbr, query)
+            )
+        )
+
     def exact_selectivity(
         self,
         solved,
@@ -240,8 +278,14 @@ def collect_statistics(
     bins: int = DEFAULT_BINS,
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = 0,
+    partitions: int = 0,
 ) -> TableStatistics:
-    """Compute :class:`TableStatistics` for a table (one full scan)."""
+    """Compute :class:`TableStatistics` for a table (one full scan).
+
+    ``partitions > 0`` additionally summarises the table's STR
+    partitioning at that granularity (per-partition counts and MBRs),
+    reusing the tiling cached on the table.
+    """
     rows = [obj for obj in table if not obj.box.is_empty()]
     boxes = [obj.box for obj in rows]
     mbr = enclose_all(boxes) if boxes else EMPTY_BOX
@@ -267,6 +311,12 @@ def collect_statistics(
         sample = tuple(rows)
     else:
         sample = tuple(rng.sample(rows, sample_size))
+    partition_stats: Tuple[PartitionStatistics, ...] = ()
+    if partitions > 0:
+        partition_stats = tuple(
+            PartitionStatistics(pid=p.pid, count=len(p), mbr=p.mbr)
+            for p in table.partitioning(partitions).partitions
+        )
     return TableStatistics(
         name=table.name,
         dim=dim,
@@ -276,6 +326,7 @@ def collect_statistics(
         hi_hists=tuple(hi_hists),
         avg_sides=tuple(avg_sides),
         sample=sample,
+        partitions=partition_stats,
     )
 
 
@@ -293,15 +344,20 @@ class Catalog:
         bins: int = DEFAULT_BINS,
         sample_size: int = DEFAULT_SAMPLE_SIZE,
         seed: int = 0,
+        partitions: int = 0,
     ):
         self.bins = bins
         self.sample_size = sample_size
         self.seed = seed
+        self.partitions = partitions
 
     def statistics(self, table: "SpatialTable") -> TableStatistics:
         """Statistics for one table (cached on the table)."""
         return table.statistics(
-            bins=self.bins, sample_size=self.sample_size, seed=self.seed
+            bins=self.bins,
+            sample_size=self.sample_size,
+            seed=self.seed,
+            partitions=self.partitions,
         )
 
     def for_query(self, query) -> dict:

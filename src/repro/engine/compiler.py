@@ -62,18 +62,34 @@ class QueryPlan:
         return "\n".join(lines)
 
     def physical(
-        self, mode: str = "boxplan", catalog=None, estimate: bool = True
+        self,
+        mode: str = "boxplan",
+        catalog=None,
+        estimate: bool = True,
+        partitions: int = 0,
+        parallel: int = 0,
+        parallel_kind: str = "thread",
+        join_strategy=None,
     ):
         """Lower to a physical operator tree (the third pipeline stage).
 
         ``estimate=False`` skips the EXPLAIN-only catalog cost rollouts
-        (they cost far more than executing a small query).  See
+        (they cost far more than executing a small query).
+        ``partitions``/``parallel``/``join_strategy`` configure
+        partitioned execution — see
         :func:`repro.engine.physical.build_physical_plan`.
         """
         from .physical import build_physical_plan
 
         return build_physical_plan(
-            self, mode=mode, catalog=catalog, estimate=estimate
+            self,
+            mode=mode,
+            catalog=catalog,
+            estimate=estimate,
+            partitions=partitions,
+            parallel=parallel,
+            parallel_kind=parallel_kind,
+            join_strategy=join_strategy,
         )
 
     def explain(self, mode: str = "boxplan", analyze: bool = False) -> str:

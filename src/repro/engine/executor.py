@@ -64,6 +64,9 @@ def execute(
     plan: QueryPlan,
     mode: str = "boxplan",
     cache: Optional[ProbeCache] = None,
+    partitions: int = 0,
+    parallel: int = 0,
+    join_strategy=None,
 ) -> Tuple[List[Answer], ExecutionStats]:
     """Run a compiled plan in the given mode.
 
@@ -71,14 +74,23 @@ def execute(
     unknown variable to the chosen :class:`SpatialObject`.  ``cache`` is
     an optional shared :class:`~repro.spatial.table.ProbeCache` through
     which all index probes go — repeated executions over unchanged
-    tables then skip the index entirely.  An unknown ``mode`` raises
-    :class:`~repro.errors.UnknownModeError` naming the valid modes.
+    tables then skip the index entirely.
+    ``partitions``/``parallel``/``join_strategy`` configure partitioned
+    execution (see :func:`~repro.engine.physical.build_physical_plan`);
+    the answer set is the same for every setting.  An unknown ``mode``
+    raises :class:`~repro.errors.UnknownModeError` naming the valid
+    modes.
     """
     # estimate=False: catalog cost annotations are EXPLAIN-only and the
     # rollouts would otherwise dominate small-query execution time.
-    return build_physical_plan(plan, mode=mode, estimate=False).run(
-        cache=cache
-    )
+    return build_physical_plan(
+        plan,
+        mode=mode,
+        estimate=False,
+        partitions=partitions,
+        parallel=parallel,
+        join_strategy=join_strategy,
+    ).run(cache=cache)
 
 
 def execute_iter(
@@ -86,17 +98,26 @@ def execute_iter(
     mode: str = "boxplan",
     limit: Optional[int] = None,
     cache: Optional[ProbeCache] = None,
+    partitions: int = 0,
+    parallel: int = 0,
+    join_strategy=None,
 ) -> Iterator[Answer]:
     """Streaming execution — answers are yielded as found.
 
     The operator tree is pulled depth-first, so the *first* answers
     arrive after touching only a sliver of the search space (benchmark
     E12 measures first-k latency).  All four modes stream; answer *sets*
-    equal :func:`execute`'s, order may differ between modes.  ``limit``
+    equal :func:`execute`'s, order may differ between modes (and between
+    join strategies — the bulk joins are blocking operators).  ``limit``
     bounds the number of answers with early exit.
     """
     return build_physical_plan(
-        plan, mode=mode, estimate=False
+        plan,
+        mode=mode,
+        estimate=False,
+        partitions=partitions,
+        parallel=parallel,
+        join_strategy=join_strategy,
     ).execute_iter(limit=limit, cache=cache)
 
 

@@ -37,9 +37,38 @@ explain` renders the tree with catalog cost estimates and — once the
 plan has run — per-operator actual rows/probes/node reads.
 
 Index probes optionally go through a shared
-:class:`~repro.spatial.table.ProbeCache` (bounded LRU keyed on
-``(table, box query)``), so repeated queries over unchanged tables skip
-the index entirely.
+:class:`~repro.spatial.table.ProbeCache` (bounded LRU keyed on a
+weak table handle, the table version and the box query), so repeated
+queries over unchanged tables skip the index entirely.
+
+**Partitioned execution.**  Beyond the per-tuple probe operators, three
+partition-aware extend operators implement alternative join algorithms
+(selected per step by ``join_strategy=`` — explicitly, or cost-based
+via :func:`repro.engine.planner.choose_join_strategies` with
+``"auto"``):
+
+``PartitionScan``
+    reads only the STR partitions (:meth:`SpatialTable.partitioning`)
+    whose MBR could satisfy the step's compiled box query — the
+    partition-pruned access path for unindexed tables.
+``PartitionedSpatialJoin``
+    the PBSM join: materialises the incoming partial tuples, derives a
+    probe box per tuple, co-partitions probe boxes and table rows on a
+    shared tile grid, plane-sweeps each tile (boundary duplicates are
+    deduplicated by the reference-point rule) and verifies the full box
+    query on the surviving pairs.  Tile tasks fan out over an
+    :class:`~repro.spatial.partition.Exchange` (``parallel=W`` workers,
+    thread or process pool) with a deterministic serial fallback —
+    parallel answer streams are bit-identical to serial ones.
+``ZOrderJoin``
+    the PROBE-style alternative: probe boxes and rows are decomposed
+    into z-order intervals and merge-joined
+    (:func:`repro.spatial.zorder.zorder_join`), then verified the same
+    way.
+
+All three emit exactly the rows the per-tuple probes would (property
+tested), so every mode/strategy combination returns the same answer
+set.
 """
 
 from __future__ import annotations
@@ -47,10 +76,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..boxes.box import Box
+from ..boxes.box import Box, enclose_all
 from ..constraints.solved import SolvedConstraint
 from ..constraints.system import ConstraintSystem
 from ..errors import UnknownModeError
+from ..spatial.partition import (
+    DEFAULT_TILES,
+    Exchange,
+    JoinStats,
+    mbr_may_match,
+    pbsm_join,
+    probe_box,
+)
 from ..spatial.table import ProbeCache, SpatialObject, SpatialTable
 from .compiler import QueryPlan
 from .stats import ExecutionStats
@@ -73,6 +110,10 @@ class OperatorStats:
     cache_misses: int = 0
     region_ops: int = 0  # exact region-algebra operations
     box_evals: int = 0  # box-template instantiations
+    pair_tests: int = 0  # candidate box tests (sweeps, partition scans)
+    partitions_visited: int = 0
+    partitions_pruned: int = 0
+    dedup_skipped: int = 0  # PBSM boundary duplicates suppressed
     executed: bool = False  # has the operator been pulled at all?
 
 
@@ -258,6 +299,217 @@ class IndexProbe(ExtendStep):
         return rows
 
 
+class PartitionScan(ExtendStep):
+    """Extend via a partition-MBR-pruned scan of the table.
+
+    The table's STR partitioning (cached on the table, invalidated by
+    its mutation counter) is fetched on first use; each input binding
+    instantiates the step's box template, skips every partition whose
+    MBR cannot contain a match (the same soundness argument R-tree node
+    descent uses) and tests only the surviving partitions' rows.  The
+    partition-aware access path for unindexed tables — and the
+    observable stepping stone to sharding: each partition could live on
+    a different worker.
+    """
+
+    kind = "PartitionScan"
+
+    def __init__(self, child, variable, table, template, partitions: int):
+        super().__init__(child, variable, table)
+        self.template = template
+        self.n_partitions = max(1, partitions)
+        self._partitioning = None
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}({self.variable} from {self.table.name}, "
+            f"parts={self.n_partitions})"
+        )
+
+    def reset_stats(self) -> None:
+        self._partitioning = None
+        super().reset_stats()
+
+    def _rows(self, ctx, binding):
+        if self._partitioning is None:
+            self._partitioning = self.table.partitioning(self.n_partitions)
+        query = self.template.instantiate(ctx.box_env(binding), ctx.universe)
+        self.stats.box_evals += 1
+        self.stats.probes += 1
+        if query.is_unsatisfiable():
+            self.stats.partitions_pruned += len(self._partitioning)
+            return []
+        out: List[SpatialObject] = []
+        for part in self._partitioning.partitions:
+            if not mbr_may_match(part.mbr, query):
+                self.stats.partitions_pruned += 1
+                continue
+            self.stats.partitions_visited += 1
+            for obj in part.rows:
+                self.stats.pair_tests += 1
+                if query.matches(obj.box):
+                    out.append(obj)
+        return out
+
+
+class _BulkJoinStep(ExtendStep):
+    """Base of the bulk (set-at-a-time) join operators.
+
+    Unlike the per-tuple probes, a bulk join *materialises* its child's
+    bindings, instantiates one box query each, joins all probe boxes
+    against the table in one pass, and re-emits the extended bindings
+    grouped by input binding (then by table row order) — deterministic
+    regardless of how the join itself is parallelised.  Subclasses
+    implement :meth:`_candidate_pairs` returning candidate
+    ``(binding index, row index)`` pairs whose boxes overlap; the full
+    box query is verified here, so each strategy admits exactly the
+    rows an :class:`IndexProbe` would.
+    """
+
+    def _candidate_pairs(
+        self,
+        probes: List[Tuple[int, Box]],
+        rows: List[SpatialObject],
+    ) -> List[Tuple[int, int]]:
+        raise NotImplementedError
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        self.stats.executed = True
+        bindings: List[Binding] = []
+        queries = []
+        for binding in self.child.iterate(ctx):
+            self.stats.rows_in += 1
+            query = self.template.instantiate(
+                ctx.box_env(binding), ctx.universe
+            )
+            self.stats.box_evals += 1
+            bindings.append(binding)
+            queries.append(query)
+        if not bindings:
+            return
+        self.stats.probes += 1
+        rows = [
+            obj for obj in self.table.scan() if not obj.box.is_empty()
+        ]
+        if not rows:
+            return
+        extent = enclose_all(obj.box for obj in rows)
+        probes: List[Tuple[int, Box]] = []
+        for i, query in enumerate(queries):
+            if query.is_unsatisfiable():
+                continue
+            p = probe_box(query, extent)
+            if not p.is_empty():
+                probes.append((i, p))
+        if not probes:
+            return
+        pairs = self._candidate_pairs(probes, rows)
+        pairs.sort()
+        for i, seq in pairs:
+            self.stats.pair_tests += 1
+            if not queries[i].matches(rows[seq].box):
+                continue
+            extended = dict(bindings[i])
+            extended[self.variable] = rows[seq]
+            self.stats.rows_out += 1
+            yield extended
+
+
+class PartitionedSpatialJoin(_BulkJoinStep):
+    """PBSM: co-partition probe boxes and rows, plane-sweep per tile.
+
+    Probe boxes (one per incoming partial tuple, a sound
+    necessary-condition box for the tuple's compiled query) and the
+    table's row boxes are replicated onto a shared uniform
+    :class:`~repro.spatial.partition.TileGrid`; each tile is
+    plane-swept independently, with boundary duplicates suppressed by
+    the reference-point rule.  Tile tasks run on the plan's
+    :class:`~repro.spatial.partition.Exchange` — thread/process pool or
+    the deterministic serial fallback; the output is identical either
+    way.
+    """
+
+    kind = "PartitionedSpatialJoin"
+
+    def __init__(
+        self,
+        child,
+        variable,
+        table,
+        template,
+        partitions: int = DEFAULT_TILES,
+        exchange: Optional[Exchange] = None,
+    ):
+        super().__init__(child, variable, table)
+        self.template = template
+        self.n_tiles = max(1, partitions)
+        self.exchange = exchange or Exchange()
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}({self.variable} from {self.table.name}, "
+            f"tiles={self.n_tiles}, exchange={self.exchange.describe()})"
+        )
+
+    def _candidate_pairs(self, probes, rows):
+        join_stats = JoinStats()
+        pairs = pbsm_join(
+            [(box, i) for i, box in probes],
+            [(obj.box, seq) for seq, obj in enumerate(rows)],
+            n_tiles=self.n_tiles,
+            exchange=self.exchange,
+            stats=join_stats,
+        )
+        self.stats.partitions_visited += join_stats.tiles
+        self.stats.pair_tests += join_stats.pair_tests
+        self.stats.dedup_skipped += join_stats.dedup_skipped
+        return pairs
+
+
+class ZOrderJoin(_BulkJoinStep):
+    """The PROBE-style join: merge two z-interval streams.
+
+    Probe boxes and row boxes are decomposed into z-order interval
+    lists over a shared :class:`~repro.spatial.zorder.ZGrid` and
+    sort-merge joined (:func:`~repro.spatial.zorder.zorder_join`); the
+    surviving candidate pairs are verified against the full compiled
+    box query like every other strategy.
+    """
+
+    kind = "ZOrderJoin"
+
+    def __init__(self, child, variable, table, template, levels: int = 6):
+        super().__init__(child, variable, table)
+        self.template = template
+        self.levels = levels
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}({self.variable} from {self.table.name}, "
+            f"levels={self.levels})"
+        )
+
+    def _candidate_pairs(self, probes, rows):
+        from ..spatial.zorder import ZGrid, ZOrderIndex, zorder_join
+
+        universe = self.table.universe
+        extent = universe if universe is not None else Box((), ())
+        for _i, box in probes:
+            extent = extent.enclose(box)
+        for obj in rows:
+            extent = extent.enclose(obj.box)
+        if extent.is_empty():
+            return []
+        grid = ZGrid(extent, levels=self.levels)
+        left = ZOrderIndex(grid)
+        for i, box in probes:
+            left.insert(box, i)
+        right = ZOrderIndex(grid)
+        for seq, obj in enumerate(rows):
+            right.insert(obj.box, seq)
+        return list(zorder_join(left, right, exact=True))
+
+
 class BoxFilter(PhysicalOperator):
     """Filter bindings by a step's instantiated box query.
 
@@ -366,6 +618,9 @@ class PhysicalPlan:
     root: PhysicalOperator
     step_ops: List[_StepOps] = field(default_factory=list)
     final_filter: Optional[ExactFilter] = None
+    partitions: int = 0
+    join_strategies: Tuple[str, ...] = ()
+    exchange: Optional[Exchange] = None
 
     # -- execution ---------------------------------------------------------------
     def execute_iter(
@@ -422,6 +677,10 @@ class PhysicalPlan:
             else:
                 step.candidates = extend.rows_out
             stats.box_ops_estimate += extend.box_evals
+            # Candidate pair tests (plane sweeps, partition scans) are
+            # box work too — the partitioned operators' analogue of the
+            # per-probe box evaluations.
+            stats.box_ops_estimate += extend.pair_tests
             if ops.exact_filter is not None:
                 step.survivors = ops.exact_filter.stats.rows_out
                 stats.region_ops += ops.exact_filter.stats.region_ops
@@ -465,6 +724,20 @@ class PhysicalPlan:
             f"PhysicalPlan[{self.mode}]"
             f"  order: {', '.join(self.logical.order)}"
         ]
+        if self.partitions or any(
+            s != "probe" for s in self.join_strategies
+        ):
+            joins = ", ".join(
+                f"{v}={s}"
+                for v, s in zip(self.logical.order, self.join_strategies)
+            )
+            exchange = (
+                self.exchange.describe() if self.exchange else "serial"
+            )
+            lines.append(
+                f"  partitions={self.partitions or 'off'}"
+                f"  exchange={exchange}  joins: {joins}"
+            )
 
         def annotate(op: PhysicalOperator) -> str:
             parts = []
@@ -482,6 +755,15 @@ class PhysicalPlan:
                         f"cache={s.cache_hits}/"
                         f"{s.cache_hits + s.cache_misses}"
                     )
+                if s.partitions_visited or s.partitions_pruned:
+                    actual.append(
+                        f"parts={s.partitions_visited}/"
+                        f"{s.partitions_visited + s.partitions_pruned}"
+                    )
+                if s.pair_tests:
+                    actual.append(f"pair_tests={s.pair_tests}")
+                if s.dedup_skipped:
+                    actual.append(f"dedup={s.dedup_skipped}")
                 if s.region_ops:
                     actual.append(f"region_ops={s.region_ops}")
                 parts.append("actual: " + " ".join(actual))
@@ -497,11 +779,91 @@ class PhysicalPlan:
         return "\n".join(lines)
 
 
+def _resolve_join_strategies(
+    plan: QueryPlan,
+    mode: str,
+    catalog,
+    partitions: int,
+    parallel: int,
+    join_strategy,
+) -> Dict[str, str]:
+    """Normalise the ``join_strategy`` option to a per-variable mapping.
+
+    Accepted forms: ``None`` (per-backend default: ``"probe"``, or
+    ``"partition"`` for unindexed tables when partitioning is enabled),
+    ``"auto"`` (cost-based, via
+    :func:`~repro.engine.planner.choose_join_strategies`), a single
+    strategy name for every step, a sequence aligned with the retrieval
+    order, or a ``variable → strategy`` mapping.  Join strategies only
+    shape box-mode plans — the ``naive``/``exact`` modes have no box
+    layer to join on, so an *explicit* concrete strategy there raises
+    rather than being silently dropped (``"auto"`` degrades quietly: it
+    delegates the choice, and in these modes there is none to make).
+    """
+    from .planner import JOIN_STRATEGIES, choose_join_strategies
+
+    if mode not in ("boxplan", "boxonly"):
+        if join_strategy not in (None, "auto"):
+            raise ValueError(
+                f"join_strategy={join_strategy!r} only applies to the "
+                f"box modes ('boxplan', 'boxonly'); mode {mode!r} has "
+                f"no box layer to join on"
+            )
+        return {}
+    if join_strategy is None:
+        out = {}
+        if partitions > 0:
+            out = {
+                sp.variable: "partition"
+                for sp in plan.steps
+                if sp.table.index_kind == "scan"
+            }
+        return out
+    if join_strategy == "auto":
+        chosen = choose_join_strategies(
+            plan.query,
+            plan.order,
+            catalog=catalog,
+            partitions=partitions,
+            workers=parallel,
+        )
+        return dict(zip(plan.order, chosen))
+    if isinstance(join_strategy, str):
+        resolved = {v: join_strategy for v in plan.order}
+    elif isinstance(join_strategy, dict):
+        resolved = dict(join_strategy)
+        unknown = set(resolved) - set(plan.order)
+        if unknown:
+            raise ValueError(
+                f"join_strategy names unknown variables "
+                f"{sorted(unknown)}; retrieval order is {list(plan.order)}"
+            )
+    else:
+        names = list(join_strategy)
+        if len(names) != len(plan.order):
+            raise ValueError(
+                f"join_strategy sequence has {len(names)} entries for "
+                f"{len(plan.order)} retrieval steps ({list(plan.order)})"
+            )
+        resolved = dict(zip(plan.order, names))
+    for variable, name in resolved.items():
+        if name not in JOIN_STRATEGIES:
+            raise ValueError(
+                f"unknown join strategy {name!r} for {variable!r}; "
+                f"expected one of {JOIN_STRATEGIES} (or 'auto')"
+            )
+    return resolved
+
+
 def build_physical_plan(
     plan: QueryPlan,
     mode: str = "boxplan",
     catalog=None,
     estimate: bool = True,
+    partitions: int = 0,
+    parallel: int = 0,
+    parallel_kind: str = "thread",
+    join_strategy=None,
 ) -> PhysicalPlan:
     """Lower a logical :class:`QueryPlan` to a physical operator tree.
 
@@ -510,9 +872,30 @@ def build_physical_plan(
     :class:`~repro.errors.UnknownModeError` naming the valid modes.
     ``estimate=False`` skips the catalog cost annotations (they need a
     pass over table statistics).
+
+    Partitioned execution options (box modes only):
+
+    ``partitions``
+        spatial partition / PBSM tile target (0 disables partitioning;
+        unindexed tables then default to ``PartitionScan``);
+    ``parallel`` / ``parallel_kind``
+        worker count and pool kind (``"thread"``/``"process"``/
+        ``"serial"``) for the PBSM tile :class:`Exchange` — results are
+        identical to serial execution;
+    ``join_strategy``
+        per-step join algorithm: ``None`` (defaults), ``"auto"``
+        (cost-based), one of
+        :data:`~repro.engine.planner.JOIN_STRATEGIES`, or a
+        sequence/mapping per variable.
     """
     if mode not in MODES:
         raise UnknownModeError(mode, MODES)
+
+    strategies = _resolve_join_strategies(
+        plan, mode, catalog, partitions, parallel, join_strategy
+    )
+    exchange = Exchange(workers=parallel, kind=parallel_kind)
+    tiles = partitions if partitions > 0 else DEFAULT_TILES
 
     node: PhysicalOperator = Once()
     step_ops: List[_StepOps] = []
@@ -528,9 +911,30 @@ def build_physical_plan(
         use_boxes = mode in ("boxplan", "boxonly")
         exact_steps = mode in ("boxplan", "exact")
         for sp in plan.steps:
+            strategy = strategies.get(sp.variable, "probe")
             box_filter: Optional[BoxFilter] = None
-            if use_boxes and sp.table.index_kind != "scan":
-                extend: ExtendStep = IndexProbe(
+            if use_boxes and strategy == "pbsm":
+                extend: ExtendStep = PartitionedSpatialJoin(
+                    node,
+                    sp.variable,
+                    sp.table,
+                    sp.template,
+                    partitions=tiles,
+                    exchange=exchange,
+                )
+                node = extend
+            elif use_boxes and strategy == "zorder":
+                extend = ZOrderJoin(
+                    node, sp.variable, sp.table, sp.template
+                )
+                node = extend
+            elif use_boxes and strategy == "partition":
+                extend = PartitionScan(
+                    node, sp.variable, sp.table, sp.template, tiles
+                )
+                node = extend
+            elif use_boxes and sp.table.index_kind != "scan":
+                extend = IndexProbe(
                     node, sp.variable, sp.table, sp.template
                 )
                 node = extend
@@ -564,6 +968,11 @@ def build_physical_plan(
         root=node,
         step_ops=step_ops,
         final_filter=final_filter,
+        partitions=partitions,
+        join_strategies=tuple(
+            strategies.get(v, "probe") for v in plan.order
+        ),
+        exchange=exchange,
     )
     if estimate:
         _annotate_estimates(pplan, catalog)
@@ -600,10 +1009,12 @@ def _annotate_estimates(pplan: PhysicalPlan, catalog=None) -> None:
         if pplan.mode == "naive":
             running *= max(1, len(plan.query.tables[ops.variable]))
             ops.extend.est_rows = running
-        elif isinstance(ops.extend, IndexProbe):
-            ops.extend.est_rows = est.candidates
-        else:
+        elif isinstance(ops.extend, TableScan):
             ops.extend.est_rows = est.scan_candidates
+        else:
+            # Every probing/joining strategy admits exactly the rows the
+            # step's box query matches.
+            ops.extend.est_rows = est.candidates
         if ops.box_filter is not None:
             ops.box_filter.est_rows = est.candidates
         if ops.exact_filter is not None:

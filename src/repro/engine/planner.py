@@ -18,11 +18,16 @@ results, exactly like join ordering in relational optimizers.  We provide
   rollouts' expected partial-tuple total);
 * :func:`plan_order` / :func:`best_order_by_estimate` — strategy
   dispatch with the greedy heuristic as the safe fallback (the ablation
-  hook ``bench_order_ablation.py`` compares all strategies).
+  hook ``bench_order_ablation.py`` compares all strategies);
+* :func:`choose_join_strategies` — per-step join-algorithm choice
+  (index-nested-loop probe vs partition-pruned scan vs PBSM vs z-order
+  merge), priced on the same rollout estimates — partition pruning
+  included via the catalog's per-partition statistics.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from itertools import permutations
@@ -31,11 +36,33 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..boxes.bconstraints import compile_solved_constraint
 from ..constraints.system import ConstraintSystem
 from ..constraints.triangular import triangular_form
+from ..spatial.partition import DEFAULT_TILES
 from .catalog import Catalog
 from .query import SpatialQuery
 
 #: Strategies accepted by :func:`plan_order`.
 ORDER_STRATEGIES = ("greedy", "estimate", "histogram")
+
+#: Per-step join algorithms :func:`choose_join_strategies` picks among
+#: (and :func:`repro.engine.physical.build_physical_plan` accepts):
+#: ``"probe"`` — index-nested-loop (one compiled range query per partial
+#: tuple; lowered to TableScan→BoxFilter on unindexed tables);
+#: ``"partition"`` — PartitionScan over the table's STR partitions;
+#: ``"pbsm"`` — partition-based spatial-merge join; ``"zorder"`` — the
+#: PROBE-style z-order merge join.
+JOIN_STRATEGIES = ("probe", "partition", "pbsm", "zorder")
+
+#: A PBSM/z-order step must expect at least this many probing partial
+#: tuples before bulk joins can beat per-tuple index probes.
+MIN_BULK_JOIN_OUTER = 4.0
+
+#: ... and the probed table must have at least this many rows.
+MIN_BULK_JOIN_ROWS = 32
+
+#: Entry tests per node on an R-tree descent (~M/2 for capacity 8);
+#: one probe costs about ``log2(n) * branching`` box tests, which
+#: matches the measured ``entry_tests`` of the partitioned-join bench.
+INDEX_PROBE_BRANCHING = 4.0
 
 #: Beyond this many unknowns, exhaustive order enumeration is skipped
 #: and the greedy heuristic is used directly.
@@ -167,7 +194,10 @@ class StepEstimate:
     ``survivors``
         partial tuples after the step's exact filter.  The box query is
         a necessary condition for the exact constraint, so this estimate
-        applies to the scan-based modes too.
+        applies to the scan-based modes too;
+    ``pruned_candidates``
+        rows read after partition-MBR pruning (``PartitionScan``'s read
+        cost); equals ``scan_candidates`` when partitioning is disabled.
     """
 
     variable: str
@@ -175,6 +205,7 @@ class StepEstimate:
     candidates: float
     scan_candidates: float
     survivors: float
+    pruned_candidates: float = 0.0
 
 
 def rollout_step_estimates(
@@ -183,6 +214,7 @@ def rollout_step_estimates(
     catalog: Optional[Catalog] = None,
     rollouts: int = 6,
     seed: int = 0,
+    partitions: int = 0,
 ) -> List[StepEstimate]:
     """Per-step cardinality estimates for one retrieval order.
 
@@ -199,10 +231,22 @@ def rollout_step_estimates(
       queries can look equally permissive);
     * representative objects for later steps are drawn from the sample.
 
+    ``partitions > 0`` collects per-partition statistics and fills
+    :attr:`StepEstimate.pruned_candidates` from partition-MBR pruning
+    (otherwise it equals the full-scan fanout).
+
     Used by :func:`estimate_order_cost_histogram` (the planner's cost
-    model) and by the physical plan's EXPLAIN annotations.
+    model), :func:`choose_join_strategies`, and the physical plan's
+    EXPLAIN annotations.
     """
     catalog = catalog or Catalog()
+    if partitions and catalog.partitions != partitions:
+        catalog = Catalog(
+            bins=catalog.bins,
+            sample_size=catalog.sample_size,
+            seed=catalog.seed,
+            partitions=partitions,
+        )
     stats = {name: catalog.statistics(t) for name, t in query.tables.items()}
     tri = triangular_form(query.system, list(order))
     steps = {c.variable: (c, compile_solved_constraint(c)) for c in tri.constraints}
@@ -217,7 +261,8 @@ def rollout_step_estimates(
     rng = random.Random(seed)
     n_rollouts = max(1, rollouts)
     sums = {
-        name: [0.0, 0.0, 0.0, 0.0]  # partials_in, candidates, scan, survivors
+        # partials_in, candidates, scan, survivors, pruned
+        name: [0.0, 0.0, 0.0, 0.0, 0.0]
         for name in order
     }
     for _ in range(n_rollouts):
@@ -229,10 +274,12 @@ def rollout_step_estimates(
             step = steps.get(name)
             if step is None:  # unconstrained variable: full scan fanout
                 box_sel, exact_frac, matching = 1.0, 1.0, list(st.sample)
+                pruned = float(st.count)
             else:
                 solved, template = step
                 box_query = template.instantiate(box_env, universe)
                 box_sel = st.selectivity(box_query)
+                pruned = st.pruned_count(box_query)
                 matching = [
                     obj
                     for obj in st.sample
@@ -254,6 +301,7 @@ def rollout_step_estimates(
             acc[0] += partials
             acc[1] += partials * candidates
             acc[2] += partials * st.count
+            acc[4] += partials * pruned
             partials *= survivors
             acc[3] += partials
             # Choose a representative retrieved object for later steps;
@@ -272,6 +320,7 @@ def rollout_step_estimates(
             candidates=sums[name][1] / n_rollouts,
             scan_candidates=sums[name][2] / n_rollouts,
             survivors=sums[name][3] / n_rollouts,
+            pruned_candidates=sums[name][4] / n_rollouts,
         )
         for name in order
     ]
@@ -283,20 +332,33 @@ def estimate_order_cost_histogram(
     catalog: Optional[Catalog] = None,
     rollouts: int = 6,
     seed: int = 0,
+    partitions: int = 0,
 ) -> float:
     """Statistics-driven cost estimate for one retrieval order.
 
     Rolls the order out over the statistics catalog (see
     :func:`rollout_step_estimates`); the cost is the expected total
     number of partial tuples (the executor's ``partial_tuples`` counter)
-    plus a small candidate term so index work breaks ties.
+    plus a small candidate term so index work breaks ties.  With
+    ``partitions > 0`` the tie term uses the partition-pruned read cost
+    when it beats the index estimate, so orders whose steps prune well
+    are preferred.
     """
     estimates = rollout_step_estimates(
-        query, order, catalog=catalog, rollouts=rollouts, seed=seed
+        query,
+        order,
+        catalog=catalog,
+        rollouts=rollouts,
+        seed=seed,
+        partitions=partitions,
     )
-    return sum(e.survivors for e in estimates) + 1e-3 * sum(
-        e.candidates for e in estimates
-    )
+    if partitions:
+        index_work = sum(
+            min(e.candidates, e.pruned_candidates) for e in estimates
+        )
+    else:
+        index_work = sum(e.candidates for e in estimates)
+    return sum(e.survivors for e in estimates) + 1e-3 * index_work
 
 
 def _exhaustive_costs(
@@ -313,6 +375,7 @@ def best_order_by_estimate(
     query: SpatialQuery,
     estimator: str = "histogram",
     catalog: Optional[Catalog] = None,
+    partitions: int = 0,
 ) -> Tuple[str, ...]:
     """Exhaustively pick the order minimising the estimate (small n).
 
@@ -338,7 +401,7 @@ def best_order_by_estimate(
         costs = _exhaustive_costs(
             query,
             lambda order: estimate_order_cost_histogram(
-                query, order, catalog=catalog
+                query, order, catalog=catalog, partitions=partitions
             ),
         )
         best = _argmin_order(costs)
@@ -356,6 +419,7 @@ def plan_order(
     query: SpatialQuery,
     strategy: str = "greedy",
     catalog: Optional[Catalog] = None,
+    partitions: int = 0,
 ) -> Tuple[str, ...]:
     """Pick a retrieval order with the named strategy.
 
@@ -363,7 +427,8 @@ def plan_order(
     needed); ``"estimate"`` — exhaustive over the raw-size estimate;
     ``"histogram"`` — exhaustive over the statistics-catalog estimate,
     falling back to greedy when statistics are unusable.  This is the
-    ablation hook used by ``bench_order_ablation.py``.
+    ablation hook used by ``bench_order_ablation.py``.  ``partitions``
+    makes the histogram strategy cost partition pruning too.
     """
     if strategy == "greedy":
         return choose_order(query)
@@ -371,8 +436,90 @@ def plan_order(
         return best_order_by_estimate(query, estimator="raw")
     if strategy == "histogram":
         return best_order_by_estimate(
-            query, estimator="histogram", catalog=catalog
+            query,
+            estimator="histogram",
+            catalog=catalog,
+            partitions=partitions,
         )
     raise ValueError(
         f"unknown strategy {strategy!r}; expected one of {ORDER_STRATEGIES}"
     )
+
+
+def choose_join_strategies(
+    query: SpatialQuery,
+    order: Sequence[str],
+    catalog: Optional[Catalog] = None,
+    partitions: int = 0,
+    workers: int = 0,
+    rollouts: int = 6,
+    seed: int = 0,
+) -> Tuple[str, ...]:
+    """Pick a join algorithm per retrieval step (cost-based).
+
+    For each step of ``order`` the chooser compares, on the statistics
+    catalog's rollout estimates, the expected work of
+
+    * ``"probe"`` — index-nested-loop: one compiled range query per
+      incoming partial tuple (a full scan per *step* on unindexed
+      tables);
+    * ``"partition"`` — PartitionScan: a partition-MBR-pruned scan per
+      partial tuple (only meaningful with ``partitions > 0``);
+    * ``"pbsm"`` — the partition-based spatial-merge join: co-partition
+      the incoming tuples' probe boxes and the table, plane-sweep each
+      tile;
+    * ``"zorder"`` — the PROBE-style z-order merge join.
+
+    Bulk joins (pbsm/z-order) pay a per-row build cost, so they only
+    win when many partial tuples probe a large table; the thresholds
+    keep small steps on the classic probe path.  Any estimation failure
+    returns all-``"probe"`` — the safe default.
+    """
+    order = tuple(order)
+    try:
+        estimates = rollout_step_estimates(
+            query,
+            order,
+            catalog=catalog,
+            rollouts=rollouts,
+            seed=seed,
+            partitions=partitions,
+        )
+    except Exception:
+        return tuple("probe" for _ in order)
+    tiles = partitions if partitions > 0 else DEFAULT_TILES
+    speedup = max(1.0, float(workers)) ** 0.5  # pools amortise sweeps
+    out: List[str] = []
+    for est in estimates:
+        table = query.tables[est.variable]
+        n = len(table)
+        outer = est.partials_in
+        indexed = table.index_kind != "scan"
+        if indexed:
+            cost_probe = (
+                outer * math.log2(n + 2.0) * INDEX_PROBE_BRANCHING
+                + est.candidates
+            )
+        else:
+            cost_probe = outer * max(1.0, float(n))
+        costs = {"probe": cost_probe}
+        if partitions > 0:
+            # pruned_candidates already totals the rows read across all
+            # probing partial tuples (like scan_candidates does).
+            costs["partition"] = outer + est.pruned_candidates
+        if outer >= MIN_BULK_JOIN_OUTER and n >= MIN_BULK_JOIN_ROWS:
+            pair_tests = max(
+                est.candidates, outer * n / max(1.0, float(tiles))
+            )
+            costs["pbsm"] = (
+                1.5 * (outer + n) + pair_tests / speedup
+            )
+            costs["zorder"] = (
+                4.0 * (outer + n) * math.log2(outer + n + 2.0)
+                + 2.0 * est.candidates
+            )
+        best = min(
+            JOIN_STRATEGIES, key=lambda s: costs.get(s, float("inf"))
+        )
+        out.append(best)
+    return tuple(out)

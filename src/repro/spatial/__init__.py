@@ -7,6 +7,18 @@ reduction, a z-order join in the style of PROBE [10], and the
 
 from .gridfile import GridFile, GridStats
 from .join import index_nested_loop_join, synchronized_rtree_join
+from .partition import (
+    DEFAULT_TILES,
+    Exchange,
+    JoinStats,
+    Partition,
+    TablePartitioning,
+    TileGrid,
+    mbr_may_match,
+    pbsm_join,
+    probe_box,
+    str_partition,
+)
 from .rangequery import (
     OPEN_EPS,
     PointRange,
@@ -26,15 +38,21 @@ from .zorder import (
 )
 
 __all__ = [
+    "DEFAULT_TILES",
+    "Exchange",
     "GridFile",
     "GridStats",
+    "JoinStats",
     "OPEN_EPS",
+    "Partition",
     "PointRange",
     "ProbeCache",
     "RTree",
     "RTreeStats",
     "SpatialObject",
     "SpatialTable",
+    "TablePartitioning",
+    "TileGrid",
     "ZGrid",
     "ZOrderIndex",
     "ZRange",
@@ -43,6 +61,10 @@ __all__ = [
     "figure3_rectangle",
     "interleave",
     "matches_via_point",
+    "mbr_may_match",
+    "pbsm_join",
+    "probe_box",
+    "str_partition",
     "synchronized_rtree_join",
     "zorder_join",
     "zorder_overlap_query",

@@ -32,14 +32,22 @@ Point = Tuple[float, ...]
 
 @dataclass
 class GridStats:
-    """Probe counters for benchmarks."""
+    """Probe counters for benchmarks.
+
+    ``skipped_splits`` counts overflows where no scale coordinate could
+    separate the bucket's points (e.g. all-duplicate points): the bucket
+    is left oversized — queries stay correct, but the counter makes the
+    degenerate growth visible instead of silent.
+    """
 
     bucket_reads: int = 0
     cell_visits: int = 0
     splits: int = 0
+    skipped_splits: int = 0
 
     def reset(self) -> None:
-        self.bucket_reads = self.cell_visits = self.splits = 0
+        self.bucket_reads = self.cell_visits = 0
+        self.splits = self.skipped_splits = 0
 
 
 class _Bucket:
@@ -111,7 +119,8 @@ class GridFile:
 
         Tries each dimension (starting from the rotation pointer) until a
         split coordinate actually separates the bucket's points; gives up
-        (allowing oversized buckets of duplicate points) otherwise.
+        (allowing oversized buckets of duplicate points, recorded in
+        ``stats.skipped_splits``) otherwise.
         """
         for attempt in range(self.dim):
             d = (self._next_split_dim + attempt) % self.dim
@@ -129,6 +138,7 @@ class GridFile:
             self._extend_scale(d, median)
             self.stats.splits += 1
             return
+        self.stats.skipped_splits += 1
 
     def _extend_scale(self, d: int, coordinate: float) -> None:
         """Insert a split coordinate, refining the directory.

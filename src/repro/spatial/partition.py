@@ -1,0 +1,497 @@
+"""Spatial partitioning: STR tiles, the PBSM grid, and the Exchange driver.
+
+Three pieces turn the single-partition engine into a partitioned,
+parallelisable one:
+
+* :func:`str_partition` — Sort-Tile-Recursive tiling of a table's rows
+  into disjoint :class:`Partition`\\ s, each carrying its member rows,
+  bounding box (MBR) and counts.  The partition MBRs are what
+  :class:`~repro.engine.physical.PartitionScan` prunes against and what
+  the statistics catalog records per partition.
+
+* the **PBSM** machinery (after Patel & DeWitt's partition-based
+  spatial-merge join): a uniform :class:`TileGrid` over the joint extent
+  of both inputs, *replication* of every box into each tile it overlaps,
+  a per-tile **plane sweep** (:func:`_sweep_tile`) producing candidate
+  overlap pairs, and **reference-point deduplication** — a pair is
+  emitted only in the tile containing the lower corner of the two boxes'
+  intersection, so boundary duplicates never leave their tile and no
+  global "seen" set is needed.  That makes the tile tasks independent
+  and order-insensitive: :func:`pbsm_join` returns the same pair list
+  whether tiles run serially or on a pool.
+
+* :class:`Exchange` — the driver that fans tile tasks out over a
+  ``concurrent.futures`` thread or process pool, with a deterministic
+  serial fallback (``workers <= 1``, single task, or pool creation
+  failure).  Task order is preserved, so parallel results are
+  bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from ..boxes.bconstraints import BoxQuery
+from ..boxes.box import Box, enclose_all
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .table import SpatialObject, SpatialTable
+
+#: Default PBSM tile target when no partition count is configured.
+DEFAULT_TILES = 16
+
+
+def mbr_may_match(mbr: Box, query: BoxQuery) -> bool:
+    """Could a box inside ``mbr`` satisfy ``query``?  (Sound pruning.)
+
+    The same containment logic R-tree node descent uses: an entry
+    ``e ⊑ a`` forces ``mbr ⊓ a ≠ ∅``; ``b ⊑ e`` forces ``b ⊑ mbr``;
+    ``e ⊓ c ≠ ∅`` forces ``mbr ⊓ c ≠ ∅``.
+    """
+    if mbr.is_empty():
+        return False
+    if query.inside is not None and not mbr.overlaps(query.inside):
+        return False
+    if (
+        query.covers is not None
+        and not query.covers.is_empty()
+        and not query.covers.le(mbr)
+    ):
+        return False
+    return all(mbr.overlaps(c) for c in query.overlap)
+
+
+def probe_box(query: BoxQuery, extent: Box) -> Box:
+    """A single box every ``query`` match must *overlap* (for pruning).
+
+    Any row box matching the query overlaps each of its constraint boxes
+    (a non-empty box inside ``a`` overlaps ``a``; one covering ``b``
+    overlaps ``b``; overlap constraints by definition), so any one of
+    them is a sound necessary-condition box; the smallest-volume one
+    prunes best.  A query with no constraint boxes degrades to
+    ``extent`` (no pruning).  The returned box may be empty — then no
+    non-empty row box can match.
+    """
+    candidates: List[Box] = []
+    if query.inside is not None:
+        candidates.append(query.inside)
+    if query.covers is not None and not query.covers.is_empty():
+        candidates.append(query.covers)
+    candidates.extend(query.overlap)
+    if not candidates:
+        return extent
+    if any(c.is_empty() for c in candidates):
+        return Box((), ())  # empty: nothing can match
+    return min(candidates, key=lambda b: b.volume())
+
+
+# -- STR table partitioning ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One spatial partition: disjoint member rows plus their MBR."""
+
+    pid: int
+    mbr: Box
+    rows: Tuple["SpatialObject", ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class TablePartitioning:
+    """An STR tiling of one table's rows into spatial partitions.
+
+    Built by :func:`str_partition` (and cached on the table by
+    :meth:`repro.spatial.table.SpatialTable.partitioning`, keyed on the
+    mutation counter so any insert or reindex invalidates it).  Rows
+    with empty bounding boxes are excluded — they match no box query.
+    """
+
+    table_name: str
+    version: int
+    target: int
+    partitions: Tuple[Partition, ...]
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def prune(self, query: BoxQuery) -> List[Partition]:
+        """Partitions whose MBR could contain a row matching ``query``."""
+        if query.is_unsatisfiable():
+            return []
+        return [p for p in self.partitions if mbr_may_match(p.mbr, query)]
+
+
+def _str_tiles(
+    rows: List["SpatialObject"], target: int, dim: int, d: int = 0
+) -> List[List["SpatialObject"]]:
+    """Recursive Sort-Tile-Recursive slicing over the centre coordinates."""
+    if target <= 1 or len(rows) <= 1 or d >= dim:
+        return [rows]
+    dims_left = dim - d
+    slices = max(1, math.ceil(target ** (1.0 / dims_left)))
+    rows = sorted(
+        rows, key=lambda o: (o.box.lo[d] + o.box.hi[d]) / 2
+    )
+    per_slice = math.ceil(len(rows) / slices)
+    out: List[List["SpatialObject"]] = []
+    for i in range(0, len(rows), per_slice):
+        chunk = rows[i : i + per_slice]
+        out.extend(
+            _str_tiles(chunk, math.ceil(target / slices), dim, d + 1)
+        )
+    return out
+
+
+def str_partition(
+    table: "SpatialTable", n_partitions: int
+) -> TablePartitioning:
+    """STR-tile a table into ~``n_partitions`` disjoint spatial partitions.
+
+    Rows are sorted by box centre along dimension 0, sliced into
+    roughly ``sqrt(n)`` slabs, each slab sorted and sliced along the
+    next dimension, and so on — the same tiling STR bulk loading uses
+    for R-tree leaves, applied at partition granularity.  Each row lands
+    in exactly one partition; partition MBRs may overlap (boxes stick
+    out of their centre's tile), which is why pruning tests MBRs, not
+    tiles.
+    """
+    if n_partitions < 1:
+        raise ValueError(
+            f"n_partitions must be positive, got {n_partitions}"
+        )
+    rows = [obj for obj in table if not obj.box.is_empty()]
+    tiles = _str_tiles(rows, n_partitions, table.dim) if rows else []
+    partitions = tuple(
+        Partition(
+            pid=pid,
+            mbr=enclose_all(o.box for o in tile),
+            rows=tuple(tile),
+        )
+        for pid, tile in enumerate(tiles)
+        if tile
+    )
+    return TablePartitioning(
+        table_name=table.name,
+        version=table._version,
+        target=n_partitions,
+        partitions=partitions,
+    )
+
+
+# -- the PBSM tile grid -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A uniform grid of half-open tiles over a joint extent.
+
+    ``shape[d]`` tiles along dimension ``d``; tiles are addressed by a
+    flat index.  Used by PBSM to co-partition both join inputs: a box is
+    *replicated* into every tile it overlaps, and the reference-point
+    rule (:func:`_sweep_tile`) ensures each result pair is emitted by
+    exactly one tile.
+    """
+
+    extent: Box
+    shape: Tuple[int, ...]
+    steps: Tuple[float, ...] = ()
+
+    def __post_init__(self):
+        if not self.steps and not self.extent.is_empty():
+            # Cached per-dimension tile widths: tile addressing runs in
+            # the sweep's innermost loop (once per candidate pair).
+            object.__setattr__(
+                self,
+                "steps",
+                tuple(
+                    (hi - lo) / s
+                    for lo, hi, s in zip(
+                        self.extent.lo, self.extent.hi, self.shape
+                    )
+                ),
+            )
+
+    @staticmethod
+    def build(boxes: Iterable[Box], n_tiles: int) -> Optional["TileGrid"]:
+        """Grid over the enclosing extent; ``None`` when no boxes."""
+        extent = enclose_all(b for b in boxes if not b.is_empty())
+        if extent.is_empty():
+            return None
+        return TileGrid(
+            extent=extent,
+            shape=TileGrid._shape_for(extent.dim, n_tiles),
+        )
+
+    @staticmethod
+    def _shape_for(dim: int, n_tiles: int) -> Tuple[int, ...]:
+        n = max(1, n_tiles)
+        shape: List[int] = []
+        remaining = n
+        for d in range(dim):
+            dims_left = dim - d
+            s = max(1, round(remaining ** (1.0 / dims_left)))
+            shape.append(s)
+            remaining = max(1, math.ceil(remaining / s))
+        return tuple(shape)
+
+    @property
+    def tile_count(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def _flat(self, idx: Sequence[int]) -> int:
+        out = 0
+        for i, s in zip(idx, self.shape):
+            out = out * s + i
+        return out
+
+    def tile_of_point(self, point: Sequence[float]) -> int:
+        """Flat index of the tile containing ``point`` (edges clamped)."""
+        idx = []
+        for d, (p, lo, s) in enumerate(
+            zip(point, self.extent.lo, self.steps)
+        ):
+            i = int((p - lo) / s) if s > 0 else 0
+            idx.append(min(self.shape[d] - 1, max(0, i)))
+        return self._flat(idx)
+
+    def tiles_overlapping(self, box: Box) -> List[int]:
+        """Flat indices of every tile the (half-open) box overlaps."""
+        if box.is_empty():
+            return []
+        clipped = box.meet(self.extent)
+        if clipped.is_empty():
+            return []
+        ranges = []
+        for d, s in enumerate(self.steps):
+            if s <= 0:
+                ranges.append(range(0, 1))
+                continue
+            lo = self.extent.lo[d]
+            first = int((clipped.lo[d] - lo) / s)
+            last = math.ceil((clipped.hi[d] - lo) / s) - 1
+            first = min(self.shape[d] - 1, max(0, first))
+            last = min(self.shape[d] - 1, max(first, last))
+            ranges.append(range(first, last + 1))
+        return [self._flat(idx) for idx in product(*ranges)]
+
+
+@dataclass
+class JoinStats:
+    """Counters for one PBSM join (the benchmark's cost model)."""
+
+    tiles: int = 0  # tile tasks actually swept (both sides non-empty)
+    replicated_left: int = 0  # extra tile copies beyond the first
+    replicated_right: int = 0
+    pair_tests: int = 0  # candidate box-overlap tests in the sweeps
+    pairs: int = 0  # result pairs after dedup
+    dedup_skipped: int = 0  # boundary duplicates suppressed
+
+    def merge_tile(self, tests: int, dups: int) -> None:
+        self.tiles += 1
+        self.pair_tests += tests
+        self.dedup_skipped += dups
+
+
+#: A tile task: ``(grid, flat tile index, left entries, right entries)``
+#: with entries ``(box, position)``.  Module-level payload/worker so
+#: process pools can pickle them.
+_TileTask = Tuple[TileGrid, int, List[Tuple[Box, int]], List[Tuple[Box, int]]]
+
+
+def _sweep_tile(task: _TileTask) -> Tuple[List[Tuple[int, int]], int, int]:
+    """Plane-sweep one tile; returns ``(pairs, tests, dedup_skipped)``.
+
+    Both entry lists are sorted by lower edge in dimension 0 and swept
+    in lockstep; an active list holds the opposite side's boxes that may
+    still overlap later ones.  Every candidate test is counted; a pair
+    whose boxes overlap is emitted only if the reference point (the
+    lower corner of the intersection) falls in *this* tile.
+    """
+    grid, tile, left, right = task
+    left = sorted(left, key=lambda e: e[0].lo[0])
+    right = sorted(right, key=lambda e: e[0].lo[0])
+    pairs: List[Tuple[int, int]] = []
+    tests = 0
+    dups = 0
+    i = j = 0
+    active_left: List[Tuple[Box, int]] = []
+    active_right: List[Tuple[Box, int]] = []
+
+    def emit(lbox: Box, li: int, rbox: Box, ri: int) -> None:
+        nonlocal dups
+        if lbox.overlaps(rbox):
+            ref = tuple(max(a, b) for a, b in zip(lbox.lo, rbox.lo))
+            if grid.tile_of_point(ref) == tile:
+                pairs.append((li, ri))
+            else:
+                dups += 1
+
+    while i < len(left) or j < len(right):
+        take_left = j >= len(right) or (
+            i < len(left) and left[i][0].lo[0] <= right[j][0].lo[0]
+        )
+        if take_left:
+            box, tag = left[i]
+            i += 1
+            active_right = [
+                e for e in active_right if e[0].hi[0] > box.lo[0]
+            ]
+            for rbox, rtag in active_right:
+                tests += 1
+                emit(box, tag, rbox, rtag)
+            active_left.append((box, tag))
+        else:
+            box, tag = right[j]
+            j += 1
+            active_left = [
+                e for e in active_left if e[0].hi[0] > box.lo[0]
+            ]
+            for lbox, ltag in active_left:
+                tests += 1
+                emit(lbox, ltag, box, tag)
+            active_right.append((box, tag))
+    return pairs, tests, dups
+
+
+# -- the Exchange driver ------------------------------------------------------
+
+
+class Exchange:
+    """Fan independent tasks out over a worker pool, order-preserved.
+
+    ``workers <= 1`` (or a single task) runs serially; ``kind`` selects
+    ``"thread"`` (default; no pickling requirements) or ``"process"``
+    (true parallelism; tasks and results must be picklable).  Pool
+    creation failures (e.g. sandboxed environments refusing processes)
+    fall back to the serial path, recorded in :attr:`fallbacks` — the
+    results are identical either way, because task order is preserved
+    and the tasks are independent.
+    """
+
+    KINDS = ("serial", "thread", "process")
+
+    def __init__(self, workers: int = 0, kind: str = "thread"):
+        if kind not in self.KINDS:
+            raise ValueError(
+                f"unknown exchange kind {kind!r}; expected one of {self.KINDS}"
+            )
+        self.workers = max(0, workers)
+        self.kind = kind
+        self.fallbacks = 0
+
+    def describe(self) -> str:
+        if self.workers <= 1 or self.kind == "serial":
+            return "serial"
+        return f"{self.kind}x{self.workers}"
+
+    def run(self, fn, tasks: Sequence) -> List:
+        """``[fn(t) for t in tasks]`` — possibly on a pool, same order."""
+        tasks = list(tasks)
+        if self.workers <= 1 or self.kind == "serial" or len(tasks) <= 1:
+            return [fn(t) for t in tasks]
+        from concurrent.futures import BrokenExecutor
+
+        # Worker spawn is lazy (a refused process surfaces inside
+        # map(), not at construction), so the whole pool use is guarded;
+        # re-running serially is safe because tasks are independent and
+        # pure.
+        try:
+            if self.kind == "process":
+                from concurrent.futures import ProcessPoolExecutor
+
+                pool = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                from concurrent.futures import ThreadPoolExecutor
+
+                pool = ThreadPoolExecutor(max_workers=self.workers)
+            with pool:
+                return list(pool.map(fn, tasks))
+        except (
+            OSError,
+            NotImplementedError,
+            PermissionError,
+            BrokenExecutor,
+        ):
+            self.fallbacks += 1
+            return [fn(t) for t in tasks]
+
+
+# -- the PBSM join ------------------------------------------------------------
+
+
+def pbsm_join(
+    left: Sequence[Tuple[Box, object]],
+    right: Sequence[Tuple[Box, object]],
+    n_tiles: int = DEFAULT_TILES,
+    exchange: Optional[Exchange] = None,
+    stats: Optional[JoinStats] = None,
+) -> List[Tuple[object, object]]:
+    """Partition-based spatial-merge overlap join of two box sequences.
+
+    Co-partitions both inputs on a shared :class:`TileGrid` (boxes
+    replicated into every tile they overlap), plane-sweeps each tile,
+    and dedupes boundary duplicates with the reference-point rule.
+    Returns ``(left_value, right_value)`` pairs whose boxes overlap,
+    sorted by input positions — deterministic, and identical for serial
+    and parallel execution.
+    """
+    lefts = [(b, k) for k, (b, _v) in enumerate(left) if not b.is_empty()]
+    rights = [(b, k) for k, (b, _v) in enumerate(right) if not b.is_empty()]
+    if not lefts or not rights:
+        return []
+    grid = TileGrid.build(
+        [b for b, _ in lefts] + [b for b, _ in rights], n_tiles
+    )
+    assert grid is not None  # non-empty inputs imply a non-empty extent
+    buckets: Dict[int, Tuple[List, List]] = {}
+    repl_left = repl_right = 0
+    for b, k in lefts:
+        tiles = grid.tiles_overlapping(b)
+        repl_left += len(tiles) - 1
+        for t in tiles:
+            buckets.setdefault(t, ([], []))[0].append((b, k))
+    for b, k in rights:
+        tiles = grid.tiles_overlapping(b)
+        repl_right += len(tiles) - 1
+        for t in tiles:
+            buckets.setdefault(t, ([], []))[1].append((b, k))
+    tasks: List[_TileTask] = [
+        (grid, t, ls, rs)
+        for t, (ls, rs) in sorted(buckets.items())
+        if ls and rs
+    ]
+    exchange = exchange or Exchange()
+    results = exchange.run(_sweep_tile, tasks)
+    pairs: List[Tuple[int, int]] = []
+    for tile_pairs, tests, dups in results:
+        pairs.extend(tile_pairs)
+        if stats is not None:
+            stats.merge_tile(tests, dups)
+    pairs.sort()
+    if stats is not None:
+        stats.replicated_left += repl_left
+        stats.replicated_right += repl_right
+        stats.pairs += len(pairs)
+    return [(left[i][1], right[j][1]) for i, j in pairs]

@@ -27,15 +27,23 @@ from ..boxes.box import Box, EMPTY_BOX, enclose_all
 
 @dataclass
 class RTreeStats:
-    """Mutable counters for index instrumentation."""
+    """Mutable counters for index instrumentation.
+
+    ``entry_tests`` counts per-entry box tests during search (leaf
+    entries matched against the query plus inner entries tested for
+    descent) — the R-tree's share of "exact box tests", comparable to a
+    spatial join's candidate-pair tests.
+    """
 
     node_reads: int = 0
+    entry_tests: int = 0
     splits: int = 0
     inserts: int = 0
     reinserts: int = 0
 
     def reset(self) -> None:
-        self.node_reads = self.splits = self.inserts = self.reinserts = 0
+        self.node_reads = self.entry_tests = 0
+        self.splits = self.inserts = self.reinserts = 0
 
 
 class _Node:
@@ -476,10 +484,12 @@ class RTree:
             self.stats.node_reads += 1
             if node.leaf:
                 for box, value in node.entries:
+                    self.stats.entry_tests += 1
                     if not box.is_empty() and query.matches(box):
                         yield box, value
             else:
                 for mbr, child in node.entries:
+                    self.stats.entry_tests += 1
                     if self._node_may_match(mbr, query):
                         stack.append(child)
 

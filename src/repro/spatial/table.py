@@ -12,11 +12,15 @@ contract (and are property-tested to agree):
 * ``"scan"`` — sequential scan (the baseline every bench compares to).
 
 The table records probe statistics uniformly so benchmarks can compare
-backends.
+backends.  For partitioned execution, :meth:`SpatialTable.partitioning`
+caches an STR tiling of the rows (see :mod:`repro.spatial.partition`),
+invalidated — like the statistics cache and every
+:class:`ProbeCache` entry — by the table's mutation counter.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -42,14 +46,34 @@ class SpatialObject:
         return f"SpatialObject({self.oid!r})"
 
 
+class _TableHandle:
+    """Per-table bookkeeping inside a :class:`ProbeCache`.
+
+    Holds a unique ``token`` (the cache key stands in for the table so
+    keys never reference it), the last-seen table version, and a weak
+    reference whose callback purges the table's entries on collection.
+    """
+
+    __slots__ = ("token", "version", "ref")
+
+    def __init__(self, token: int, version: int):
+        self.token = token
+        self.version = version
+        self.ref: Optional[weakref.ref] = None
+
+
 class ProbeCache:
     """A bounded LRU cache of range-query results.
 
-    Keys are ``(table, table version, box query)``: the table's mutation
-    counter is part of the key, so any insert or reindex makes every
-    cached result for that table unreachable (stale entries age out of
-    the LRU).  The cached row lists are shared — callers must not mutate
-    them.
+    Keys are ``(table token, table version, box query)`` where the token
+    is a cache-local stand-in for the table — the cache holds **no
+    strong reference** to any table, so a long-lived cache never pins a
+    dropped table (or its rows) in memory.  The table's mutation counter
+    is part of the key, and entries for superseded versions are dropped
+    *proactively* the next time the table is seen (not merely left to
+    LRU churn); entries of a garbage-collected table are purged by a
+    weakref callback.  The cached row lists are shared — callers must
+    not mutate them.
 
     A cache may outlive a single execution (that is the point: repeated
     queries over unchanged tables skip the index entirely), so it keeps
@@ -64,18 +88,50 @@ class ProbeCache:
         self._entries: "OrderedDict[tuple, List[SpatialObject]]" = (
             OrderedDict()
         )
+        # table -> handle; weak keys, so the cache never keeps a table
+        # alive.  The handle's weakref callback purges entries when the
+        # table is collected.
+        self._handles: "weakref.WeakKeyDictionary[SpatialTable, _TableHandle]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._next_token = 0
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    @staticmethod
-    def _key(table: "SpatialTable", query: BoxQuery) -> tuple:
-        # The table itself (identity-hashed) is part of the key: two
-        # tables may share a name, and keeping the reference prevents an
-        # id() collision after garbage collection.
-        return (table, table._version, query)
+    def _purge_token(self, token: int, keep_version: Optional[int] = None):
+        """Drop entries of one table (optionally keeping one version)."""
+        stale = [
+            key
+            for key in self._entries
+            if key[0] == token
+            and (keep_version is None or key[1] != keep_version)
+        ]
+        for key in stale:
+            # pop(): a GC-triggered purge callback may race this loop.
+            self._entries.pop(key, None)
+
+    def _key(self, table: "SpatialTable", query: BoxQuery) -> tuple:
+        handle = self._handles.get(table)
+        if handle is None:
+            handle = _TableHandle(self._next_token, table._version)
+            self._next_token += 1
+            token = handle.token
+            # The callback must not reference the table (it is being
+            # collected) nor keep a strong path back to it; closing over
+            # self is fine — the resulting cycle is ordinary GC fodder.
+            handle.ref = weakref.ref(
+                table, lambda _r, token=token: self._purge_token(token)
+            )
+            self._handles[table] = handle
+        elif handle.version != table._version:
+            # Version superseded: drop the stale entries now instead of
+            # waiting for LRU churn.
+            self._purge_token(handle.token, keep_version=table._version)
+            handle.version = table._version
+        return (handle.token, table._version, query)
 
     def lookup(
         self, table: "SpatialTable", query: BoxQuery
@@ -112,6 +168,7 @@ class ProbeCache:
     def clear(self) -> None:
         """Drop all entries and zero the counters."""
         self._entries.clear()
+        self._handles.clear()
         self.hits = 0
         self.misses = 0
 
@@ -128,8 +185,12 @@ class SpatialTable:
     index:
         ``"rtree"`` (default), ``"grid"`` or ``"scan"``.
     universe:
-        Universe box; required for the grid backend (to bound the point
-        space) and recommended generally.
+        Universe box.  **Required** for the grid backend — range
+        queries over the 2k-dim point representation clip their
+        (possibly unbounded) rectangles to it, so constructing a grid
+        table without one raises :class:`ValueError` — and recommended
+        generally (the planner uses it as the region algebra's
+        universe).
     split_method:
         R-tree overflow handling (``"quadratic"``, ``"linear"`` or
         ``"rstar"``); ignored by the other backends.
@@ -152,6 +213,11 @@ class SpatialTable:
             raise ValueError(
                 f"unknown index {index!r}; expected one of {self.VALID_INDEXES}"
             )
+        if index == "grid" and universe is None:
+            raise ValueError(
+                "the grid backend requires a universe box (range queries "
+                "clip their unbounded rectangles to it); pass universe="
+            )
         self.name = name
         self.dim = dim
         self.index_kind = index
@@ -169,10 +235,16 @@ class SpatialTable:
         )
         self.probes = 0
         self.candidates_returned = 0
-        # Mutation counter; invalidates the cached statistics below.
+        # Mutation counter; invalidates the cached statistics and
+        # partitioning below (and every ProbeCache entry for this table).
         self._version = 0
-        self._stats_cache = None
-        self._stats_key: Optional[Tuple] = None
+        # Per-parameter statistics cache for the current version: one
+        # planning pass may legitimately ask for several parameter sets
+        # (e.g. with and without partition summaries).
+        self._stats_cache: Dict[Tuple, object] = {}
+        self._stats_version: Optional[int] = None
+        self._partitioning_cache = None
+        self._partitioning_key: Optional[Tuple] = None
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -211,9 +283,20 @@ class SpatialTable:
         packed tree with near-full nodes and markedly fewer node reads
         per query than one-at-a-time insertion builds.  Pass
         ``pack=False`` for the insertion-built baseline.
+
+        The ``grid`` and ``scan`` backends have no bulk-loading path, so
+        an explicit ``pack=True`` raises :class:`ValueError` instead of
+        being silently ignored; the default (``pack=None``) resolves to
+        plain insertion for them.
         """
         if pack is None:
             pack = self.index_kind == "rtree"
+        elif pack and self.index_kind != "rtree":
+            raise ValueError(
+                f"pack=True is only supported by the rtree backend; the "
+                f"{self.index_kind!r} backend builds by insertion "
+                f"(pass pack=None or pack=False)"
+            )
         if pack and self.index_kind == "rtree":
             saved, self._rtree = self._rtree, None
             try:
@@ -401,25 +484,53 @@ class SpatialTable:
             }
         return {"kind": "scan"}
 
+    # -- partitioning (partitioned execution) -------------------------------------
+    def partitioning(self, n_partitions: int):
+        """An STR tiling of this table's rows, cached by version.
+
+        Built lazily by :func:`repro.spatial.partition.str_partition`;
+        the cache key includes the mutation counter, so any insert or
+        reindex invalidates it.  Used by the partition-aware physical
+        operators (``PartitionScan``) and the statistics catalog.
+        """
+        key = (self._version, n_partitions)
+        if self._partitioning_key != key:
+            from .partition import str_partition
+
+            self._partitioning_cache = str_partition(self, n_partitions)
+            self._partitioning_key = key
+        return self._partitioning_cache
+
     # -- statistics (cost-based planning) -----------------------------------------
     def statistics(
         self,
         bins: int = 16,
         sample_size: int = 24,
         seed: int = 0,
+        partitions: int = 0,
     ):
         """Table statistics for the cost-based planner, cached here.
 
-        The cache key includes the table's mutation counter, so any
-        insert or reindex invalidates it.  See
-        :mod:`repro.engine.catalog` for the statistics' contents.
+        Any insert or reindex invalidates the cache (it is keyed on the
+        mutation counter); within one version, each distinct parameter
+        set is computed once — planning passes that mix partitioned and
+        unpartitioned statistics do not thrash.  ``partitions > 0``
+        also collects per-partition counts and bounding boxes (for
+        costing partition pruning).  See :mod:`repro.engine.catalog`
+        for the statistics' contents.
         """
-        key = (self._version, bins, sample_size, seed)
-        if self._stats_key != key:
+        if self._stats_version != self._version:
+            self._stats_cache = {}
+            self._stats_version = self._version
+        key = (bins, sample_size, seed, partitions)
+        if key not in self._stats_cache:
             from ..engine.catalog import collect_statistics
 
-            self._stats_cache = collect_statistics(
-                self, bins=bins, sample_size=sample_size, seed=seed
+            self._stats_cache[key] = collect_statistics(
+                self,
+                bins=bins,
+                sample_size=sample_size,
+                seed=seed,
+                partitions=partitions,
             )
-            self._stats_key = key
-        return self._stats_cache
+        return self._stats_cache[key]

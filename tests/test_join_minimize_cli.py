@@ -208,3 +208,35 @@ class TestCli:
         )
         assert proc.returncode == 0, proc.stderr
         assert "order (histogram):" in proc.stdout
+
+    def test_bench_grid_backend_default_pack(self):
+        """Regression: grid/scan workload builds must not forward an
+        explicit pack=True to backends that reject it."""
+        for index in ("grid", "scan"):
+            proc = _cli(
+                "bench", "--workload", "smugglers", "--size", "6",
+                "--index", index,
+            )
+            assert proc.returncode == 0, proc.stderr
+
+    def test_bench_partitioned_parallel(self):
+        import json
+
+        proc = _cli(
+            "bench", "--workload", "smugglers", "--size", "8",
+            "--partitions", "4", "--parallel", "2", "--json",
+        )
+        assert proc.returncode == 0, proc.stderr
+        result = json.loads(proc.stdout)
+        assert result["partitions"] == 4
+        assert result["parallel"] == 2
+        assert len(result["joins"]) == 3
+
+    def test_explain_partitioned_join(self):
+        proc = _cli(
+            "explain", "--workload", "smugglers", "--size", "8",
+            "--partitions", "4", "--join", "pbsm", "--analyze",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "PartitionedSpatialJoin" in proc.stdout
+        assert "joins: " in proc.stdout

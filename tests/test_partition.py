@@ -1,0 +1,392 @@
+"""The partitioning subsystem: STR tiles, PBSM, Exchange, operators."""
+
+import random
+
+import pytest
+
+from repro.algebra import Region
+from repro.boxes import Box, BoxQuery
+from repro.datagen import overlay_query, smugglers_query
+from repro.engine import (
+    Catalog,
+    PartitionScan,
+    PartitionedSpatialJoin,
+    ZOrderJoin,
+    answers_as_oid_tuples,
+    build_physical_plan,
+    choose_join_strategies,
+    compile_query,
+    execute,
+    rollout_step_estimates,
+)
+from repro.spatial import (
+    Exchange,
+    JoinStats,
+    SpatialTable,
+    TileGrid,
+    mbr_may_match,
+    pbsm_join,
+    probe_box,
+    str_partition,
+)
+
+UNIVERSE = Box((0.0, 0.0), (100.0, 100.0))
+
+
+def _random_boxes(n, seed=0, span=92.0, max_side=8.0):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        lo = (rng.uniform(0, span), rng.uniform(0, span))
+        out.append(
+            Box(
+                lo,
+                (
+                    lo[0] + rng.uniform(0.5, max_side),
+                    lo[1] + rng.uniform(0.5, max_side),
+                ),
+            )
+        )
+    return out
+
+
+def _table(n=120, seed=3, index="rtree"):
+    t = SpatialTable("t", 2, index=index, universe=UNIVERSE)
+    for i, b in enumerate(_random_boxes(n, seed=seed)):
+        t.insert(i, Region.from_box(b))
+    return t
+
+
+class TestStrPartition:
+    def test_rows_covered_exactly_once(self):
+        t = _table(150)
+        p = t.partitioning(8)
+        oids = sorted(o.oid for part in p.partitions for o in part.rows)
+        assert oids == list(range(150))
+        assert p.total_rows == 150
+
+    def test_mbrs_contain_their_rows(self):
+        p = _table(100).partitioning(6)
+        for part in p.partitions:
+            for obj in part.rows:
+                assert obj.box.le(part.mbr)
+
+    def test_pruning_is_sound(self):
+        t = _table(200, seed=9)
+        p = t.partitioning(9)
+        rng = random.Random(4)
+        for _ in range(30):
+            lo = (rng.uniform(0, 90), rng.uniform(0, 90))
+            probe = Box(lo, (lo[0] + rng.uniform(1, 15), lo[1] + 5.0))
+            query = BoxQuery(overlap=(probe,))
+            surviving = {part.pid for part in p.prune(query)}
+            for part in p.partitions:
+                if part.pid in surviving:
+                    continue
+                # Pruned partitions must hold no matching row.
+                assert not any(query.matches(o.box) for o in part.rows)
+
+    def test_cache_invalidated_by_mutation(self):
+        t = _table(30)
+        p1 = t.partitioning(4)
+        assert t.partitioning(4) is p1  # cached
+        t.insert(999, Region.from_box(Box((1, 1), (2, 2))))
+        p2 = t.partitioning(4)
+        assert p2 is not p1
+        assert p2.total_rows == 31
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            str_partition(_table(5), 0)
+
+
+class TestProbeBox:
+    def test_single_constraints(self):
+        a = Box((0, 0), (10, 10))
+        assert probe_box(BoxQuery(inside=a), UNIVERSE) == a
+        assert probe_box(BoxQuery(covers=a), UNIVERSE) == a
+        assert probe_box(BoxQuery(overlap=(a,)), UNIVERSE) == a
+
+    def test_picks_smallest(self):
+        small = Box((0, 0), (1, 1))
+        big = Box((0, 0), (50, 50))
+        assert probe_box(
+            BoxQuery(inside=big, overlap=(small,)), UNIVERSE
+        ) == small
+
+    def test_trivial_query_degrades_to_extent(self):
+        assert probe_box(BoxQuery(), UNIVERSE) == UNIVERSE
+
+    def test_necessary_condition(self):
+        """Any box matching the query overlaps its probe box."""
+        rng = random.Random(8)
+        boxes = _random_boxes(80, seed=2)
+        for trial in range(25):
+            lo = (rng.uniform(0, 80), rng.uniform(0, 80))
+            probe = Box(lo, (lo[0] + rng.uniform(2, 20), lo[1] + 10.0))
+            query = rng.choice(
+                [
+                    BoxQuery(overlap=(probe,)),
+                    BoxQuery(inside=probe),
+                    BoxQuery(inside=Box((0, 0), (60, 60)), overlap=(probe,)),
+                ]
+            )
+            p = probe_box(query, UNIVERSE)
+            for b in boxes:
+                if query.matches(b):
+                    assert b.overlaps(p)
+
+    def test_mbr_may_match_sound(self):
+        mbr = Box((0, 0), (40, 40))
+        inside_q = BoxQuery(inside=Box((50, 50), (60, 60)))
+        assert not mbr_may_match(mbr, inside_q)
+        assert mbr_may_match(mbr, BoxQuery(overlap=(Box((30, 30), (45, 45)),)))
+        assert not mbr_may_match(mbr, BoxQuery(covers=Box((0, 0), (45, 45))))
+
+
+class TestTileGrid:
+    def test_shape_and_count(self):
+        grid = TileGrid.build([UNIVERSE], 16)
+        assert grid.tile_count == 16
+        assert grid.shape == (4, 4)
+
+    def test_build_empty(self):
+        assert TileGrid.build([], 8) is None
+
+    def test_reference_point_tile_is_among_overlapping(self):
+        grid = TileGrid.build([UNIVERSE], 9)
+        for b in _random_boxes(50, seed=6):
+            tiles = grid.tiles_overlapping(b)
+            assert tiles
+            assert grid.tile_of_point(b.lo) in tiles
+
+
+class TestPBSMJoin:
+    def _sides(self, n, seeds=(1, 2)):
+        return (
+            [(b, i) for i, b in enumerate(_random_boxes(n, seed=seeds[0]))],
+            [(b, j) for j, b in enumerate(_random_boxes(n, seed=seeds[1]))],
+        )
+
+    def test_matches_brute_force(self):
+        left, right = self._sides(120)
+        brute = sorted(
+            (lv, rv)
+            for lb, lv in left
+            for rb, rv in right
+            if lb.overlaps(rb)
+        )
+        for tiles in (1, 4, 16, 40):
+            assert pbsm_join(left, right, n_tiles=tiles) == brute
+
+    def test_no_boundary_duplicates(self):
+        left, right = self._sides(150, seeds=(5, 6))
+        stats = JoinStats()
+        pairs = pbsm_join(left, right, n_tiles=25, stats=stats)
+        assert len(pairs) == len(set(pairs))
+        assert stats.dedup_skipped > 0  # replication really happened
+        assert stats.pairs == len(pairs)
+
+    def test_parallel_bit_identical(self):
+        left, right = self._sides(140, seeds=(7, 8))
+        serial = pbsm_join(left, right, n_tiles=16)
+        threaded = pbsm_join(
+            left, right, n_tiles=16, exchange=Exchange(workers=4)
+        )
+        assert threaded == serial
+
+    def test_process_pool_identical(self):
+        left, right = self._sides(60, seeds=(9, 10))
+        serial = pbsm_join(left, right, n_tiles=9)
+        try:
+            procs = pbsm_join(
+                left,
+                right,
+                n_tiles=9,
+                exchange=Exchange(workers=2, kind="process"),
+            )
+        except (OSError, PermissionError):  # sandboxed environments
+            pytest.skip("process pools unavailable")
+        assert procs == serial
+
+    def test_empty_sides(self):
+        left, _right = self._sides(10)
+        assert pbsm_join(left, [], n_tiles=4) == []
+        assert pbsm_join([], left, n_tiles=4) == []
+
+    def test_exchange_validation(self):
+        with pytest.raises(ValueError):
+            Exchange(kind="fleet")
+        assert Exchange(workers=0).describe() == "serial"
+        assert Exchange(workers=3, kind="thread").describe() == "threadx3"
+
+
+class TestPartitionedOperators:
+    """The partition-aware physical plans return the classic answers."""
+
+    def _plan(self, index="rtree", size=18):
+        query, _world = smugglers_query(
+            seed=11, n_towns=size, n_roads=size, states_grid=(3, 3),
+            index=index,
+        )
+        return compile_query(query)
+
+    def test_all_strategies_agree(self):
+        plan = self._plan()
+        order = list(plan.order)
+        reference = answers_as_oid_tuples(
+            execute(plan, "boxplan")[0], order
+        )
+        assert reference  # non-trivial workload
+        for strategy in ("partition", "pbsm", "zorder"):
+            for parallel in (0, 3):
+                pplan = build_physical_plan(
+                    plan,
+                    "boxplan",
+                    estimate=False,
+                    partitions=5,
+                    parallel=parallel,
+                    join_strategy=strategy,
+                )
+                answers, _stats = pplan.run()
+                assert answers_as_oid_tuples(answers, order) == reference, (
+                    strategy,
+                    parallel,
+                )
+
+    def test_parallel_stream_bit_identical(self):
+        plan = self._plan()
+        serial = [
+            tuple(a[v].oid for v in plan.order)
+            for a in build_physical_plan(
+                plan, "boxplan", estimate=False,
+                partitions=6, join_strategy="pbsm",
+            ).execute_iter()
+        ]
+        threaded = [
+            tuple(a[v].oid for v in plan.order)
+            for a in build_physical_plan(
+                plan, "boxplan", estimate=False,
+                partitions=6, parallel=4, join_strategy="pbsm",
+            ).execute_iter()
+        ]
+        assert threaded == serial
+
+    def test_partition_scan_replaces_scan_backend_lowering(self):
+        plan = self._plan(index="scan", size=12)
+        pplan = build_physical_plan(
+            plan, "boxplan", estimate=False, partitions=4
+        )
+        kinds = [op.kind for op in pplan.operators()]
+        assert "PartitionScan" in kinds
+        assert "TableScan" not in kinds
+        order = list(plan.order)
+        reference = answers_as_oid_tuples(execute(plan, "boxplan")[0], order)
+        answers, stats = pplan.run()
+        assert answers_as_oid_tuples(answers, order) == reference
+        # Pruning actually skipped partitions somewhere in the chain.
+        pruned = sum(
+            op.stats.partitions_pruned
+            for op in pplan.operators()
+            if isinstance(op, PartitionScan)
+        )
+        assert pruned > 0
+
+    def test_explain_renders_partition_operators(self):
+        plan = self._plan(size=10)
+        pplan = build_physical_plan(
+            plan, "boxplan", partitions=4, parallel=2, join_strategy="pbsm"
+        )
+        pplan.run()
+        text = pplan.explain()
+        assert "PartitionedSpatialJoin" in text
+        assert "tiles=4" in text
+        assert "exchange=threadx2" in text
+        assert "partitions=4" in text
+
+    def test_boxonly_mode_supports_strategies(self):
+        plan = self._plan(size=10)
+        order = list(plan.order)
+        reference = answers_as_oid_tuples(execute(plan, "boxonly")[0], order)
+        for strategy in ("pbsm", "zorder", "partition"):
+            answers, _ = execute(
+                plan, "boxonly", partitions=4, join_strategy=strategy
+            )
+            assert answers_as_oid_tuples(answers, order) == reference
+
+    def test_unknown_strategy_rejected(self):
+        plan = self._plan(size=8)
+        with pytest.raises(ValueError):
+            build_physical_plan(plan, "boxplan", join_strategy="hashjoin")
+
+    def test_explicit_strategy_rejected_in_nonbox_modes(self):
+        plan = self._plan(size=8)
+        for mode in ("naive", "exact"):
+            with pytest.raises(ValueError, match="box modes"):
+                build_physical_plan(plan, mode, join_strategy="pbsm")
+            # The delegating 'auto' (and None) degrade quietly.
+            build_physical_plan(plan, mode, join_strategy="auto")
+            build_physical_plan(plan, mode, partitions=4)
+
+    def test_misshapen_strategy_options_rejected(self):
+        plan = self._plan(size=8)  # three retrieval steps
+        with pytest.raises(ValueError, match="3 retrieval steps"):
+            build_physical_plan(
+                plan, "boxplan", join_strategy=["pbsm", "zorder"]
+            )
+        with pytest.raises(ValueError, match="unknown variables"):
+            build_physical_plan(
+                plan, "boxplan", join_strategy={"NOPE": "pbsm"}
+            )
+        # A partial per-variable mapping is fine: the rest default.
+        first = plan.order[0]
+        pplan = build_physical_plan(
+            plan, "boxplan", join_strategy={first: "pbsm"}
+        )
+        assert pplan.join_strategies[0] == "pbsm"
+        assert set(pplan.join_strategies[1:]) == {"probe"}
+
+    def test_operator_classes_exported(self):
+        assert PartitionedSpatialJoin.kind == "PartitionedSpatialJoin"
+        assert ZOrderJoin.kind == "ZOrderJoin"
+
+
+class TestPlannerIntegration:
+    def test_catalog_partition_statistics(self):
+        t = _table(90, seed=12)
+        stats = t.statistics(partitions=6)
+        assert stats.partitions
+        assert sum(p.count for p in stats.partitions) == 90
+        probe = BoxQuery(overlap=(Box((0, 0), (10, 10)),))
+        assert 0.0 <= stats.pruned_count(probe) <= stats.count
+        # A query touching everything prunes nothing.
+        assert stats.pruned_count(BoxQuery()) == stats.count
+
+    def test_rollout_estimates_carry_pruned_candidates(self):
+        query = overlay_query(n_left=60, n_right=60, seed=2)
+        ests = rollout_step_estimates(
+            query, ["x", "y"], partitions=8
+        )
+        assert len(ests) == 2
+        for e in ests:
+            assert e.pruned_candidates >= 0.0
+        # Pruning can only reduce the scan fanout.
+        assert ests[1].pruned_candidates <= ests[1].scan_candidates + 1e-9
+
+    def test_choose_join_strategies_shape_and_fallback(self):
+        query = overlay_query(n_left=80, n_right=80, seed=3)
+        chosen = choose_join_strategies(
+            query, ["x", "y"], catalog=Catalog(), partitions=16
+        )
+        assert len(chosen) == 2
+        assert all(
+            s in ("probe", "partition", "pbsm", "zorder") for s in chosen
+        )
+        # Step 1 has a single probing tuple: bulk joins cannot win.
+        assert chosen[0] in ("probe", "partition")
+
+    def test_bulk_join_picked_for_large_fanout(self):
+        """Many outer tuples probing a large table → a bulk join wins."""
+        query = overlay_query(n_left=400, n_right=400, seed=5)
+        chosen = choose_join_strategies(query, ["x", "y"], partitions=32)
+        assert chosen[1] in ("pbsm", "zorder")

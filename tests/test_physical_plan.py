@@ -179,6 +179,57 @@ class TestProbeCache:
         with pytest.raises(ValueError):
             ProbeCache(maxsize=0)
 
+    def test_dropped_table_is_garbage_collected(self):
+        """The cache holds no strong reference: a dropped table (and its
+        rows) must be collectable, and its entries purged."""
+        import gc
+        import weakref
+
+        universe = Box((0.0, 0.0), (10.0, 10.0))
+        cache = ProbeCache()
+        t = SpatialTable("ephemeral", 2, universe=universe)
+        t.insert(0, Region.from_box(Box((1, 1), (2, 2))))
+        rows, _hit = t.range_query_cached(
+            BoxQuery(overlap=(Box((0, 0), (5, 5)),)), cache
+        )
+        assert len(cache) == 1
+        ref = weakref.ref(t)
+        del t, rows
+        gc.collect()
+        assert ref() is None, "ProbeCache pinned the table"
+        assert len(cache) == 0, "dead table's entries were not purged"
+
+    def test_superseded_version_entries_dropped_proactively(self):
+        """Mutating a table drops its stale entries the next time the
+        cache sees it — not merely once LRU churn reaches them."""
+        universe = Box((0.0, 0.0), (10.0, 10.0))
+        t = SpatialTable("t", 2, universe=universe)
+        t.insert(0, Region.from_box(Box((1, 1), (2, 2))))
+        cache = ProbeCache()
+        q1 = BoxQuery(overlap=(Box((0, 0), (5, 5)),))
+        q2 = BoxQuery(overlap=(Box((0, 0), (9, 9)),))
+        t.range_query_cached(q1, cache)
+        t.range_query_cached(q2, cache)
+        assert len(cache) == 2
+        t.insert(1, Region.from_box(Box((3, 3), (4, 4))))
+        t.range_query_cached(q1, cache)
+        # Both old-version entries are gone; only the fresh one remains.
+        assert len(cache) == 1
+
+    def test_two_tables_do_not_collide(self):
+        universe = Box((0.0, 0.0), (10.0, 10.0))
+        a = SpatialTable("same", 2, universe=universe)
+        b = SpatialTable("same", 2, universe=universe)
+        a.insert(0, Region.from_box(Box((1, 1), (2, 2))))
+        b.insert(0, Region.from_box(Box((6, 6), (7, 7))))
+        cache = ProbeCache()
+        q = BoxQuery(overlap=(Box((0, 0), (10, 10)),))
+        rows_a, _ = a.range_query_cached(q, cache)
+        rows_b, hit = b.range_query_cached(q, cache)
+        assert not hit  # same name+query, different table → distinct key
+        assert rows_a is not rows_b
+        assert len(cache) == 2
+
 
 class TestBatchProbes:
     def _table(self):

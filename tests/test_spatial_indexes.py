@@ -5,9 +5,10 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.algebra import Region
 from repro.boxes import Box, BoxQuery, EMPTY_BOX
 from repro.errors import DimensionMismatchError
-from repro.spatial import GridFile, RTree
+from repro.spatial import GridFile, RTree, SpatialTable
 
 
 def _random_boxes(n, seed=0, span=100.0):
@@ -183,6 +184,34 @@ class TestGridFile:
         assert len(g) == 20
         assert sorted(g.exact_search((5.0, 5.0))) == list(range(20))
 
+    def test_degenerate_bucket_records_skipped_splits(self):
+        """All-duplicate points leave one oversized bucket: the silent
+        `_split_bucket` give-up is now counted, and queries stay
+        correct over the oversized bucket."""
+        g = GridFile(2, bucket_capacity=4)
+        for i in range(30):
+            g.insert((7.0, 7.0), i)
+        assert g.stats.skipped_splits > 0
+        assert g.stats.splits == 0  # nothing separable, ever
+        # The single bucket is oversized but addressing is intact.
+        g.check_invariants()
+        assert sorted(g.exact_search((7.0, 7.0))) == list(range(30))
+        got = {v for _p, v in g.range_search((6.0, 6.0), (8.0, 8.0))}
+        assert got == set(range(30))
+        assert list(g.range_search((8.5, 8.5), (9.0, 9.0))) == []
+
+    def test_skipped_splits_with_mixed_population(self):
+        """A separable dimension is still found when one exists — the
+        skip counter only fires when every dimension is degenerate."""
+        g = GridFile(2, bucket_capacity=2)
+        for i in range(8):
+            g.insert((1.0, float(i)), i)  # dim 0 degenerate, dim 1 fine
+        assert g.stats.splits > 0
+        got = {v for _p, v in g.range_search((0.0, 0.0), (2.0, 3.0))}
+        assert got == {0, 1, 2, 3}
+        g.stats.reset()
+        assert g.stats.skipped_splits == 0
+
     def test_delete(self):
         g = GridFile(2, bucket_capacity=4)
         g.insert((1.0, 1.0), "a")
@@ -207,6 +236,18 @@ class TestGridFile:
             }
             assert got == expected
 
+    def test_grid_table_requires_universe(self):
+        """The documented contract is now enforced: a grid-backed table
+        without a universe box is a construction error."""
+        with pytest.raises(ValueError, match="universe"):
+            SpatialTable("t", 2, index="grid")
+        t = SpatialTable(
+            "t", 2, index="grid", universe=Box((0, 0), (50, 50))
+        )
+        t.insert(0, Region.from_box(Box((1, 1), (2, 2))))
+        got = t.range_query(BoxQuery(overlap=(Box((0, 0), (5, 5)),)))
+        assert [o.oid for o in got] == [0]
+
     def test_range_search_visits_subset_of_cells(self):
         rng = random.Random(5)
         g = GridFile(2, bucket_capacity=4)
@@ -218,3 +259,65 @@ class TestGridFile:
         for s in g.directory_shape():
             total_cells *= s
         assert g.stats.cell_visits < total_cells
+
+
+class TestBulkInsertContract:
+    """`SpatialTable.bulk_insert`: pack validation and failure paths."""
+
+    UNIVERSE = Box((0.0, 0.0), (50.0, 50.0))
+
+    def _rows(self, n=10, seed=2):
+        rng = random.Random(seed)
+        out = []
+        for i in range(n):
+            lo = (rng.uniform(0, 40), rng.uniform(0, 40))
+            out.append(
+                (i, Region.from_box(Box(lo, (lo[0] + 3, lo[1] + 3))))
+            )
+        return out
+
+    @pytest.mark.parametrize("index", ["grid", "scan"])
+    def test_explicit_pack_raises_on_unsupported_backends(self, index):
+        t = SpatialTable("t", 2, index=index, universe=self.UNIVERSE)
+        with pytest.raises(ValueError, match="rtree"):
+            t.bulk_insert(self._rows(), pack=True)
+        assert len(t) == 0  # rejected before any row landed
+
+    @pytest.mark.parametrize("index", ["grid", "scan"])
+    def test_default_pack_resolves_to_insertion(self, index):
+        t = SpatialTable("t", 2, index=index, universe=self.UNIVERSE)
+        t.bulk_insert(self._rows())
+        assert len(t) == 10
+        got = t.range_query(BoxQuery(overlap=(self.UNIVERSE,)))
+        assert sorted(o.oid for o in got) == list(range(10))
+
+    def test_rtree_pack_still_default(self):
+        t = SpatialTable("t", 2, universe=self.UNIVERSE)
+        t.bulk_insert(self._rows())
+        assert len(t) == 10
+        t.bulk_insert([(100, Region.from_box(Box((1, 1), (2, 2))))],
+                      pack=False)
+        assert len(t) == 11
+
+    def test_mid_failure_leaves_partial_rows_indexed(self):
+        """A failing row aborts the bulk insert, but the `finally`
+        rebuild must index every row that made it in."""
+        t = SpatialTable("t", 2, universe=self.UNIVERSE)
+        rows = self._rows(6)
+        poisoned = rows[:3] + [(0, rows[3][1])] + rows[4:]  # dup oid 0
+        with pytest.raises(ValueError, match="duplicate"):
+            t.bulk_insert(poisoned, pack=True)
+        assert len(t) == 3
+        got = t.range_query(BoxQuery(overlap=(self.UNIVERSE,)))
+        assert sorted(o.oid for o in got) == [0, 1, 2]
+        # The rebuilt index is a packed, consistent r-tree.
+        t._rtree.check_invariants()
+
+    def test_mid_failure_unpacked_path(self):
+        t = SpatialTable("t", 2, universe=self.UNIVERSE)
+        rows = self._rows(5)
+        poisoned = rows[:2] + [(1, rows[2][1])]
+        with pytest.raises(ValueError, match="duplicate"):
+            t.bulk_insert(poisoned, pack=False)
+        got = t.range_query(BoxQuery(overlap=(self.UNIVERSE,)))
+        assert sorted(o.oid for o in got) == [0, 1]
