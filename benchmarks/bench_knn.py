@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""kNN benchmark: best-first distance browsing vs the brute-force scan.
+
+Builds STR-packed r-tree tables of random boxes at a ladder of scales
+and answers k-nearest-neighbor queries two ways:
+
+* **best-first** — the Hjaltason–Samet priority-queue browse
+  (:meth:`repro.spatial.rtree.RTree.nearest`), reading only the nodes
+  whose MINDIST reaches the queue front;
+* **brute force** — rank every row
+  (:meth:`repro.spatial.table.SpatialTable.nearest_bruteforce`), whose
+  node cost is the full tree (every node is touched by a scan).
+
+Both must return identical ``(distance, oid)`` lists for every sampled
+query point and ``k``.  The CI gate: at the **largest configured
+scale**, best-first must read **≤ 50%** of the nodes the brute-force
+scan touches (enforced here; the workflow runs this script on every
+push).  A COUNT-pushdown section additionally records the node reads a
+box-level COUNT saves via cached subtree entry counts.
+
+Usage::
+
+    python benchmarks/bench_knn.py [--out BENCH_knn.json]
+
+``REPRO_BENCH_KNN_SIZES`` overrides the scale ladder (CI smoke uses the
+default); ``REPRO_BENCH_KNN_POINTS`` the query-point count per scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_REPO, os.path.join(_REPO, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.algebra import Region  # noqa: E402
+from repro.boxes import Box, BoxQuery  # noqa: E402
+from repro.spatial import SpatialTable  # noqa: E402
+
+SIZES = [
+    int(s)
+    for s in os.environ.get("REPRO_BENCH_KNN_SIZES", "500,1000,2000").split(",")
+]
+N_POINTS = int(os.environ.get("REPRO_BENCH_KNN_POINTS", "20"))
+KS = (1, 10)
+UNIVERSE_SIDE = 100.0
+
+#: The CI gate: best-first node reads at the largest scale must be at
+#: most this fraction of the nodes a brute-force scan touches.
+KNN_READ_GATE = 0.5
+
+
+def build_table(size: int, seed: int) -> SpatialTable:
+    rng = random.Random(seed)
+    universe = Box((0.0, 0.0), (UNIVERSE_SIDE, UNIVERSE_SIDE))
+    table = SpatialTable(f"knn{size}", 2, universe=universe)
+    rows = []
+    for i in range(size):
+        lo = (rng.uniform(0, UNIVERSE_SIDE - 6), rng.uniform(0, UNIVERSE_SIDE - 6))
+        hi = (lo[0] + rng.uniform(0.5, 6), lo[1] + rng.uniform(0.5, 6))
+        rows.append((i, Region.from_box(Box(lo, hi))))
+    table.bulk_insert(rows)
+    return table
+
+
+def query_points(seed: int, n: int):
+    rng = random.Random(seed)
+    return [
+        (rng.uniform(0, UNIVERSE_SIDE), rng.uniform(0, UNIVERSE_SIDE))
+        for _ in range(n)
+    ]
+
+
+def knn_row(size: int) -> dict:
+    """Best-first vs brute force at one scale; returns the counter row."""
+    table = build_table(size, seed=size)
+    tree = table._rtree
+    points = query_points(seed=size + 1, n=N_POINTS)
+    total_nodes = tree.node_count()
+    row = {"size": size, "points": N_POINTS, "tree_nodes": total_nodes}
+    for k in KS:
+        table.reset_stats()
+        best = [table.nearest(p, k, access="bestfirst") for p in points]
+        bestfirst_reads = tree.stats.node_reads
+        pruned = tree.stats.pruned_subtrees
+        brute = [table.nearest_bruteforce(p, k) for p in points]
+        # The scan ranks every entry: it touches the whole tree per query.
+        brute_reads = total_nodes * len(points)
+        for got, want in zip(best, brute):
+            got_ids = [(round(d, 9), obj.oid) for d, obj in got]
+            want_ids = [(round(d, 9), obj.oid) for d, obj in want]
+            assert got_ids == want_ids, (
+                f"best-first kNN diverged from brute force at "
+                f"size={size} k={k}"
+            )
+        row[f"k{k}_bestfirst_reads"] = bestfirst_reads
+        row[f"k{k}_brute_reads"] = brute_reads
+        row[f"k{k}_pruned_subtrees"] = pruned
+        row[f"k{k}_ratio"] = round(bestfirst_reads / brute_reads, 4)
+    return row
+
+
+def count_pushdown_row(size: int) -> dict:
+    """COUNT pushdown: subtree-count reads vs a counting traversal."""
+    table = build_table(size, seed=size)
+    tree = table._rtree
+    rng = random.Random(size + 2)
+    checked = 0
+    pushdown_reads = 0
+    pruned = 0
+    for _ in range(N_POINTS):
+        lo = (rng.uniform(0, 60), rng.uniform(0, 60))
+        query = BoxQuery(
+            inside=Box(lo, (lo[0] + rng.uniform(10, 40), lo[1] + rng.uniform(10, 40)))
+        )
+        table.reset_stats()
+        got = table.count_range(query)
+        pushdown_reads += tree.stats.node_reads
+        pruned += tree.stats.pruned_subtrees
+        want = sum(
+            1 for obj in table if not obj.box.is_empty() and query.matches(obj.box)
+        )
+        assert got == want, f"count pushdown diverged at size={size}"
+        checked += 1
+    return {
+        "size": size,
+        "queries": checked,
+        "tree_nodes": tree.node_count(),
+        "pushdown_reads": pushdown_reads,
+        "full_traversal_reads": tree.node_count() * checked,
+        "pruned_subtrees": pruned,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_knn.json")
+    args = parser.parse_args(argv)
+
+    knn_rows = [knn_row(size) for size in SIZES]
+    count_rows = [count_pushdown_row(max(SIZES))]
+    result = {
+        "python": platform.python_version(),
+        "sizes": SIZES,
+        "ks": list(KS),
+        "gate": KNN_READ_GATE,
+        "knn": knn_rows,
+        "count_pushdown": count_rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    failures = []
+    for row in knn_rows:
+        for k in KS:
+            print(
+                f"knn n={row['size']} k={k}: best-first "
+                f"{row[f'k{k}_bestfirst_reads']} vs brute "
+                f"{row[f'k{k}_brute_reads']} node reads "
+                f"({row[f'k{k}_ratio']:.1%}), "
+                f"{row[f'k{k}_pruned_subtrees']} subtrees pruned"
+            )
+    largest = max(knn_rows, key=lambda r: r["size"])
+    for k in KS:
+        ratio = largest[f"k{k}_ratio"]
+        if ratio > KNN_READ_GATE:
+            failures.append(
+                f"best-first kNN read {ratio:.1%} of the brute-force "
+                f"nodes at n={largest['size']} k={k}; the gate requires "
+                f"<= {KNN_READ_GATE:.0%}"
+            )
+    for row in count_rows:
+        print(
+            f"count pushdown n={row['size']}: {row['pushdown_reads']} vs "
+            f"{row['full_traversal_reads']} node reads, "
+            f"{row['pruned_subtrees']} subtrees short-circuited"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("kNN benchmark gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

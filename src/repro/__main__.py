@@ -11,10 +11,13 @@ Usage::
                              [--order-strategy histogram]
                              [--stream] [--limit K] [--probe-cache N]
                              [--partitions N] [--parallel W] [--join auto]
+                             [--knn K] [--agg count,min:T] [--agg-box]
     python -m repro explain  [--workload ...] [--mode boxplan] [--analyze]
                              [--partitions N] [--parallel W] [--join pbsm]
+                             [--knn K] [--agg count] [--group-by B]
     python -m repro run      [--workload ...] [--stream] [--limit K]
                              [--partitions N] [--parallel W]
+                             [--knn K [--knn-ref T]] [--agg count]
 
 ``FILE`` contains one constraint per line in the Figure-1 syntax
 (``A <= C``, ``R & A != 0``, ``T !<= C``, comments with ``#``); ``-``
@@ -41,6 +44,15 @@ annotates each operator with actual rows/probes/node reads.
 ``run`` executes a workload and prints the answers themselves (oid
 tuples), streaming them as found with ``--stream``; ``--limit K`` stops
 after the first ``K`` answers without exhausting the search space.
+
+``--knn K`` restricts a variable (``--knn-var``, default the first of
+the retrieval order) to its table's K nearest rows — anchored on a
+point (``--knn-point``, default the universe center) or on another
+variable's box (``--knn-ref``, a per-tuple distance join).  ``--agg``
+replaces the answer stream with aggregate rows (``count``, ``min:VAR``,
+``max:VAR`` over box volume, grouped by ``--group-by``); ``--agg-box``
+asks for the box-level COUNT, pushed down to the R-tree's subtree
+entry counts.
 """
 
 from __future__ import annotations
@@ -153,6 +165,48 @@ def _build_workload(args):
     return sandwich_query(n_items=size, seed=args.seed, index=args.index)
 
 
+def _knn_step(args, query, order):
+    """The logical kNN restriction the ``--knn`` flags describe."""
+    if not getattr(args, "knn", 0):
+        return None
+    from .engine import KNNStep
+
+    if args.knn_var:
+        variable = args.knn_var
+    else:
+        # Default to the first retrieval variable that is not the kNN
+        # anchor itself (a step cannot anchor on its own variable).
+        candidates = [v for v in order if v != args.knn_ref]
+        variable = candidates[0] if candidates else order[0]
+    if args.knn_ref:
+        return KNNStep(variable=variable, k=args.knn, ref=args.knn_ref)
+    if args.knn_point:
+        point = tuple(float(c) for c in args.knn_point.split(","))
+    else:
+        point = query.algebra().universe_box.center()
+    return KNNStep(variable=variable, k=args.knn, point=point)
+
+
+def _aggregate_spec(args):
+    """The :class:`AggregateSpec` the ``--agg`` flags describe."""
+    if not getattr(args, "agg", None):
+        return None
+    from .engine import AggregateSpec
+
+    aggregates = []
+    for part in args.agg.split(","):
+        op, _, target = part.strip().partition(":")
+        aggregates.append((op, target or None))
+    group_by = tuple(
+        v for v in (args.group_by or "").split(",") if v
+    )
+    return AggregateSpec(
+        aggregates=tuple(aggregates),
+        group_by=group_by,
+        exact=not args.agg_box,
+    )
+
+
 def _plan_workload(args):
     """Build the workload, pick an order, and compile — shared by the
     ``bench``/``explain``/``run`` subcommands.  Returns
@@ -182,6 +236,23 @@ def _plan_workload(args):
         order = plan_order(
             unordered, strategy=strategy, partitions=args.partitions
         )
+    knn = _knn_step(args, query, order)
+    aggregate = _aggregate_spec(args)
+    if knn is not None or aggregate is not None:
+        from .engine import repair_knn_order
+
+        # Construct first: SpatialQuery validates the kNN/aggregate
+        # spec (bad --knn-var/--knn-ref combinations fail cleanly here).
+        query = SpatialQuery(
+            system=query.system,
+            tables=query.tables,
+            bindings=query.bindings,
+            knn=knn,
+            aggregate=aggregate,
+        )
+        # A ref-anchored kNN variable must follow its anchor; repair
+        # the planner-chosen order with the compiler's own helper.
+        order = repair_knn_order(order, knn, query.tables)
     plan = compile_query(query, order=order)
     return query, plan, strategy
 
@@ -248,6 +319,9 @@ def cmd_bench(args) -> int:
         "partitions": pplan.partitions,
         "parallel": args.parallel,
         "joins": list(pplan.join_strategies),
+        "knn": args.knn,
+        "knn_access": pplan.knn_access,
+        "agg": args.agg,
         "answers": len(answers),
         "counters": stats.as_dict(),
         "tables": index_stats,
@@ -301,7 +375,12 @@ def cmd_run(args) -> int:
     pplan = plan.physical(args.mode, estimate=False, **_physical_options(args))
     cache = _probe_cache(args)
     variables = list(plan.order)
-    print("# " + ", ".join(variables))
+    if plan.aggregate is not None:
+        print("# " + ", ".join(
+            list(plan.aggregate.group_by) + list(plan.aggregate.labels())
+        ))
+    else:
+        print("# " + ", ".join(variables))
     start = perf_counter()
     first = None
     count = 0
@@ -309,7 +388,10 @@ def cmd_run(args) -> int:
         if first is None:
             first = perf_counter() - start
         count += 1
-        print(tuple(answer[v].oid for v in variables))
+        if plan.aggregate is not None:
+            print(answer.as_dict())
+        else:
+            print(tuple(answer[v].oid for v in variables))
     total = perf_counter() - start
     if args.stream and first is not None:
         print(
@@ -404,6 +486,53 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="per-step join algorithm (default: backend-dependent; "
             "'auto' picks cost-based per step)",
+        )
+        p.add_argument(
+            "--knn",
+            type=int,
+            default=0,
+            metavar="K",
+            help="restrict one variable to its table's K nearest rows "
+            "(best-first distance browsing on r-tree tables)",
+        )
+        p.add_argument(
+            "--knn-var",
+            default=None,
+            metavar="VAR",
+            help="the kNN variable (default: first of the retrieval order)",
+        )
+        p.add_argument(
+            "--knn-point",
+            default=None,
+            metavar="X,Y",
+            help="kNN anchor point (default: the universe center)",
+        )
+        p.add_argument(
+            "--knn-ref",
+            default=None,
+            metavar="VAR",
+            help="anchor the kNN on another variable's box instead of a "
+            "point (a per-tuple distance join)",
+        )
+        p.add_argument(
+            "--agg",
+            default=None,
+            metavar="SPEC",
+            help="aggregate the answers instead of returning them: "
+            "comma-separated ops 'count', 'min:VAR', 'max:VAR' "
+            "(min/max aggregate the variable's box volume)",
+        )
+        p.add_argument(
+            "--group-by",
+            default=None,
+            metavar="VARS",
+            help="comma-separated group-by variables for --agg",
+        )
+        p.add_argument(
+            "--agg-box",
+            action="store_true",
+            help="box-level COUNT (exact=False): push the count down to "
+            "the index's subtree entry counts",
         )
 
     def add_streaming_args(p):

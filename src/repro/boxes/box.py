@@ -174,6 +174,91 @@ class Box:
         """``self ⊓ other != empty`` — the overlay predicate."""
         return not self.meet(other).is_empty()
 
+    # -- distance metrics (nearest-neighbor search) -----------------------------------------
+    def mindist_point(self, point: Sequence[float]) -> float:
+        """MINDIST: Euclidean distance from a point to the box.
+
+        0.0 when the point lies inside (or on the boundary of) the box;
+        ``inf`` for the empty box, which is at no finite distance from
+        anything.  This is the classic optimistic bound of R-tree
+        nearest-neighbor search (Roussopoulos et al.): no object inside
+        the box can be closer than ``mindist``.
+        """
+        if self.is_empty():
+            return float("inf")
+        if len(point) != self.dim:
+            raise DimensionMismatchError("point/box dimension mismatch")
+        acc = 0.0
+        for p, a, b in zip(point, self.lo, self.hi):
+            if p < a:
+                acc += (a - p) ** 2
+            elif p > b:
+                acc += (p - b) ** 2
+        return acc ** 0.5
+
+    def maxdist_point(self, point: Sequence[float]) -> float:
+        """Distance from a point to the farthest corner of the box
+        (``inf`` for the empty box)."""
+        if self.is_empty():
+            return float("inf")
+        if len(point) != self.dim:
+            raise DimensionMismatchError("point/box dimension mismatch")
+        acc = 0.0
+        for p, a, b in zip(point, self.lo, self.hi):
+            acc += max(abs(p - a), abs(p - b)) ** 2
+        return acc ** 0.5
+
+    def minmaxdist_point(self, point: Sequence[float]) -> float:
+        """MINMAXDIST (Roussopoulos et al.): a pessimistic bound for NN
+        search over a *minimal* bounding box.
+
+        Every face of an R-tree MBR touches at least one stored object,
+        so some object lies within ``minmaxdist`` of the point: along
+        one dimension go to the nearer face, along all others to the
+        farther one, and take the best choice of dimension.  Subtrees
+        whose ``mindist`` exceeds another subtree's ``minmaxdist``
+        cannot hold the nearest object.  ``inf`` for the empty box.
+        """
+        if self.is_empty():
+            return float("inf")
+        if len(point) != self.dim:
+            raise DimensionMismatchError("point/box dimension mismatch")
+        near_sq = []
+        far_sq = []
+        for p, a, b in zip(point, self.lo, self.hi):
+            mid = (a + b) / 2
+            near = a if p <= mid else b
+            far = a if p >= mid else b
+            near_sq.append((p - near) ** 2)
+            far_sq.append((p - far) ** 2)
+        total_far = sum(far_sq)
+        best = min(
+            total_far - f + n for n, f in zip(near_sq, far_sq)
+        )
+        return best ** 0.5
+
+    def mindist(self, other: "Box") -> float:
+        """MINDIST between two boxes: the smallest distance between any
+        pair of their points (0.0 when they overlap or touch; ``inf``
+        when either is empty).
+
+        As ``other`` shrinks to a point (``Box.point_box(p, eps)`` for
+        small ``eps``) this converges to :meth:`mindist_point` — the
+        metric the distance join and the box-anchored kNN probes share.
+        (A zero-``eps`` point box is *empty* under half-open semantics,
+        hence infinitely far like any empty box.)
+        """
+        self._require_compatible(other)
+        if self.is_empty() or other.is_empty():
+            return float("inf")
+        acc = 0.0
+        for a, b, c, d in zip(self.lo, self.hi, other.lo, other.hi):
+            if c > b:
+                acc += (c - b) ** 2
+            elif a > d:
+                acc += (a - d) ** 2
+        return acc ** 0.5
+
     # -- operators -------------------------------------------------------------------------
     def __and__(self, other: "Box") -> "Box":
         return self.meet(other)

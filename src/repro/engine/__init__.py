@@ -15,7 +15,7 @@ from .catalog import (
     TableStatistics,
     collect_statistics,
 )
-from .compiler import QueryPlan, StepPlan, compile_query
+from .compiler import QueryPlan, StepPlan, compile_query, repair_knn_order
 from .executor import (
     MODES,
     answers_as_oid_tuples,
@@ -25,11 +25,16 @@ from .executor import (
     run_query,
 )
 from .physical import (
+    Aggregate,
+    AggregateRow,
     BoxFilter,
     CrossProduct,
+    DistanceJoin,
     ExactFilter,
     ExtendStep,
+    IndexCountAggregate,
     IndexProbe,
+    KNNProbe,
     Once,
     PartitionScan,
     PartitionedSpatialJoin,
@@ -40,11 +45,15 @@ from .physical import (
     build_physical_plan,
 )
 from .planner import (
+    AGGREGATE_STRATEGIES,
     JOIN_STRATEGIES,
+    KNN_ACCESS_STRATEGIES,
     ORDER_STRATEGIES,
     StepEstimate,
     best_order_by_estimate,
+    choose_aggregate_strategy,
     choose_join_strategies,
+    choose_knn_access,
     choose_order,
     enumerate_orders,
     estimate_order_cost,
@@ -52,20 +61,30 @@ from .planner import (
     plan_order,
     rollout_step_estimates,
 )
-from .query import SpatialQuery
+from .query import AGGREGATE_OPS, AggregateSpec, KNNStep, SpatialQuery
 from .stats import ExecutionStats, StepStats
 
 __all__ = [
+    "AGGREGATE_OPS",
+    "AGGREGATE_STRATEGIES",
+    "Aggregate",
+    "AggregateRow",
+    "AggregateSpec",
     "BoxFilter",
     "Catalog",
     "CrossProduct",
+    "DistanceJoin",
     "ExactFilter",
     "Exchange",
     "ExecutionStats",
     "ExtendStep",
     "Histogram",
+    "IndexCountAggregate",
     "IndexProbe",
     "JOIN_STRATEGIES",
+    "KNNProbe",
+    "KNNStep",
+    "KNN_ACCESS_STRATEGIES",
     "MODES",
     "ORDER_STRATEGIES",
     "Once",
@@ -86,7 +105,9 @@ __all__ = [
     "answers_as_oid_tuples",
     "best_order_by_estimate",
     "build_physical_plan",
+    "choose_aggregate_strategy",
     "choose_join_strategies",
+    "choose_knn_access",
     "choose_order",
     "collect_statistics",
     "compile_query",
@@ -97,6 +118,7 @@ __all__ = [
     "execute_iter",
     "first_k",
     "plan_order",
+    "repair_knn_order",
     "rollout_step_estimates",
     "run_query",
 ]

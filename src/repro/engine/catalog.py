@@ -22,6 +22,7 @@ its mutation counter, so repeated planning is cheap.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple, TYPE_CHECKING
@@ -242,6 +243,36 @@ class TableStatistics:
                 if mbr_may_match(p.mbr, query)
             )
         )
+
+    # -- nearest-neighbor costing ----------------------------------------------
+    def estimate_scan_node_reads(self, node_capacity: int = 8) -> float:
+        """Nodes a full R-tree traversal of this table would read.
+
+        Leaves at near-full fanout plus the geometric series of inner
+        levels — the cost of ranking every row (the kNN scan path).
+        """
+        if self.count == 0:
+            return 1.0
+        cap = max(2, node_capacity)
+        leaves = math.ceil(self.count / cap)
+        return leaves * cap / (cap - 1)
+
+    def estimate_knn_node_reads(
+        self, k: int, node_capacity: int = 8
+    ) -> float:
+        """Expected node reads of a best-first kNN for ``k`` results.
+
+        One root-to-leaf descent plus roughly ``k / M`` additional leaf
+        reads (each read leaf yields up to ``M`` candidates), doubled
+        for the inner nodes the frontier expands.  Deliberately coarse —
+        it only needs to rank best-first against the full scan, which it
+        beats until ``k`` approaches the table size.
+        """
+        if self.count == 0:
+            return 1.0
+        cap = max(2, node_capacity)
+        height = 1 + math.ceil(math.log(max(2, self.count), cap))
+        return height + 2.0 * math.ceil(min(k, self.count) / cap)
 
     def exact_selectivity(
         self,

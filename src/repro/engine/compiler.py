@@ -25,9 +25,9 @@ from ..algebra.regions import RegionAlgebra
 from ..boxes.bconstraints import StepTemplate, compile_solved_constraint
 from ..constraints.solved import SolvedConstraint
 from ..constraints.triangular import TriangularForm, triangular_form
-from ..errors import UnsatisfiableError
+from ..errors import CompilationError, UnsatisfiableError
 from ..spatial.table import SpatialTable
-from .query import SpatialQuery
+from .query import AggregateSpec, KNNStep, SpatialQuery
 
 
 @dataclass(frozen=True)
@@ -42,17 +42,27 @@ class StepPlan:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """A compiled query: ordered steps plus the triangular form."""
+    """A compiled query: ordered steps plus the triangular form.
+
+    ``knn``/``aggregate`` carry the query's logical nearest-neighbor
+    restriction and aggregation through to physical planning.
+    """
 
     query: SpatialQuery
     order: Tuple[str, ...]
     triangular: TriangularForm
     steps: Tuple[StepPlan, ...]
     algebra: RegionAlgebra
+    knn: Optional[KNNStep] = None
+    aggregate: Optional[AggregateSpec] = None
 
     def render(self) -> str:
         """Readable plan listing (exact + box form per step)."""
         lines = [f"retrieval order: {', '.join(self.order)}"]
+        if self.knn is not None:
+            lines.append(self.knn.describe())
+        if self.aggregate is not None:
+            lines.append(self.aggregate.describe())
         for step in self.steps:
             lines.append(f"== step {step.variable} from {step.table.name} ==")
             lines.append("exact:")
@@ -105,6 +115,27 @@ class QueryPlan:
         return pplan.explain()
 
 
+def repair_knn_order(order, knn: Optional[KNNStep], tables) -> Tuple[str, ...]:
+    """An order with a ref-anchored kNN variable moved after its anchor.
+
+    No-op (the order returned unchanged, as a tuple) when there is no
+    kNN step, its anchor is not an unknown, or the order already places
+    the anchor first.  Shared by :func:`compile_query`'s silent repair
+    of planner-chosen orders and by callers (e.g. the CLI) that want to
+    repair an order *before* passing it explicitly.
+    """
+    order = tuple(order)
+    if knn is None or knn.ref is None or knn.ref not in tables:
+        return order
+    if knn.ref == knn.variable:  # invalid; left for validation to reject
+        return order
+    if order.index(knn.variable) > order.index(knn.ref):
+        return order
+    rest = [v for v in order if v != knn.variable]
+    rest.insert(rest.index(knn.ref) + 1, knn.variable)
+    return tuple(rest)
+
+
 def compile_query(
     query: SpatialQuery,
     order: Optional[Sequence[str]] = None,
@@ -116,7 +147,14 @@ def compile_query(
     else the planner's choice).  Raises
     :class:`~repro.errors.UnsatisfiableError` when the ground residue
     fails for the given bindings.
+
+    A kNN step anchored on another *unknown* (``knn.ref``) needs that
+    unknown retrieved first: an explicitly supplied order violating
+    this raises :class:`~repro.errors.CompilationError`, while a
+    planner-chosen order is silently repaired (the kNN variable moves
+    to just after its anchor).
     """
+    explicit = order is not None or query.order is not None
     if order is None:
         order = query.order
     if order is None:
@@ -124,6 +162,16 @@ def compile_query(
 
         order = choose_order(query)
     order = tuple(order)
+
+    knn = query.knn
+    if knn is not None and repair_knn_order(order, knn, query.tables) != order:
+        if explicit:
+            raise CompilationError(
+                f"kNN variable {knn.variable!r} is anchored on "
+                f"{knn.ref!r} and must be retrieved after it; order "
+                f"{list(order)} places it first"
+            )
+        order = repair_knn_order(order, knn, query.tables)
 
     tri = triangular_form(query.system, order)
     algebra = query.algebra()
@@ -152,4 +200,6 @@ def compile_query(
         triangular=tri,
         steps=tuple(steps),
         algebra=algebra,
+        knn=query.knn,
+        aggregate=query.aggregate,
     )

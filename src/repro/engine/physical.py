@@ -299,6 +299,228 @@ class IndexProbe(ExtendStep):
         return rows
 
 
+class KNNProbe(ExtendStep):
+    """Extend with the ``k`` nearest rows to a *fixed* anchor.
+
+    The anchor is the logical :class:`~repro.engine.query.KNNStep`'s
+    point (or a constant binding's bounding box), so the ranked row
+    list is computed once per execution — one best-first distance
+    browse on r-tree tables (:meth:`~repro.spatial.table.SpatialTable.
+    nearest`), a brute-force scan otherwise — and reused for every
+    incoming binding.  Rows extend in nondecreasing distance, so a
+    ``limit=k`` stream returns the nearest answers first (distance
+    browsing at the query level).
+    """
+
+    kind = "KNNProbe"
+
+    def __init__(self, child, variable, table, knn, access: str = "auto"):
+        super().__init__(child, variable, table)
+        self.knn = knn
+        self.access = access
+        self._ranked: Optional[List[SpatialObject]] = None
+
+    def describe(self) -> str:
+        anchor = (
+            f"point={self.knn.point}"
+            if self.knn.point is not None
+            else f"ref={self.knn.ref}"
+        )
+        return (
+            f"{self.kind}({self.variable} from {self.table.name}, "
+            f"k={self.knn.k}, {anchor}, access={self.access})"
+        )
+
+    def reset_stats(self) -> None:
+        self._ranked = None
+        super().reset_stats()
+
+    def _anchor(self, ctx: ExecutionContext):
+        if self.knn.point is not None:
+            return self.knn.point
+        return ctx.box_env({})[self.knn.ref]
+
+    def _rows(self, ctx, binding):
+        if self._ranked is None:
+            self.stats.probes += 1
+            before = self.table.index_read_count()
+            ranked = self.table.nearest(
+                self._anchor(ctx), self.knn.k, access=self.access
+            )
+            self.stats.node_reads += self.table.index_read_count() - before
+            self._ranked = [obj for _dist, obj in ranked]
+        return self._ranked
+
+
+class DistanceJoin(ExtendStep):
+    """Extend with the ``k`` rows nearest to *each* incoming binding.
+
+    The per-tuple form of :class:`KNNProbe`: the anchor is the bounding
+    box of an already-retrieved variable (``knn.ref``), so every
+    incoming partial tuple issues its own bounded nearest-neighbor
+    probe (box-to-box MINDIST) — the index-nested-loop distance join.
+    Repeated anchor boxes (common when intermediate variables between
+    the anchor and this step fan out) are memoized per execution, like
+    :class:`IndexProbe`'s batch path memoizes duplicate box queries.
+    """
+
+    kind = "DistanceJoin"
+
+    def __init__(self, child, variable, table, knn, access: str = "auto"):
+        super().__init__(child, variable, table)
+        self.knn = knn
+        self.access = access
+        self._memo: Dict[Box, List[SpatialObject]] = {}
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}({self.variable} from {self.table.name}, "
+            f"k={self.knn.k}, ref={self.knn.ref}, access={self.access})"
+        )
+
+    def reset_stats(self) -> None:
+        self._memo = {}
+        super().reset_stats()
+
+    def _rows(self, ctx, binding):
+        anchor = ctx.box_env(binding)[self.knn.ref]
+        rows = self._memo.get(anchor)
+        if rows is None:
+            self.stats.probes += 1
+            before = self.table.index_read_count()
+            ranked = self.table.nearest(
+                anchor, self.knn.k, access=self.access
+            )
+            self.stats.node_reads += self.table.index_read_count() - before
+            rows = self._memo[anchor] = [obj for _dist, obj in ranked]
+        return rows
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """One output row of an aggregation.
+
+    ``group`` pairs each group-by variable with the oid keying the
+    group (empty for ungrouped aggregates); ``values`` maps the spec's
+    labels (``"count"``, ``"min(T)"``, …) to their aggregated numbers
+    (``None`` for a min/max over an empty ungrouped input, like SQL's
+    NULL).
+    """
+
+    group: Tuple[Tuple[str, object], ...]
+    values: Dict[str, Optional[float]]
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {var: oid for var, oid in self.group}
+        out.update(self.values)
+        return out
+
+
+class Aggregate(PhysicalOperator):
+    """Fold the answer stream into aggregate rows (blocking).
+
+    Supports ``count`` plus ``min``/``max`` over the bounding-box
+    volume of a target variable, grouped by the oids of the ``group_by``
+    variables.  Consumes its child fully, then emits one
+    :class:`AggregateRow` per group in a deterministic order (groups
+    sorted by the ``repr`` of their key oids) — so parallel and serial
+    upstream plans produce identical aggregate streams.
+
+    SQL semantics on empty input: the *ungrouped* form emits a single
+    row (count 0, min/max ``None``) — matching what the COUNT pushdown
+    emits for the same logical query — while a grouped aggregate emits
+    no rows.
+    """
+
+    kind = "Aggregate"
+
+    def __init__(self, child: PhysicalOperator, spec):
+        super().__init__(child)
+        self.spec = spec
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.spec.describe()})"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        self.stats.executed = True
+        spec = self.spec
+        groups: Dict[Tuple, Dict[str, float]] = {}
+        for binding in self.child.iterate(ctx):
+            self.stats.rows_in += 1
+            key = tuple(binding[v].oid for v in spec.group_by)
+            acc = groups.get(key)
+            if acc is None:
+                acc = groups[key] = {}
+            for label, (op, target) in zip(spec.labels(), spec.aggregates):
+                if op == "count":
+                    acc[label] = acc.get(label, 0) + 1
+                    continue
+                measure = binding[target].box.volume()
+                if label not in acc:
+                    acc[label] = measure
+                elif op == "min":
+                    acc[label] = min(acc[label], measure)
+                else:
+                    acc[label] = max(acc[label], measure)
+        if not groups and not spec.group_by:
+            # SQL semantics: an ungrouped aggregate of nothing is one
+            # row, not zero rows (keeps the exact and pushdown COUNT
+            # strategies in agreement on empty inputs).
+            self.stats.rows_out += 1
+            yield AggregateRow(
+                group=(),
+                values={
+                    label: (0 if op == "count" else None)
+                    for label, (op, _t) in zip(
+                        spec.labels(), spec.aggregates
+                    )
+                },
+            )
+            return
+        for key in sorted(groups, key=lambda k: tuple(repr(o) for o in k)):
+            self.stats.rows_out += 1
+            yield AggregateRow(
+                group=tuple(zip(spec.group_by, key)), values=groups[key]
+            )
+
+
+class IndexCountAggregate(PhysicalOperator):
+    """The COUNT pushdown: answer an ungrouped single-variable box-level
+    count straight from the index.
+
+    Instantiates the lone step's box template on the constant bindings
+    and delegates to :meth:`~repro.spatial.table.SpatialTable.
+    count_range` — on r-tree tables, subtrees fully inside a pure
+    containment query contribute their cached entry counts without
+    being read.  Emits a single :class:`AggregateRow`; the count is the
+    number of rows whose *box* matches the template (the
+    ``exact=False`` semantics of :class:`~repro.engine.query.
+    AggregateSpec`).
+    """
+
+    kind = "IndexCountAggregate"
+
+    def __init__(self, variable: str, table: SpatialTable, template):
+        super().__init__(None)
+        self.variable = variable
+        self.table = table
+        self.template = template
+
+    def describe(self) -> str:
+        return f"{self.kind}(count {self.variable} from {self.table.name})"
+
+    def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        self.stats.executed = True
+        query = self.template.instantiate(ctx.box_env({}), ctx.universe)
+        self.stats.box_evals += 1
+        self.stats.probes += 1
+        before = self.table.index_read_count()
+        n = self.table.count_range(query)
+        self.stats.node_reads += self.table.index_read_count() - before
+        self.stats.rows_out += 1
+        yield AggregateRow(group=(), values={"count": n})
+
+
 class PartitionScan(ExtendStep):
     """Extend via a partition-MBR-pruned scan of the table.
 
@@ -621,6 +843,8 @@ class PhysicalPlan:
     partitions: int = 0
     join_strategies: Tuple[str, ...] = ()
     exchange: Optional[Exchange] = None
+    knn_access: Optional[str] = None
+    aggregate_op: Optional[PhysicalOperator] = None
 
     # -- execution ---------------------------------------------------------------
     def execute_iter(
@@ -738,6 +962,12 @@ class PhysicalPlan:
                 f"  partitions={self.partitions or 'off'}"
                 f"  exchange={exchange}  joins: {joins}"
             )
+        if self.logical.knn is not None:
+            lines.append(
+                f"  {self.logical.knn.describe()}  access={self.knn_access}"
+            )
+        if self.logical.aggregate is not None:
+            lines.append(f"  {self.logical.aggregate.describe()}")
 
         def annotate(op: PhysicalOperator) -> str:
             parts = []
@@ -891,11 +1121,45 @@ def build_physical_plan(
     if mode not in MODES:
         raise UnknownModeError(mode, MODES)
 
+    from .planner import choose_aggregate_strategy, choose_knn_access
+
+    knn = plan.knn
+    knn_access: Optional[str] = None
+    if knn is not None:
+        knn_access = choose_knn_access(
+            plan.query.tables[knn.variable], knn.k, catalog=catalog
+        )
+    aggregate = plan.aggregate
+    if (
+        aggregate is not None
+        and choose_aggregate_strategy(plan, mode) == "pushdown"
+    ):
+        # Box-level COUNT: the whole plan is one index count.
+        sp = plan.steps[0]
+        count_op = IndexCountAggregate(sp.variable, sp.table, sp.template)
+        pplan = PhysicalPlan(
+            logical=plan,
+            mode=mode,
+            root=count_op,
+            step_ops=[_StepOps(variable=sp.variable, extend=count_op)],
+            join_strategies=("pushdown",),
+            aggregate_op=count_op,
+        )
+        if estimate:
+            _annotate_estimates(pplan, catalog)
+        return pplan
+
     strategies = _resolve_join_strategies(
         plan, mode, catalog, partitions, parallel, join_strategy
     )
     exchange = Exchange(workers=parallel, kind=parallel_kind)
     tiles = partitions if partitions > 0 else DEFAULT_TILES
+
+    def knn_extend(node: PhysicalOperator, variable, table) -> ExtendStep:
+        """The kNN restriction's access operator for one variable."""
+        if knn.ref is not None and knn.ref in plan.query.tables:
+            return DistanceJoin(node, variable, table, knn, knn_access)
+        return KNNProbe(node, variable, table, knn, knn_access)
 
     node: PhysicalOperator = Once()
     step_ops: List[_StepOps] = []
@@ -903,7 +1167,11 @@ def build_physical_plan(
 
     if mode == "naive":
         for variable in plan.order:
-            node = CrossProduct(node, variable, plan.query.tables[variable])
+            table = plan.query.tables[variable]
+            if knn is not None and variable == knn.variable:
+                node = knn_extend(node, variable, table)
+            else:
+                node = CrossProduct(node, variable, table)
             step_ops.append(_StepOps(variable=variable, extend=node))
         final_filter = ExactFilter(node, system=plan.query.system)
         node = final_filter
@@ -913,7 +1181,17 @@ def build_physical_plan(
         for sp in plan.steps:
             strategy = strategies.get(sp.variable, "probe")
             box_filter: Optional[BoxFilter] = None
-            if use_boxes and strategy == "pbsm":
+            if knn is not None and sp.variable == knn.variable:
+                # The kNN restriction replaces the step's access path;
+                # the step's box template still applies as a filter (a
+                # necessary condition of the exact constraint), so box
+                # modes keep their candidate accounting.
+                extend = knn_extend(node, sp.variable, sp.table)
+                node = extend
+                if use_boxes:
+                    box_filter = BoxFilter(node, sp.variable, sp.template)
+                    node = box_filter
+            elif use_boxes and strategy == "pbsm":
                 extend: ExtendStep = PartitionedSpatialJoin(
                     node,
                     sp.variable,
@@ -962,6 +1240,11 @@ def build_physical_plan(
             final_filter = ExactFilter(node, system=plan.query.system)
             node = final_filter
 
+    aggregate_op: Optional[PhysicalOperator] = None
+    if aggregate is not None:
+        aggregate_op = Aggregate(node, aggregate)
+        node = aggregate_op
+
     pplan = PhysicalPlan(
         logical=plan,
         mode=mode,
@@ -973,6 +1256,8 @@ def build_physical_plan(
             strategies.get(v, "probe") for v in plan.order
         ),
         exchange=exchange,
+        knn_access=knn_access,
+        aggregate_op=aggregate_op,
     )
     if estimate:
         _annotate_estimates(pplan, catalog)
@@ -1002,12 +1287,24 @@ def _annotate_estimates(pplan: PhysicalPlan, catalog=None) -> None:
         if isinstance(op, Once):
             op.est_rows = 1.0
     running = 1.0  # cross-product cardinality for naive chains
+    knn = plan.knn
     for ops in pplan.step_ops:
         est = estimates.get(ops.variable)
         if est is None:
             continue
-        if pplan.mode == "naive":
-            running *= max(1, len(plan.query.tables[ops.variable]))
+        table_size = max(1, len(plan.query.tables[ops.variable]))
+        if isinstance(ops.extend, IndexCountAggregate):
+            ops.extend.est_rows = 1.0
+        elif isinstance(ops.extend, (KNNProbe, DistanceJoin)):
+            # The kNN restriction caps the step's fanout at k.
+            fanout = min(knn.k, table_size) if knn is not None else table_size
+            if pplan.mode == "naive":
+                running *= fanout
+                ops.extend.est_rows = running
+            else:
+                ops.extend.est_rows = est.partials_in * fanout
+        elif pplan.mode == "naive":
+            running *= table_size
             ops.extend.est_rows = running
         elif isinstance(ops.extend, TableScan):
             ops.extend.est_rows = est.scan_candidates

@@ -36,6 +36,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..boxes.bconstraints import compile_solved_constraint
 from ..constraints.system import ConstraintSystem
 from ..constraints.triangular import triangular_form
+from ..errors import CompilationError
 from ..spatial.partition import DEFAULT_TILES
 from .catalog import Catalog
 from .query import SpatialQuery
@@ -67,6 +68,14 @@ INDEX_PROBE_BRANCHING = 4.0
 #: Beyond this many unknowns, exhaustive order enumeration is skipped
 #: and the greedy heuristic is used directly.
 MAX_ENUMERATED_UNKNOWNS = 7
+
+#: Access paths a kNN step can use (:func:`choose_knn_access`).
+KNN_ACCESS_STRATEGIES = ("bestfirst", "scan")
+
+#: Strategies :func:`choose_aggregate_strategy` picks among:
+#: ``"stream"`` folds the verified answer stream, ``"pushdown"``
+#: answers a box-level COUNT from the R-tree's subtree entry counts.
+AGGREGATE_STRATEGIES = ("stream", "pushdown")
 
 #: The histogram planner only overrides the greedy order when its
 #: estimate is decisively better (below this fraction of the greedy
@@ -444,6 +453,73 @@ def plan_order(
     raise ValueError(
         f"unknown strategy {strategy!r}; expected one of {ORDER_STRATEGIES}"
     )
+
+
+def choose_knn_access(
+    table, k: int, catalog: Optional[Catalog] = None
+) -> str:
+    """Pick the access path of a kNN step (cost-based).
+
+    ``"bestfirst"`` — the R-tree's incremental best-first browse —
+    touches roughly a root-to-leaf slice plus ``k/M`` extra leaves;
+    ``"scan"`` — the brute-force ranking — touches every row.  The
+    chooser compares the two on the statistics catalog's node-read
+    estimates (:meth:`~repro.engine.catalog.TableStatistics.
+    estimate_knn_node_reads`); non-r-tree backends and ``k >= n``
+    always scan (the browse cannot beat reading everything), and any
+    estimation failure falls back to best-first, the safe default for
+    indexed tables.
+    """
+    if table.index_kind != "rtree":
+        return "scan"
+    n = len(table)
+    if n == 0 or k >= n:
+        return "scan"
+    try:
+        stats = (catalog or Catalog()).statistics(table)
+        bestfirst = stats.estimate_knn_node_reads(k, table.node_capacity)
+        scan = stats.estimate_scan_node_reads(table.node_capacity)
+        return "bestfirst" if bestfirst <= scan else "scan"
+    except Exception:
+        return "bestfirst"
+
+
+def choose_aggregate_strategy(plan, mode: str) -> str:
+    """Pick how a compiled query's aggregation executes.
+
+    ``"stream"`` — an :class:`~repro.engine.physical.Aggregate`
+    operator folds the (exactly verified) answer stream; works for
+    every spec and mode.  ``"pushdown"`` — the box-level COUNT is
+    answered by :class:`~repro.engine.physical.IndexCountAggregate`
+    straight from the index; chosen exactly when the spec asks for the
+    box approximation (``exact=False``), which is only well-defined for
+    an ungrouped single-variable COUNT in a box mode — any other
+    ``exact=False`` shape raises
+    :class:`~repro.errors.CompilationError`.
+    """
+    spec = plan.aggregate
+    if spec is None:
+        raise ValueError("plan has no aggregate spec")
+    if spec.exact:
+        return "stream"
+    problems = []
+    if mode not in ("boxplan", "boxonly"):
+        problems.append(f"mode {mode!r} has no box layer")
+    if len(plan.steps) != 1:
+        problems.append(f"{len(plan.steps)} retrieval steps (needs 1)")
+    if spec.group_by:
+        problems.append("group-by is not box-representable")
+    if spec.aggregates != (("count", None),):
+        problems.append("only count() can be answered from boxes")
+    if plan.knn is not None:
+        problems.append("a kNN restriction needs the exact pipeline")
+    if problems:
+        raise CompilationError(
+            "box-level aggregation (exact=False) requires an ungrouped "
+            "single-variable count in a box mode; this query has: "
+            + "; ".join(problems)
+        )
+    return "pushdown"
 
 
 def choose_join_strategies(

@@ -26,6 +26,113 @@ from ..errors import CompilationError, UnboundVariableError
 from ..spatial.table import SpatialTable
 
 
+@dataclass(frozen=True)
+class KNNStep:
+    """A logical nearest-neighbor restriction on one unknown variable.
+
+    ``variable`` ranges over the ``k`` rows of its table nearest to the
+    anchor — instead of over the whole table — *before* the query's
+    constraints filter them (the classic "kNN then filter" semantics,
+    which makes the answer set identical in every execution mode and
+    trivially checkable against a brute-force reference).  Distances
+    are bounding-box MINDISTs with ties at the ``k``-th distance broken
+    by ``repr(oid)``, so the restriction is deterministic.
+
+    Exactly one anchor form must be given:
+
+    ``point``
+        a fixed coordinate tuple — lowered to a
+        :class:`~repro.engine.physical.KNNProbe` (one best-first index
+        browse for the whole execution);
+    ``ref``
+        the name of a constant binding or an *earlier* unknown — the
+        anchor is that variable's bounding box, re-evaluated per partial
+        tuple, lowered to a
+        :class:`~repro.engine.physical.DistanceJoin`.
+    """
+
+    variable: str
+    k: int
+    point: Optional[Tuple[float, ...]] = None
+    ref: Optional[str] = None
+
+    def __post_init__(self):
+        if self.point is not None:
+            object.__setattr__(self, "point", tuple(float(c) for c in self.point))
+
+    def describe(self) -> str:
+        anchor = (
+            f"point={self.point}" if self.point is not None else f"ref={self.ref}"
+        )
+        return f"knn({self.variable}, k={self.k}, {anchor})"
+
+
+#: Aggregate operations :class:`AggregateSpec` accepts.  ``count`` takes
+#: no target; ``min``/``max`` aggregate the bounding-box *volume* of the
+#: target variable's retrieved object (the one numeric measure every
+#: spatial row carries).
+AGGREGATE_OPS = ("count", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """A logical aggregation over the query's answer stream.
+
+    ``aggregates`` is a tuple of ``(op, target)`` pairs — ``("count",
+    None)``, ``("min", var)``, ``("max", var)`` — and ``group_by`` names
+    the unknowns whose retrieved oids key the groups.  With
+    ``exact=True`` (default) the aggregate consumes fully verified
+    answers in any mode.  ``exact=False`` requests the *box-level*
+    count: the number of rows whose bounding box matches the step's
+    compiled template (an upper bound on the exact count, in the spirit
+    of the paper's box approximations) — only legal for a
+    single-variable ungrouped COUNT, where it is pushed down to the
+    R-tree's cached subtree entry counts.
+    """
+
+    aggregates: Tuple[Tuple[str, Optional[str]], ...] = (("count", None),)
+    group_by: Tuple[str, ...] = ()
+    exact: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "aggregates", tuple((op, v) for op, v in self.aggregates)
+        )
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+        if not self.aggregates:
+            raise CompilationError("AggregateSpec needs at least one aggregate")
+        for op, target in self.aggregates:
+            if op not in AGGREGATE_OPS:
+                raise CompilationError(
+                    f"unknown aggregate {op!r}; expected one of {AGGREGATE_OPS}"
+                )
+            if op == "count" and target is not None:
+                raise CompilationError("count takes no target variable")
+            if op != "count" and target is None:
+                raise CompilationError(f"{op} needs a target variable")
+        labels = self.labels()
+        if len(set(labels)) != len(labels):
+            # Accumulators are keyed by label, so duplicates would
+            # silently double-count into one shared column.
+            dupes = sorted({x for x in labels if labels.count(x) > 1})
+            raise CompilationError(
+                f"duplicate aggregate(s) {dupes}; each op/target pair "
+                f"may appear once"
+            )
+
+    def labels(self) -> Tuple[str, ...]:
+        """Column labels, e.g. ``("count", "min(T)")``."""
+        return tuple(
+            op if target is None else f"{op}({target})"
+            for op, target in self.aggregates
+        )
+
+    def describe(self) -> str:
+        by = f" by {','.join(self.group_by)}" if self.group_by else ""
+        exact = "" if self.exact else ", boxes only"
+        return f"agg({', '.join(self.labels())}{by}{exact})"
+
+
 @dataclass
 class SpatialQuery:
     """A multi-variable spatial query (paper Section 1's setting).
@@ -41,12 +148,20 @@ class SpatialQuery:
     order:
         Optional retrieval order over the unknowns; ``None`` delegates
         to the planner.
+    knn:
+        Optional :class:`KNNStep` restricting one unknown to its
+        table's ``k`` nearest rows.
+    aggregate:
+        Optional :class:`AggregateSpec`; execution then returns
+        aggregate rows instead of bindings.
     """
 
     system: ConstraintSystem
     tables: Mapping[str, SpatialTable]
     bindings: Mapping[str, Region] = field(default_factory=dict)
     order: Optional[Sequence[str]] = None
+    knn: Optional[KNNStep] = None
+    aggregate: Optional[AggregateSpec] = None
 
     def __post_init__(self):
         self.tables = dict(self.tables)
@@ -69,6 +184,51 @@ class SpatialQuery:
                     "retrieval order must list exactly the table variables; "
                     f"got {order}, expected a permutation of "
                     f"{sorted(self.tables)}"
+                )
+        if self.knn is not None:
+            self._validate_knn(self.knn)
+        if self.aggregate is not None:
+            self._validate_aggregate(self.aggregate)
+
+    def _validate_knn(self, knn: KNNStep) -> None:
+        if knn.variable not in self.tables:
+            raise CompilationError(
+                f"kNN variable {knn.variable!r} is not a table variable "
+                f"(unknowns: {sorted(self.tables)})"
+            )
+        if knn.k < 1:
+            raise CompilationError(f"kNN needs k >= 1, got {knn.k}")
+        if (knn.point is None) == (knn.ref is None):
+            raise CompilationError(
+                "KNNStep needs exactly one of point= or ref="
+            )
+        table = self.tables[knn.variable]
+        if knn.point is not None and len(knn.point) != table.dim:
+            raise CompilationError(
+                f"kNN point has {len(knn.point)} dims, table "
+                f"{table.name!r} is {table.dim}-dim"
+            )
+        if knn.ref is not None:
+            if knn.ref == knn.variable:
+                raise CompilationError(
+                    "a kNN step cannot anchor on its own variable"
+                )
+            if knn.ref not in self.tables and knn.ref not in self.bindings:
+                raise CompilationError(
+                    f"kNN anchor {knn.ref!r} is neither a table variable "
+                    f"nor a bound constant"
+                )
+
+    def _validate_aggregate(self, spec: AggregateSpec) -> None:
+        for name in spec.group_by:
+            if name not in self.tables:
+                raise CompilationError(
+                    f"group-by variable {name!r} is not a table variable"
+                )
+        for _op, target in spec.aggregates:
+            if target is not None and target not in self.tables:
+                raise CompilationError(
+                    f"aggregate target {target!r} is not a table variable"
                 )
 
     @property

@@ -18,11 +18,16 @@ costs.  Deletion uses the classic condense-and-reinsert strategy.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box, EMPTY_BOX, enclose_all
+
+#: Anchor of a distance traversal: a point (coordinate sequence) or a
+#: box (box-to-box MINDIST — what the distance join uses).
+DistanceAnchor = Union[Sequence[float], Box]
 
 
 @dataclass
@@ -32,18 +37,26 @@ class RTreeStats:
     ``entry_tests`` counts per-entry box tests during search (leaf
     entries matched against the query plus inner entries tested for
     descent) — the R-tree's share of "exact box tests", comparable to a
-    spatial join's candidate-pair tests.
+    spatial join's candidate-pair tests.  Distance traversals
+    (:meth:`RTree.nearest` / :meth:`RTree.distance_browse`) count their
+    per-entry distance computations there too.  ``pruned_subtrees``
+    records subtrees a nearest-neighbor bound or a COUNT shortcut
+    discarded without reading — the savings the kNN/aggregation
+    benchmarks gate on.
     """
 
     node_reads: int = 0
     entry_tests: int = 0
     splits: int = 0
     inserts: int = 0
+    deletes: int = 0
     reinserts: int = 0
+    pruned_subtrees: int = 0
 
     def reset(self) -> None:
         self.node_reads = self.entry_tests = 0
-        self.splits = self.inserts = self.reinserts = 0
+        self.splits = self.inserts = self.deletes = self.reinserts = 0
+        self.pruned_subtrees = 0
 
 
 class _Node:
@@ -112,6 +125,11 @@ class RTree:
         self._size = 0
         self._reinserting = False
         self.stats = RTreeStats()
+        # Structural mutation counter; invalidates the cached subtree
+        # entry counts the COUNT pushdown uses.
+        self._mutations = 0
+        self._subtree_counts: Optional[Dict[int, int]] = None
+        self._subtree_counts_version = -1
 
     # -- bulk loading (STR) ---------------------------------------------------
     @classmethod
@@ -197,6 +215,7 @@ class RTree:
         self._insert_entry(box, value)
 
     def _insert_entry(self, box: Box, value) -> None:
+        self._mutations += 1
         leaf = self._choose_leaf(self._root, box)
         leaf.entries.append((box, value))
         self._size += 1
@@ -514,6 +533,206 @@ class RTree:
             out.append(rows)
         return out
 
+    # -- distance browsing / nearest neighbors --------------------------------
+    @staticmethod
+    def _entry_dist(box: Box, anchor: "DistanceAnchor") -> float:
+        """Distance from ``anchor`` (a point or a box) to ``box``."""
+        if isinstance(anchor, Box):
+            return box.mindist(anchor)
+        return box.mindist_point(anchor)
+
+    def distance_browse(
+        self, anchor: "DistanceAnchor"
+    ) -> Iterator[Tuple[float, Box, object]]:
+        """Incremental best-first distance browsing (Hjaltason–Samet).
+
+        Yields ``(distance, box, value)`` in nondecreasing distance from
+        ``anchor`` — a point (coordinate sequence) or a :class:`Box`
+        (box-to-box MINDIST).  A single priority queue holds nodes and
+        entries keyed by MINDIST; a node is read only when its MINDIST
+        reaches the front, so consuming the first ``k`` results touches
+        a small neighborhood of the tree instead of all of it.  Stopping
+        early prunes every subtree still queued
+        (``stats.pruned_subtrees`` is updated by :meth:`nearest`; the
+        raw generator leaves them implicit).  Empty-box entries are at
+        infinite distance and are never yielded.
+        """
+        # Heap items: (dist, tiebreak counter, is_entry, payload).
+        counter = 0
+        heap: List[Tuple[float, int, bool, object]] = [
+            (0.0, 0, False, self._root)
+        ]
+        while heap:
+            dist, _seq, is_entry, payload = heapq.heappop(heap)
+            if is_entry:
+                box, value = payload  # type: ignore[misc]
+                yield dist, box, value
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            self.stats.node_reads += 1
+            for box, child in node.entries:
+                self.stats.entry_tests += 1
+                d = self._entry_dist(box, anchor)
+                if d == float("inf"):
+                    continue  # empty boxes match no distance query
+                counter += 1
+                if node.leaf:
+                    heapq.heappush(
+                        heap, (d, counter, True, (box, child))
+                    )
+                else:
+                    heapq.heappush(heap, (max(d, dist), counter, False, child))
+
+    def nearest(
+        self,
+        anchor: "DistanceAnchor",
+        k: int = 1,
+        tie_key: Optional[Callable[[object], object]] = None,
+    ) -> List[Tuple[float, Box, object]]:
+        """The ``k`` entries nearest to ``anchor``, best-first.
+
+        Equivalent to (and property-tested against) sorting all entries
+        by ``(distance, tie_key(value))`` and taking the first ``k`` —
+        ties at the ``k``-th distance are broken by ``tie_key``
+        (default: ``repr`` of the stored value), so the result set is
+        deterministic and matches a brute-force reference exactly.
+
+        Pruning: the browse stops as soon as the next queued distance
+        strictly exceeds the current ``k``-th best, and every subtree
+        still queued at that point is counted in
+        ``stats.pruned_subtrees``.  For point anchors with ``k == 1``
+        the MINMAXDIST bound additionally discards hopeless subtrees
+        before they are ever queued.
+        """
+        if k <= 0:
+            return []
+        key = tie_key if tie_key is not None else repr
+        # For k == 1 with a point anchor, MINMAXDIST of any visited node
+        # is a sound upper bound on the nearest distance (a minimal MBR
+        # guarantees an object within it); track it to skip pushes.
+        use_minmax = k == 1 and not isinstance(anchor, Box)
+        bound = float("inf")
+        counter = 0
+        heap: List[Tuple[float, int, bool, object]] = [
+            (0.0, 0, False, self._root)
+        ]
+        found: List[Tuple[float, Box, object]] = []
+        while heap:
+            dist, _seq, is_entry, payload = heap[0]
+            if len(found) >= k and dist > found[k - 1][0]:
+                break  # nothing queued can affect the result set
+            heapq.heappop(heap)
+            if is_entry:
+                box, value = payload  # type: ignore[misc]
+                found.append((dist, box, value))
+                found.sort(key=lambda e: (e[0], key(e[2])))
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            self.stats.node_reads += 1
+            for box, child in node.entries:
+                self.stats.entry_tests += 1
+                d = self._entry_dist(box, anchor)
+                if d == float("inf"):
+                    continue
+                if not node.leaf and d > bound:
+                    self.stats.pruned_subtrees += 1
+                    continue
+                if use_minmax and not node.leaf:
+                    bound = min(bound, box.minmaxdist_point(anchor))
+                counter += 1
+                if node.leaf:
+                    heapq.heappush(heap, (d, counter, True, (box, child)))
+                else:
+                    heapq.heappush(
+                        heap, (max(d, dist), counter, False, child)
+                    )
+        self.stats.pruned_subtrees += sum(
+            1 for _d, _s, is_entry, _p in heap if not is_entry
+        )
+        return found[:k]
+
+    # -- counting (aggregation pushdown) --------------------------------------
+    def node_count(self) -> int:
+        """Total number of nodes — the reads a full traversal costs."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 1
+            if not node.leaf:
+                stack.extend(child for _b, child in node.entries)
+        return total
+
+    def _subtree_count_map(self) -> Dict[int, int]:
+        """Per-node counts of non-empty-box entries below, cached.
+
+        Rebuilt lazily after any insert/delete (like the statistics
+        caches elsewhere, the maintenance traversal is not billed to
+        ``stats.node_reads`` — it is amortised over every subsequent
+        :meth:`count`).
+        """
+        if (
+            self._subtree_counts is None
+            or self._subtree_counts_version != self._mutations
+        ):
+            counts: Dict[int, int] = {}
+
+            def walk(node: _Node) -> int:
+                if node.leaf:
+                    n = sum(
+                        1 for box, _v in node.entries if not box.is_empty()
+                    )
+                else:
+                    n = sum(walk(child) for _b, child in node.entries)
+                counts[id(node)] = n
+                return n
+
+            walk(self._root)
+            self._subtree_counts = counts
+            self._subtree_counts_version = self._mutations
+        return self._subtree_counts
+
+    def count(self, query: BoxQuery) -> int:
+        """``len(list(self.search(query)))`` without materialising rows.
+
+        The aggregation pushdown: when the query is a pure containment
+        template (only an ``inside`` constraint), a node whose MBR lies
+        inside the query box contributes its cached subtree entry count
+        without being descended into (``stats.pruned_subtrees``) — every
+        entry below is contained in the node's MBR and hence in the
+        query box.  Other constraint forms cannot shortcut this way (an
+        MBR overlapping ``c`` says nothing about its entries), so they
+        descend normally.
+        """
+        if query.is_unsatisfiable():
+            return 0
+        inside_only = (
+            query.inside is not None
+            and not query.overlap
+            and (query.covers is None or query.covers.is_empty())
+        )
+        counts = self._subtree_count_map() if inside_only else None
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if counts is not None and node.mbr().le(query.inside):
+                total += counts[id(node)]
+                self.stats.pruned_subtrees += 1
+                continue
+            self.stats.node_reads += 1
+            if node.leaf:
+                for box, _value in node.entries:
+                    self.stats.entry_tests += 1
+                    if not box.is_empty() and query.matches(box):
+                        total += 1
+            else:
+                for mbr, child in node.entries:
+                    self.stats.entry_tests += 1
+                    if self._node_may_match(mbr, query):
+                        stack.append(child)
+        return total
+
     @staticmethod
     def _node_may_match(mbr: Box, query: BoxQuery) -> bool:
         if query.inside is not None and not mbr.overlaps(query.inside):
@@ -532,10 +751,17 @@ class RTree:
 
         Uses a simplified condense step: an emptied leaf is unlinked from
         its ancestors (no reinsertion is needed since it held nothing).
+
+        Instrumentation mirrors the insert/search paths: the FindLeaf
+        descent records ``node_reads``/``entry_tests``, and a successful
+        removal bumps ``stats.deletes`` (the counterpart of
+        ``stats.inserts``) and invalidates the cached subtree counts.
         """
         leaf = self._find_leaf(self._root, box, value)
         if leaf is None:
             return False
+        self.stats.deletes += 1
+        self._mutations += 1
         for k, (b, v) in enumerate(leaf.entries):
             if b == box and v == value:
                 del leaf.entries[k]
@@ -556,12 +782,15 @@ class RTree:
         return True
 
     def _find_leaf(self, node: _Node, box: Box, value) -> Optional[_Node]:
+        self.stats.node_reads += 1
         if node.leaf:
             for b, v in node.entries:
+                self.stats.entry_tests += 1
                 if b == box and v == value:
                     return node
             return None
         for mbr, child in node.entries:
+            self.stats.entry_tests += 1
             if box.le(mbr):
                 found = self._find_leaf(child, box, value)
                 if found is not None:

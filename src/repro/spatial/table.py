@@ -440,6 +440,104 @@ class SpatialTable:
             out.append(rows)
         return out
 
+    # -- nearest neighbors --------------------------------------------------------
+    @staticmethod
+    def _distance_to(obj: SpatialObject, anchor) -> float:
+        if isinstance(anchor, Box):
+            return obj.box.mindist(anchor)
+        return obj.box.mindist_point(anchor)
+
+    def nearest(
+        self, anchor, k: int, access: str = "auto"
+    ) -> List[Tuple[float, SpatialObject]]:
+        """The ``k`` rows nearest to ``anchor`` (a point or a box).
+
+        Distances are bounding-box MINDISTs; rows are returned in
+        nondecreasing distance with ties at the ``k``-th distance broken
+        by ``repr(oid)``, so every access path returns the *same* list
+        (property-tested against :meth:`nearest_bruteforce`):
+
+        * ``"bestfirst"`` — the R-tree's incremental best-first browse
+          (r-tree backend only);
+        * ``"scan"`` — the brute-force reference;
+        * ``"auto"`` — best-first when an r-tree is available, scan
+          otherwise (grid files index the 2k-dim point representation,
+          where box distances do not reduce to point distances).
+
+        Counts one probe, like a range query.
+        """
+        if k <= 0:
+            return []
+        if access not in ("auto", "bestfirst", "scan"):
+            raise ValueError(
+                f"unknown kNN access {access!r}; expected 'auto', "
+                f"'bestfirst' or 'scan'"
+            )
+        if access == "bestfirst" and self._rtree is None:
+            raise ValueError(
+                f"best-first kNN needs the rtree backend; table "
+                f"{self.name!r} uses {self.index_kind!r}"
+            )
+        self.probes += 1
+        if self._rtree is not None and access != "scan":
+            out = [
+                (dist, obj)
+                for dist, _box, obj in self._rtree.nearest(
+                    anchor, k, tie_key=lambda obj: repr(obj.oid)
+                )
+            ]
+        else:
+            out = self._nearest_scan(anchor, k)
+        self.candidates_returned += len(out)
+        return out
+
+    def nearest_bruteforce(
+        self, anchor, k: int
+    ) -> List[Tuple[float, SpatialObject]]:
+        """Brute-force kNN reference: scan every row, sort, cut.
+
+        The differential-testing oracle for :meth:`nearest` — same
+        distance metric, same deterministic tie-break, no index.  Counts
+        one probe (a full scan).
+        """
+        if k <= 0:
+            return []
+        self.probes += 1
+        out = self._nearest_scan(anchor, k)
+        self.candidates_returned += len(out)
+        return out
+
+    def _nearest_scan(
+        self, anchor, k: int
+    ) -> List[Tuple[float, SpatialObject]]:
+        ranked = sorted(
+            (
+                (self._distance_to(obj, anchor), obj)
+                for obj in self._objects.values()
+                if not obj.box.is_empty()
+            ),
+            key=lambda pair: (pair[0], repr(pair[1].oid)),
+        )
+        return ranked[:k]
+
+    # -- counting aggregation ------------------------------------------------------
+    def count_range(self, query: BoxQuery) -> int:
+        """``len(self.range_query(query))`` without materialising rows.
+
+        On the r-tree backend this is the COUNT pushdown: subtrees whose
+        MBR is fully inside a pure containment query contribute their
+        cached entry counts without being read (see
+        :meth:`repro.spatial.rtree.RTree.count`).  Other backends fall
+        back to counting the range query's result.
+        """
+        if query.is_unsatisfiable():
+            self.probes += 1
+            return 0
+        if self._rtree is not None:
+            self.probes += 1
+            return self._rtree.count(query)
+        return len(self.range_query(query))
+
     def scan(self) -> List[SpatialObject]:
         """All rows (the naive executor's access path)."""
         self.probes += 1

@@ -1,0 +1,466 @@
+"""Unit tests for the nearest-neighbor & aggregation subsystem.
+
+Deterministic edge cases the differential harness (``test_differential.
+py``) does not pin down: the distance metrics' geometry, the best-first
+traversal's bounds and pruning counters, logical-node validation, the
+planner's strategy choices, order repair, and the CLI flags.
+"""
+
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import Region
+from repro.boxes import Box, BoxQuery, EMPTY_BOX
+from repro.engine import (
+    AggregateSpec,
+    KNNStep,
+    SpatialQuery,
+    build_physical_plan,
+    choose_aggregate_strategy,
+    choose_knn_access,
+    compile_query,
+)
+from repro.errors import CompilationError, DimensionMismatchError
+from repro.constraints import ConstraintSystem, nonempty, overlaps
+from repro.spatial import RTree, SpatialTable
+from tests.conftest import UNIVERSE, random_table
+from tests.strategies import nonempty_boxes
+
+
+class TestDistanceMetrics:
+    def test_mindist_point_geometry(self):
+        b = Box((2.0, 2.0), (4.0, 4.0))
+        assert b.mindist_point((3.0, 3.0)) == 0.0  # inside
+        assert b.mindist_point((3.0, 6.0)) == 2.0  # axis gap
+        assert b.mindist_point((0.0, 0.0)) == pytest.approx(8 ** 0.5)
+
+    def test_box_mindist(self):
+        b = Box((2.0, 2.0), (4.0, 4.0))
+        assert b.mindist(Box((6.0, 2.0), (8.0, 4.0))) == 2.0
+        assert b.mindist(Box((3.0, 3.0), (9.0, 9.0))) == 0.0  # overlap
+        assert b.mindist(Box((6.0, 6.0), (7.0, 7.0))) == pytest.approx(
+            8 ** 0.5
+        )
+        # A shrinking box converges to the point metric; the zero-eps
+        # point box is empty (half-open) and hence infinitely far.
+        assert b.mindist(
+            Box.point_box((0.0, 0.0), eps=1e-9)
+        ) == pytest.approx(b.mindist_point((0.0, 0.0)), abs=1e-6)
+        assert b.mindist(Box.point_box((0.0, 0.0))) == float("inf")
+
+    def test_empty_box_is_infinitely_far(self):
+        assert EMPTY_BOX.mindist_point((0.0, 0.0)) == float("inf")
+        assert EMPTY_BOX.maxdist_point((0.0, 0.0)) == float("inf")
+        assert EMPTY_BOX.minmaxdist_point((0.0, 0.0)) == float("inf")
+        assert Box((0.0,), (1.0,)).mindist(EMPTY_BOX) == float("inf")
+
+    def test_dimension_mismatch_raises(self):
+        b = Box((0.0, 0.0), (1.0, 1.0))
+        with pytest.raises(DimensionMismatchError):
+            b.mindist_point((1.0,))
+        with pytest.raises(DimensionMismatchError):
+            b.minmaxdist_point((1.0, 2.0, 3.0))
+        with pytest.raises(DimensionMismatchError):
+            b.mindist(Box((0.0,), (1.0,)))
+
+    @given(nonempty_boxes(), nonempty_boxes())
+    @settings(max_examples=120, deadline=None)
+    def test_minmaxdist_sandwich(self, box, anchor):
+        """MINDIST <= MINMAXDIST <= MAXDIST for every box and point."""
+        p = anchor.center()
+        lo = box.mindist_point(p)
+        mid = box.minmaxdist_point(p)
+        hi = box.maxdist_point(p)
+        assert lo <= mid + 1e-9
+        assert mid <= hi + 1e-9
+
+    @given(nonempty_boxes(), nonempty_boxes())
+    @settings(max_examples=120, deadline=None)
+    def test_mindist_bounds_any_contained_point(self, box, anchor):
+        """mindist is a sound optimistic bound: the distance to the
+        box's nearest corner/center never beats it."""
+        p = anchor.center()
+        for q in (box.center(), box.lo, tuple(v - 1e-9 for v in box.hi)):
+            d = sum((a - b) ** 2 for a, b in zip(p, q)) ** 0.5
+            if box.contains_point(q):
+                assert box.mindist_point(p) <= d + 1e-9
+
+
+class TestRTreeNearest:
+    def _tree(self, n=200, seed=1):
+        rng = random.Random(seed)
+        tree = RTree(max_entries=6)
+        entries = []
+        for i in range(n):
+            lo = (rng.uniform(0, 100), rng.uniform(0, 100))
+            b = Box(lo, (lo[0] + rng.uniform(0.5, 5), lo[1] + rng.uniform(0.5, 5)))
+            tree.insert(b, i)
+            entries.append((b, i))
+        return tree, entries
+
+    def test_empty_tree_and_k_edge_cases(self):
+        tree = RTree()
+        assert tree.nearest((0.0, 0.0), 3) == []
+        assert tree.nearest((0.0, 0.0), 0) == []
+        tree.insert(Box((0.0, 0.0), (1.0, 1.0)), "a")
+        assert [v for _d, _b, v in tree.nearest((5.0, 5.0), 10)] == ["a"]
+
+    def test_empty_box_entries_never_surface(self):
+        tree = RTree()
+        tree.insert(EMPTY_BOX, "ghost")
+        tree.insert(Box((1.0, 1.0), (2.0, 2.0)), "real")
+        assert [v for _d, _b, v in tree.nearest((0.0, 0.0), 5)] == ["real"]
+        assert [v for _d, _b, v in tree.distance_browse((0.0, 0.0))] == [
+            "real"
+        ]
+
+    def test_browse_is_sorted_and_complete(self):
+        tree, entries = self._tree()
+        out = list(tree.distance_browse((40.0, 60.0)))
+        assert len(out) == len(entries)
+        dists = [d for d, _b, _v in out]
+        assert dists == sorted(dists)
+
+    def test_nearest_reads_fewer_nodes_and_counts_pruning(self):
+        tree, _entries = self._tree()
+        tree.stats.reset()
+        tree.nearest((50.0, 50.0), 5)
+        assert tree.stats.node_reads < tree.node_count() // 2
+        assert tree.stats.pruned_subtrees > 0
+
+    def test_count_matches_search_on_all_forms(self):
+        tree, _entries = self._tree(n=120, seed=4)
+        rng = random.Random(7)
+        for _ in range(40):
+            lo = (rng.uniform(0, 70), rng.uniform(0, 70))
+            big = Box(lo, (lo[0] + rng.uniform(5, 30), lo[1] + rng.uniform(5, 30)))
+            small = Box(lo, (lo[0] + 2, lo[1] + 2))
+            for query in (
+                BoxQuery(inside=big),
+                BoxQuery(overlap=(small,)),
+                BoxQuery(covers=small),
+                BoxQuery(inside=big, overlap=(small,)),
+            ):
+                assert tree.count(query) == len(list(tree.search(query)))
+        assert tree.count(BoxQuery(overlap=(EMPTY_BOX,))) == 0
+
+    def test_count_pushdown_reads_fewer_nodes(self):
+        tree, _entries = self._tree(n=300, seed=8)
+        query = BoxQuery(inside=Box((-10.0, -10.0), (120.0, 120.0)))
+        tree.count(query)  # warm the subtree-count cache
+        tree.stats.reset()
+        assert tree.count(query) == len(tree)
+        assert tree.stats.node_reads < tree.node_count()
+        assert tree.stats.pruned_subtrees > 0
+
+
+class TestTableNearest:
+    def test_access_validation(self):
+        t = SpatialTable("t", 2, index="scan", universe=UNIVERSE)
+        with pytest.raises(ValueError, match="rtree backend"):
+            t.nearest((0.0, 0.0), 1, access="bestfirst")
+        with pytest.raises(ValueError, match="unknown kNN access"):
+            t.nearest((0.0, 0.0), 1, access="warp")
+
+    def test_non_rtree_backends_scan(self):
+        rng = random.Random(2)
+        for index in ("scan", "grid"):
+            t = random_table("t", rng, 12, index=index)
+            got = t.nearest((10.0, 10.0), 4)
+            want = t.nearest_bruteforce((10.0, 10.0), 4)
+            assert [o.oid for _d, o in got] == [o.oid for _d, o in want]
+
+    def test_counts_probes(self):
+        rng = random.Random(3)
+        t = random_table("t", rng, 10)
+        t.reset_stats()
+        t.nearest((5.0, 5.0), 3)
+        t.nearest_bruteforce((5.0, 5.0), 3)
+        assert t.probes == 2
+        assert t.candidates_returned == 6
+
+
+class TestLogicalValidation:
+    def _query(self, **kwargs):
+        rng = random.Random(0)
+        tables = {"u": random_table("u", rng, 4)}
+        return SpatialQuery(
+            system=ConstraintSystem.build(nonempty("u")),
+            tables=tables,
+            **kwargs,
+        )
+
+    def test_knn_step_validation(self):
+        with pytest.raises(CompilationError, match="not a table"):
+            self._query(knn=KNNStep("x", k=1, point=(0.0, 0.0)))
+        with pytest.raises(CompilationError, match="k >= 1"):
+            self._query(knn=KNNStep("u", k=0, point=(0.0, 0.0)))
+        with pytest.raises(CompilationError, match="exactly one"):
+            self._query(knn=KNNStep("u", k=1))
+        with pytest.raises(CompilationError, match="exactly one"):
+            self._query(knn=KNNStep("u", k=1, point=(0.0, 0.0), ref="P"))
+        with pytest.raises(CompilationError, match="dims"):
+            self._query(knn=KNNStep("u", k=1, point=(0.0, 0.0, 0.0)))
+        with pytest.raises(CompilationError, match="own variable"):
+            self._query(knn=KNNStep("u", k=1, ref="u"))
+        with pytest.raises(CompilationError, match="neither"):
+            self._query(knn=KNNStep("u", k=1, ref="zzz"))
+
+    def test_aggregate_spec_validation(self):
+        with pytest.raises(CompilationError, match="at least one"):
+            AggregateSpec(aggregates=())
+        with pytest.raises(CompilationError, match="unknown aggregate"):
+            AggregateSpec(aggregates=(("sum", "u"),))
+        with pytest.raises(CompilationError, match="no target"):
+            AggregateSpec(aggregates=(("count", "u"),))
+        with pytest.raises(CompilationError, match="needs a target"):
+            AggregateSpec(aggregates=(("min", None),))
+        with pytest.raises(CompilationError, match="not a table"):
+            self._query(aggregate=AggregateSpec(group_by=("nope",)))
+        with pytest.raises(CompilationError, match="not a table"):
+            self._query(
+                aggregate=AggregateSpec(aggregates=(("max", "nope"),))
+            )
+        assert AggregateSpec().labels() == ("count",)
+        assert AggregateSpec(
+            aggregates=(("count", None), ("min", "u"))
+        ).labels() == ("count", "min(u)")
+        # Duplicate ops would share one accumulator label and silently
+        # double-count; the spec rejects them up front.
+        with pytest.raises(CompilationError, match="duplicate"):
+            AggregateSpec(aggregates=(("count", None), ("count", None)))
+        with pytest.raises(CompilationError, match="duplicate"):
+            AggregateSpec(aggregates=(("min", "u"), ("min", "u")))
+
+    def test_order_repair_and_explicit_violation(self):
+        rng = random.Random(1)
+        tables = {
+            "u": random_table("u", rng, 4),
+            "v": random_table("v", rng, 4),
+        }
+        system = ConstraintSystem.build(overlaps("u", "v"))
+        query = SpatialQuery(
+            system=system, tables=tables, knn=KNNStep("u", k=2, ref="v")
+        )
+        # Planner-chosen orders are silently repaired...
+        plan = compile_query(query)
+        assert plan.order.index("v") < plan.order.index("u")
+        # ...explicit ones that violate the anchoring raise.
+        with pytest.raises(CompilationError, match="anchored"):
+            compile_query(query, order=("u", "v"))
+
+
+class TestStrategyChoice:
+    def test_knn_access_choice(self):
+        rng = random.Random(5)
+        big = random_table("big", rng, 400)
+        assert choose_knn_access(big, 3) == "bestfirst"
+        assert choose_knn_access(big, 400) == "scan"
+        small_scan = random_table("s", rng, 10, index="scan")
+        assert choose_knn_access(small_scan, 2) == "scan"
+        empty = SpatialTable("e", 2, universe=UNIVERSE)
+        assert choose_knn_access(empty, 1) == "scan"
+
+    def test_aggregate_strategy_choice_and_errors(self):
+        rng = random.Random(6)
+        tables = {"u": random_table("u", rng, 6)}
+        system = ConstraintSystem.build(nonempty("u"))
+        exact = compile_query(
+            SpatialQuery(
+                system=system, tables=tables, aggregate=AggregateSpec()
+            )
+        )
+        assert choose_aggregate_strategy(exact, "boxplan") == "stream"
+        boxed = compile_query(
+            SpatialQuery(
+                system=system,
+                tables=tables,
+                aggregate=AggregateSpec(exact=False),
+            )
+        )
+        assert choose_aggregate_strategy(boxed, "boxplan") == "pushdown"
+        with pytest.raises(CompilationError, match="no box layer"):
+            build_physical_plan(boxed, "exact")
+        grouped = compile_query(
+            SpatialQuery(
+                system=system,
+                tables=tables,
+                aggregate=AggregateSpec(exact=False, group_by=("u",)),
+            )
+        )
+        with pytest.raises(CompilationError, match="group-by"):
+            build_physical_plan(grouped, "boxplan")
+
+    def test_knn_streams_nearest_first(self):
+        """Distance browsing at the query level: a kNN plan extends in
+        nondecreasing anchor distance, so limit=j prefixes are the j
+        nearest answers."""
+        rng = random.Random(9)
+        table = random_table("u", rng, 25)
+        query = SpatialQuery(
+            system=ConstraintSystem.build(nonempty("u")),
+            tables={"u": table},
+            knn=KNNStep("u", k=10, point=(16.0, 16.0)),
+        )
+        plan = compile_query(query)
+        pplan = build_physical_plan(plan, "boxplan", estimate=False)
+        answers = list(pplan.execute_iter())
+        dists = [
+            a["u"].box.mindist_point((16.0, 16.0)) for a in answers
+        ]
+        assert dists == sorted(dists)
+        limited = [
+            a["u"].oid
+            for a in build_physical_plan(
+                plan, "boxplan", estimate=False
+            ).execute_iter(limit=3)
+        ]
+        assert limited == [a["u"].oid for a in answers[:3]]
+
+    def test_ungrouped_aggregate_of_nothing_is_one_zero_row(self):
+        """SQL empty-input semantics — and strategy agreement: the
+        exact stream fold and the COUNT pushdown both emit one row
+        (count 0) for the same empty logical query; a grouped
+        aggregate emits no rows."""
+        from repro.constraints import subset
+
+        rng = random.Random(12)
+        table = random_table("u", rng, 6)
+        binding = {"P": Region.from_box(Box((90.0, 90.0), (91.0, 91.0)))}
+        system = ConstraintSystem.build(subset("u", "P"))  # no matches
+
+        def rows_for(spec):
+            query = SpatialQuery(
+                system=system,
+                tables={"u": table},
+                bindings=binding,
+                aggregate=spec,
+            )
+            pplan = build_physical_plan(
+                compile_query(query), "boxplan", estimate=False
+            )
+            return pplan.run()[0]
+
+        exact = rows_for(
+            AggregateSpec(aggregates=(("count", None), ("min", "u")))
+        )
+        assert len(exact) == 1 and exact[0].group == ()
+        assert exact[0].values == {"count": 0, "min(u)": None}
+        pushdown = rows_for(AggregateSpec(exact=False))
+        assert [r.values["count"] for r in pushdown] == [
+            exact[0].values["count"]
+        ]
+        grouped = rows_for(AggregateSpec(group_by=("u",)))
+        assert grouped == []
+
+    def test_knn_ref_equal_to_variable_fails_cleanly(self):
+        """Regression: the CLI's order repair used to crash with a raw
+        ValueError when the kNN variable defaulted to its own anchor;
+        validation must reject it (and repair_knn_order must not
+        touch such an order)."""
+        from repro.engine import repair_knn_order
+
+        proc = _cli(
+            "run", "--workload", "smugglers", "--size", "6",
+            "--knn", "3", "--knn-var", "T", "--knn-ref", "T",
+        )
+        assert proc.returncode != 0
+        assert "cannot anchor on its own variable" in proc.stderr
+        assert "ValueError" not in proc.stderr
+        bad = KNNStep("u", k=1, ref="u")
+        assert repair_knn_order(("u", "v"), bad, {"u": None, "v": None}) == (
+            "u",
+            "v",
+        )
+
+    def test_distance_join_memoizes_repeated_anchors(self):
+        """With an unrelated variable between the anchor and the kNN
+        step, every anchor box repeats across the fan-out; the join
+        must probe once per *distinct* anchor, not per tuple."""
+        from repro.engine import DistanceJoin
+
+        rng = random.Random(13)
+        tables = {
+            "a": random_table("a", rng, 3),
+            "m": random_table("m", rng, 6),
+            "z": random_table("z", rng, 30),
+        }
+        system = ConstraintSystem.build(
+            nonempty("a"), nonempty("m"), nonempty("z")
+        )
+        query = SpatialQuery(
+            system=system, tables=tables, knn=KNNStep("z", k=2, ref="a")
+        )
+        plan = compile_query(query, order=("a", "m", "z"))
+        pplan = build_physical_plan(plan, "boxplan", estimate=False)
+        list(pplan.execute_iter())
+        join = next(
+            op for op in pplan.operators() if isinstance(op, DistanceJoin)
+        )
+        assert join.stats.rows_in == len(tables["a"]) * len(tables["m"])
+        assert join.stats.probes == len(tables["a"])  # distinct anchors
+
+    def test_explain_mentions_knn_and_aggregate(self):
+        rng = random.Random(10)
+        table = random_table("u", rng, 8)
+        query = SpatialQuery(
+            system=ConstraintSystem.build(nonempty("u")),
+            tables={"u": table},
+            knn=KNNStep("u", k=2, point=(1.0, 1.0)),
+            aggregate=AggregateSpec(),
+        )
+        plan = compile_query(query)
+        text = plan.physical("boxplan").explain()
+        assert "KNNProbe" in text and "Aggregate" in text
+        assert "knn(u, k=2" in text and "agg(count)" in text
+
+
+def _cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestCliFlags:
+    def test_run_knn(self):
+        proc = _cli(
+            "run", "--workload", "overlay", "--size", "10",
+            "--knn", "3", "--knn-var", "y", "--knn-ref", "x",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_run_aggregate(self):
+        proc = _cli(
+            "run", "--workload", "overlay", "--size", "10",
+            "--agg", "count,min:y", "--group-by", "x",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "count" in proc.stdout and "min(y)" in proc.stdout
+
+    def test_bench_box_count_json(self):
+        import json
+
+        proc = _cli(
+            "bench", "--workload", "sandwich", "--size", "12", "--json",
+            "--agg", "count", "--agg-box",
+            "--order-strategy", "greedy",
+        )
+        assert proc.returncode == 0, proc.stderr
+        result = json.loads(proc.stdout)
+        assert result["agg"] == "count"
+        assert result["answers"] == 1  # one aggregate row
+
+    def test_explain_knn(self):
+        proc = _cli(
+            "explain", "--workload", "overlay", "--size", "10",
+            "--knn", "2", "--analyze",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "KNNProbe" in proc.stdout

@@ -3,22 +3,12 @@
 The single most important property of the whole pipeline: for ANY
 constraint system, tables and retrieval order, the optimized box plan
 returns exactly the answers of the naive cross-product evaluation.
-Hypothesis generates random systems over random little databases.
+Hypothesis generates random systems over random little databases drawn
+from the shared seeded workload factory (``tests/conftest.py``).
 """
-
-import random
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.algebra import Region
-from repro.boxes import Box
-from repro.constraints import (
-    ConstraintSystem,
-    nonempty,
-    not_subset,
-    overlaps,
-    subset,
-)
 from repro.engine import (
     SpatialQuery,
     answers_as_oid_tuples,
@@ -26,52 +16,7 @@ from repro.engine import (
     execute,
 )
 from repro.errors import UnsatisfiableError
-from repro.spatial import SpatialTable
-
-UNIVERSE = Box((0.0, 0.0), (32.0, 32.0))
-VARS = ("u", "v", "w")
-CONSTS = ("P", "Q")
-
-
-@st.composite
-def constraint_systems(draw):
-    """Random systems over u,v,w (unknowns) and P,Q (constants)."""
-    names = list(VARS) + list(CONSTS)
-    n = draw(st.integers(2, 5))
-    constraints = []
-    used = set()
-    for _ in range(n):
-        kind = draw(st.sampled_from(["subset", "overlap", "notsubset", "nonempty"]))
-        a = draw(st.sampled_from(names))
-        b = draw(st.sampled_from(names))
-        if kind == "subset":
-            constraints.append(subset(a, b))
-        elif kind == "overlap":
-            constraints.append(overlaps(a, b))
-        elif kind == "notsubset":
-            constraints.append(not_subset(a, b))
-        else:
-            constraints.append(nonempty(a))
-        used.update({a, b} if kind != "nonempty" else {a})
-    # Every unknown must appear somewhere; pad with nonempty.
-    for v in VARS:
-        if v not in used:
-            constraints.append(nonempty(v))
-    return ConstraintSystem.build(*constraints)
-
-
-def _random_table(name: str, rng: random.Random, n_rows: int) -> SpatialTable:
-    t = SpatialTable(name, 2, universe=UNIVERSE)
-    for i in range(n_rows):
-        lo = (rng.uniform(0, 28), rng.uniform(0, 28))
-        size = (rng.uniform(1, 8), rng.uniform(1, 8))
-        t.insert(
-            i,
-            Region.from_box(
-                Box(lo, (lo[0] + size[0], lo[1] + size[1])).meet(UNIVERSE)
-            ),
-        )
-    return t
+from tests.conftest import constraint_systems, make_workload
 
 
 @given(constraint_systems(), st.integers(0, 10_000))
@@ -81,18 +26,7 @@ def _random_table(name: str, rng: random.Random, n_rows: int) -> SpatialTable:
     suppress_health_check=[HealthCheck.too_slow],
 )
 def test_boxplan_equals_naive_on_random_queries(system, seed):
-    rng = random.Random(seed)
-    tables = {v: _random_table(v, rng, rng.randint(2, 5)) for v in VARS}
-    bindings = {}
-    for c in CONSTS:
-        lo = (rng.uniform(0, 24), rng.uniform(0, 24))
-        bindings[c] = Region.from_box(
-            Box(lo, (lo[0] + rng.uniform(2, 10), lo[1] + rng.uniform(2, 10)))
-        )
-    # Keep only bindings/tables for variables the system mentions.
-    sys_vars = system.variables()
-    tables = {v: t for v, t in tables.items() if v in sys_vars}
-    bindings = {c: r for c, r in bindings.items() if c in sys_vars}
+    tables, bindings = make_workload(seed, system=system)
     if not tables:
         return
     query = SpatialQuery(system=system, tables=tables, bindings=bindings)
@@ -122,20 +56,7 @@ def test_boxplan_equals_naive_on_random_queries(system, seed):
 def test_streaming_equals_batch_on_random_queries(system, seed):
     from repro.engine import execute_iter
 
-    rng = random.Random(seed)
-    sys_vars = system.variables()
-    tables = {
-        v: _random_table(v, rng, rng.randint(2, 4))
-        for v in VARS
-        if v in sys_vars
-    }
-    bindings = {}
-    for c in CONSTS:
-        if c in sys_vars:
-            lo = (rng.uniform(0, 24), rng.uniform(0, 24))
-            bindings[c] = Region.from_box(
-                Box(lo, (lo[0] + 6, lo[1] + 6))
-            )
+    tables, bindings = make_workload(seed, system=system, sizes=(2, 4))
     if not tables:
         return
     query = SpatialQuery(system=system, tables=tables, bindings=bindings)
@@ -172,18 +93,7 @@ def test_partitioned_plans_agree_with_all_modes(
     bit-identical to the serial one."""
     from repro.engine import build_physical_plan
 
-    rng = random.Random(seed)
-    sys_vars = system.variables()
-    tables = {
-        v: _random_table(v, rng, rng.randint(2, 5))
-        for v in VARS
-        if v in sys_vars
-    }
-    bindings = {}
-    for c in CONSTS:
-        if c in sys_vars:
-            lo = (rng.uniform(0, 24), rng.uniform(0, 24))
-            bindings[c] = Region.from_box(Box(lo, (lo[0] + 6, lo[1] + 6)))
+    tables, bindings = make_workload(seed, system=system)
     if not tables:
         return
     query = SpatialQuery(system=system, tables=tables, bindings=bindings)
@@ -237,20 +147,7 @@ def test_all_modes_agree_with_and_without_limit(system, seed, k):
     are deterministic for fixed tables and order)."""
     from repro.engine import MODES, execute_iter
 
-    rng = random.Random(seed)
-    sys_vars = system.variables()
-    tables = {
-        v: _random_table(v, rng, rng.randint(2, 4))
-        for v in VARS
-        if v in sys_vars
-    }
-    bindings = {}
-    for c in CONSTS:
-        if c in sys_vars:
-            lo = (rng.uniform(0, 24), rng.uniform(0, 24))
-            bindings[c] = Region.from_box(
-                Box(lo, (lo[0] + 6, lo[1] + 6))
-            )
+    tables, bindings = make_workload(seed, system=system, sizes=(2, 4))
     if not tables:
         return
     query = SpatialQuery(system=system, tables=tables, bindings=bindings)

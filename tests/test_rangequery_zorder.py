@@ -210,3 +210,79 @@ class TestZOrder:
         got = set(zorder_overlap_query(index, probe, exact=True))
         expected = {i for i, b in enumerate(items) if b.overlaps(probe)}
         assert got == expected
+
+
+class TestZOrderEdgeCases:
+    """Satellite coverage: non-square universes, degenerate one-cell
+    boxes, and the coarsest (single-level) curves."""
+
+    RECT = Box((0.0, 0.0), (64.0, 16.0))  # 4:1 aspect, non-square cells
+
+    def test_non_square_universe_cell_geometry(self):
+        grid = ZGrid(self.RECT, levels=3)
+        # Full cover is still one contiguous range; cells are 8x2.
+        ranges = grid.decompose(self.RECT)
+        assert len(ranges) == 1 and ranges[0].hi == grid.cell_count()
+        one_cell = grid.decompose(Box((0.0, 0.0), (8.0, 2.0)))
+        assert len(one_cell) == 1
+        assert one_cell[0].hi - one_cell[0].lo == 1
+
+    def test_non_square_join_agrees_with_nested_loop(self):
+        grid = ZGrid(self.RECT, levels=4)
+        rng = random.Random(5)
+        lefts, rights = [], []
+        for n in range(40):
+            lo = (rng.uniform(0, 60), rng.uniform(0, 14))
+            lefts.append(Box(lo, (lo[0] + rng.uniform(1, 6), lo[1] + rng.uniform(0.5, 2))))
+            lo = (rng.uniform(0, 60), rng.uniform(0, 14))
+            rights.append(Box(lo, (lo[0] + rng.uniform(1, 6), lo[1] + rng.uniform(0.5, 2))))
+        left = ZOrderIndex(grid)
+        right = ZOrderIndex(grid)
+        for i, b in enumerate(lefts):
+            left.insert(b, i)
+        for j, b in enumerate(rights):
+            right.insert(b, j)
+        got = set(zorder_join(left, right, exact=True))
+        want = {
+            (i, j)
+            for i, lb in enumerate(lefts)
+            for j, rb in enumerate(rights)
+            if lb.overlaps(rb)
+        }
+        assert got == want
+
+    def test_degenerate_one_cell_boxes(self):
+        """Boxes smaller than (or equal to) one finest cell decompose to
+        a single width-1 z-interval, wherever they sit."""
+        grid = ZGrid(UNIVERSE, levels=4)  # 16x16 cells of 4x4
+        tiny_inside = grid.decompose(Box((5.0, 5.0), (6.0, 6.0)))
+        assert len(tiny_inside) == 1
+        assert tiny_inside[0].hi - tiny_inside[0].lo == 1
+        exact_cell = grid.decompose(Box((4.0, 8.0), (8.0, 12.0)))
+        assert len(exact_cell) == 1
+        assert exact_cell[0].hi - exact_cell[0].lo == 1
+        # A sliver straddling a cell boundary covers exactly two cells.
+        straddle = grid.decompose(Box((3.9, 5.0), (4.1, 6.0)))
+        assert sum(r.hi - r.lo for r in straddle) == 2
+
+    def test_single_level_curve(self):
+        """levels=1 is the coarsest legal curve (2 cells per dimension);
+        level 0 (a 1-cell "curve") is rejected by validation."""
+        with pytest.raises(ValueError):
+            ZGrid(UNIVERSE, levels=0)
+        grid = ZGrid(UNIVERSE, levels=1)
+        assert grid.cell_count() == 4
+        quadrant = grid.decompose(Box((0.0, 0.0), (32.0, 32.0)))
+        assert len(quadrant) == 1
+        assert quadrant[0].hi - quadrant[0].lo == 1
+        everything = grid.decompose(Box((1.0, 1.0), (63.0, 63.0)))
+        assert sum(r.hi - r.lo for r in everything) == 4
+        # The coarse join still agrees with the nested loop (more false
+        # candidates, same verified pairs).
+        index = ZOrderIndex(grid)
+        items = _grid_boxes(30, seed=9)
+        for i, b in enumerate(items):
+            index.insert(b, i)
+        probe = Box((20.0, 20.0), (40.0, 40.0))
+        got = set(zorder_overlap_query(index, probe, exact=True))
+        assert got == {i for i, b in enumerate(items) if b.overlaps(probe)}

@@ -321,3 +321,119 @@ class TestBulkInsertContract:
             t.bulk_insert(poisoned, pack=False)
         got = t.range_query(BoxQuery(overlap=(self.UNIVERSE,)))
         assert sorted(o.oid for o in got) == [0, 1]
+
+
+class TestRTreeDeleteStats:
+    """Regression: delete must instrument and maintain caches like the
+    insert/search paths do (it used to traverse silently)."""
+
+    def _tree(self, n=60, seed=3):
+        tree = RTree(max_entries=4)
+        items = _random_boxes(n, seed=seed)
+        for i, b in enumerate(items):
+            tree.insert(b, i)
+        return tree, items
+
+    def test_delete_counts_node_reads_and_deletes(self):
+        tree, items = self._tree()
+        tree.stats.reset()
+        assert tree.delete(items[10], 10)
+        assert tree.stats.deletes == 1
+        assert tree.stats.node_reads > 0, "FindLeaf descent went unbilled"
+        assert tree.stats.entry_tests > 0
+        # A failed delete still pays its traversal but counts no delete.
+        reads_before = tree.stats.node_reads
+        assert not tree.delete(items[10], 10)
+        assert tree.stats.deletes == 1
+        assert tree.stats.node_reads > reads_before
+
+    def test_reset_zeroes_delete_counters(self):
+        tree, items = self._tree(n=20)
+        tree.delete(items[0], 0)
+        tree.nearest((0.0, 0.0), 3)
+        assert tree.stats.deletes == 1
+        tree.stats.reset()
+        assert tree.stats.deletes == 0
+        assert tree.stats.pruned_subtrees == 0
+
+    def test_interleaved_insert_delete_search_invariants(self):
+        """Interleave inserts, deletes and searches; counters stay
+        consistent, the height never lies, and the cached subtree
+        counts (the COUNT pushdown) track every mutation."""
+        rng = random.Random(11)
+        tree = RTree(max_entries=4)
+        live = {}
+        boxes = _random_boxes(300, seed=5)
+        next_id = 0
+        for step in range(400):
+            action = rng.random()
+            if action < 0.55 or not live:
+                b = boxes[next_id % len(boxes)]
+                tree.insert(b, next_id)
+                live[next_id] = b
+                next_id += 1
+            elif action < 0.85:
+                victim = rng.choice(sorted(live))
+                assert tree.delete(live.pop(victim), victim)
+            else:
+                probe = boxes[rng.randrange(len(boxes))]
+                got = {v for _b, v in tree.search(BoxQuery(overlap=(probe,)))}
+                want = {
+                    v for v, b in live.items() if b.overlaps(probe)
+                }
+                assert got == want
+            if step % 50 == 0:
+                assert len(tree) == len(live)
+                tree.check_invariants()
+                # height() must reflect the real single-path depth.
+                depths = set()
+
+                def walk(node, d):
+                    if node.leaf:
+                        depths.add(d)
+                        return
+                    for _b, child in node.entries:
+                        walk(child, d + 1)
+
+                walk(tree._root, 1)
+                assert depths == {tree.height()}, "leaves off-depth"
+                # Subtree counts follow deletions (the pushdown cache).
+                universe = Box((-1000.0, -1000.0), (1000.0, 1000.0))
+                assert tree.count(BoxQuery(inside=universe)) == len(live)
+        assert tree.stats.inserts > 0 and tree.stats.deletes > 0
+
+    def test_delete_keeps_count_cache_fresh(self):
+        tree, items = self._tree(n=40, seed=9)
+        universe = Box((-1000.0, -1000.0), (1000.0, 1000.0))
+        assert tree.count(BoxQuery(inside=universe)) == 40
+        for i in range(0, 40, 2):
+            assert tree.delete(items[i], i)
+        assert tree.count(BoxQuery(inside=universe)) == 20
+        assert tree.height() >= 1
+        tree.check_invariants()
+
+
+class TestGridFileSkippedSplitPaths:
+    """The remaining `_split_bucket` give-up paths (satellite coverage)."""
+
+    def test_existing_scale_coordinate_is_skipped(self):
+        """A bucket whose only viable cut is already a scale coordinate
+        gives up (the `median in scales` branch) instead of looping."""
+        g = GridFile(1, bucket_capacity=2)
+        for i in range(3):
+            g.insert((1.0,), i)  # first overflow: cut above the low run
+        for i in range(3, 9):
+            g.insert((0.0,), i)
+        # The (0.0, 1.0) bucket can only cut at 1.0 — already a scale.
+        assert g.stats.skipped_splits > 0
+        g.check_invariants()
+        assert sorted(g.exact_search((0.0,))) == list(range(3, 9))
+        assert sorted(g.exact_search((1.0,))) == [0, 1, 2]
+
+    def test_reset_clears_skipped_splits(self):
+        g = GridFile(2, bucket_capacity=2)
+        for i in range(6):
+            g.insert((3.0, 3.0), i)
+        assert g.stats.skipped_splits > 0
+        g.stats.reset()
+        assert g.stats.skipped_splits == 0 and g.stats.splits == 0
