@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Snapshot load vs full STR build → ``BENCH_snapshot.json``.
+
+The point of :mod:`repro.spatial.snapshot` is that a resident service
+restarts from disk instead of re-running the whole cold start: workload
+construction (region disjointing), the STR bulk load, the statistics
+scan, and the partitioning sort.  This bench times both paths on the
+smugglers workload across a scale ladder and enforces the CI gate:
+
+    at the largest scale, ``Database.open`` must cost **≤ 25%** of the
+    full build's wall-clock (best-of-N on both sides, so scheduler
+    noise cannot fail the gate spuriously).
+
+Each scale also checks that the loaded database answers the smugglers
+query bit-identically to the one just built (a timing bench that loads
+the wrong rows fast would be worse than useless).
+
+``REPRO_BENCH_SNAPSHOT_SIZES`` overrides the scale ladder,
+``REPRO_BENCH_SNAPSHOT_REPS`` the repetition count.
+
+Usage::
+
+    python benchmarks/bench_snapshot.py [--out BENCH_snapshot.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+from time import perf_counter
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_REPO, os.path.join(_REPO, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.database import Database, Session  # noqa: E402
+from repro.datagen import smugglers_query  # noqa: E402
+
+SIZES = [
+    int(s)
+    for s in os.environ.get(
+        "REPRO_BENCH_SNAPSHOT_SIZES", "256,512,1024"
+    ).split(",")
+]
+REPS = int(os.environ.get("REPRO_BENCH_SNAPSHOT_REPS", "3"))
+
+#: The CI gate: snapshot load ≤ 25% of the full build at the largest scale.
+LOAD_GATE = 0.25
+
+#: Partitioning granularity both paths warm (the service's default-ish).
+PARTITIONS = 8
+
+STATES_GRID = (6, 6)
+SEED = 7
+
+
+def _full_build(size: int):
+    """The cold start a snapshot replaces: generate + pack + warm."""
+    query, _world = smugglers_query(
+        seed=SEED, n_towns=size, n_roads=size, states_grid=STATES_GRID
+    )
+    for table in query.tables.values():
+        table.statistics()
+        table.partitioning(PARTITIONS)
+    return query
+
+
+def _answers(db: Database, system: str):
+    result = Session(db=db).run(system)
+    return {
+        tuple(a[v].oid for v in ("T", "R", "B")) for a in result.answers
+    }
+
+
+def bench_scale(size: int, workdir: str) -> dict:
+    build_times = []
+    for _ in range(REPS):
+        start = perf_counter()
+        query = _full_build(size)
+        build_times.append(perf_counter() - start)
+
+    db = Database.from_query(query)
+    path = os.path.join(workdir, f"snapshot_{size}.json")
+    db.save(path, partitions=PARTITIONS)
+
+    load_times = []
+    for _ in range(REPS):
+        start = perf_counter()
+        loaded = Database.open(path)
+        load_times.append(perf_counter() - start)
+
+    system = str(query.system)
+    identical = _answers(loaded, system) == _answers(db, system)
+
+    build_s, load_s = min(build_times), min(load_times)
+    return {
+        "size": size,
+        "rows": sum(len(t) for t in db.tables.values()),
+        "file_bytes": os.path.getsize(path),
+        "build_ms": round(build_s * 1e3, 3),
+        "load_ms": round(load_s * 1e3, 3),
+        "ratio": round(load_s / build_s, 4),
+        "answers_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_snapshot.json")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        rows = [bench_scale(size, workdir) for size in SIZES]
+
+    largest = rows[-1]
+    result = {
+        "python": platform.python_version(),
+        "sizes": SIZES,
+        "reps": REPS,
+        "partitions": PARTITIONS,
+        "gate": {
+            "threshold": LOAD_GATE,
+            "size": largest["size"],
+            "ratio": largest["ratio"],
+        },
+        "rows": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    failures = []
+    for row in rows:
+        print(
+            f"snapshot n={row['size']}: load {row['load_ms']}ms vs build "
+            f"{row['build_ms']}ms ({row['ratio']:.1%}), "
+            f"identical={row['answers_identical']}"
+        )
+        if not row["answers_identical"]:
+            failures.append(
+                f"loaded snapshot at n={row['size']} answers differently "
+                "from the freshly built database"
+            )
+    if largest["ratio"] > LOAD_GATE:
+        failures.append(
+            f"snapshot load took {largest['ratio']:.1%} of the full build "
+            f"at n={largest['size']}; the gate requires ≤ {LOAD_GATE:.0%}"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("all snapshot gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,8 +83,8 @@ def _run_join(size: int, mode: str) -> dict:
     )
     plan = compile_query(query)
     _answers, stats = execute(plan, mode)
-    counters = stats.as_dict()
-    counters.pop("per_step", None)
+    counters = stats.to_dict()  # the JSON-round-trippable form
+    counters.pop("steps", None)  # keep artifact rows flat
     return {"size": size, **counters}
 
 

@@ -26,8 +26,9 @@ Subpackages
 
 Quickstart
 ----------
->>> from repro import parse_system, SpatialQuery, run_query
->>> # see examples/quickstart.py for the paper's smugglers query
+>>> from repro import Database, Session
+>>> # see examples/quickstart.py for the paper's smugglers query and
+>>> # examples/service_quickstart.py for snapshots + the query service
 """
 
 from .algebra import (
@@ -78,6 +79,7 @@ from .constraints import (
     subset,
     triangular_form,
 )
+from .database import Database, QueryResult, Session
 from .engine import (
     SpatialQuery,
     compile_query,
@@ -100,16 +102,19 @@ __all__ = [
     "BoxQuery",
     "CompilationError",
     "ConstraintSystem",
+    "Database",
     "FALSE",
     "Formula",
     "IntervalAlgebra",
     "IntervalSet",
     "ParseError",
     "PowersetAlgebra",
+    "QueryResult",
     "RTree",
     "Region",
     "RegionAlgebra",
     "ReproError",
+    "Session",
     "SpatialQuery",
     "SpatialTable",
     "TRUE",

@@ -18,6 +18,10 @@ Usage::
     python -m repro run      [--workload ...] [--stream] [--limit K]
                              [--partitions N] [--parallel W]
                              [--knn K [--knn-ref T]] [--agg count]
+    python -m repro save     OUT [--workload ...] [--partitions N]
+    python -m repro load     SNAPSHOT [--json]
+    python -m repro serve    [SNAPSHOT] [--workload ...] [--host H]
+                             [--port P] [--cache N]
 
 ``FILE`` contains one constraint per line in the Figure-1 syntax
 (``A <= C``, ``R & A != 0``, ``T !<= C``, comments with ``#``); ``-``
@@ -53,6 +57,12 @@ replaces the answer stream with aggregate rows (``count``, ``min:VAR``,
 ``max:VAR`` over box volume, grouped by ``--group-by``); ``--agg-box``
 asks for the box-level COUNT, pushed down to the R-tree's subtree
 entry counts.
+
+``save`` snapshots a built workload database (tables, packed R-trees,
+statistics, partitioning) to one JSON file; ``load`` prints a saved
+snapshot's summary; ``serve`` starts the resident query service on a
+snapshot (or on a freshly built workload when no snapshot is given) —
+see :mod:`repro.service`.
 """
 
 from __future__ import annotations
@@ -403,6 +413,70 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_save(args) -> int:
+    from .database import Database
+
+    query = _build_workload(args)
+    db = Database(tables=query.tables, bindings=query.bindings)
+    db.save(args.out, statistics=True, partitions=args.partitions)
+    rows = sum(len(t) for t in db.tables.values())
+    print(
+        f"saved {len(db.tables)} tables ({rows} rows), "
+        f"{len(db.bindings)} bindings -> {args.out}"
+    )
+    return 0
+
+
+def cmd_load(args) -> int:
+    from .database import Database
+
+    db = Database.open(args.snapshot)
+    summary = {
+        "tables": {
+            key: {"name": t.name, "rows": len(t), "index": t.index_kind}
+            for key, t in db.tables.items()
+        },
+        "bindings": sorted(db.bindings),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        for key, info in summary["tables"].items():
+            print(
+                f"{key}: {info['name']} ({info['rows']} rows, "
+                f"{info['index']})"
+            )
+        print("bindings:", ", ".join(summary["bindings"]) or "(none)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .database import Database
+    from .service import QueryService, ServiceServer
+
+    if args.snapshot:
+        db = Database.open(args.snapshot)
+    else:
+        query = _build_workload(args)
+        db = Database(tables=query.tables, bindings=query.bindings)
+    service = QueryService(db, cache_size=args.cache)
+    server = ServiceServer(service, host=args.host, port=args.port)
+
+    async def _serve():
+        await server.start()
+        host, port = server.address
+        print(f"serving {len(db.tables)} tables on http://{host}:{port}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -576,6 +650,40 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(p)
     add_streaming_args(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "save", help="snapshot a built workload database to disk"
+    )
+    p.add_argument("out", help="snapshot file to write")
+    add_workload_args(p)
+    p.set_defaults(func=cmd_save)
+
+    p = sub.add_parser("load", help="summarise a saved snapshot")
+    p.add_argument("snapshot", help="snapshot file to read")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_load)
+
+    p = sub.add_parser(
+        "serve", help="start the resident query service (HTTP)"
+    )
+    p.add_argument(
+        "snapshot",
+        nargs="?",
+        help="snapshot file to serve (default: build --workload)",
+    )
+    add_workload_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8972, help="0 picks an ephemeral port"
+    )
+    p.add_argument(
+        "--cache",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="probe-cache entries shared across requests (0 disables)",
+    )
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -84,6 +84,15 @@ class Region:
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("Region is immutable")
 
+    @classmethod
+    def _trusted(cls, boxes: Tuple[Box, ...]) -> "Region":
+        """Construct from known-disjoint, known-nonempty, same-dimension
+        boxes (the snapshot load path); skips the constructor's filter
+        and mixed-dimension check."""
+        region = cls.__new__(cls)
+        object.__setattr__(region, "boxes", boxes)
+        return region
+
     @staticmethod
     def from_boxes(boxes: Iterable[Box]) -> "Region":
         """Build a region from arbitrary (overlapping) boxes."""

@@ -55,6 +55,30 @@ class Box:
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("Box is immutable")
 
+    @classmethod
+    def _trusted(
+        cls,
+        lo: Tuple[float, ...],
+        hi: Tuple[float, ...],
+        empty: Optional[bool] = None,
+    ) -> "Box":
+        """Construct from known-good equal-length float tuples.
+
+        The snapshot load path materializes tens of thousands of boxes
+        whose coordinates were dumped from live ``Box`` objects;
+        skipping the per-coordinate conversion and the dimension check
+        there is a measurable share of ``Database.open``.  Pass
+        ``empty=False`` when the caller also knows the box is nonempty
+        (e.g. it came out of a :class:`Region`, whose boxes always are).
+        """
+        box = cls.__new__(cls)
+        object.__setattr__(box, "lo", lo)
+        object.__setattr__(box, "hi", hi)
+        if empty is None:
+            empty = not lo or any(a >= b for a, b in zip(lo, hi))
+        object.__setattr__(box, "_empty", empty)
+        return box
+
     def __reduce__(self):
         # Explicit pickle support: the default slots protocol would call
         # the blocked __setattr__.  Needed to ship boxes to process-pool
@@ -336,6 +360,20 @@ def enclose_all(boxes: Iterable[Box]) -> Box:
     for b in boxes:
         out = out.enclose(b)
     return out
+
+
+def box_to_jsonable(box: Box) -> List[List[float]]:
+    """``[lo, hi]`` coordinate lists for JSON serialization.
+
+    Coordinates are dumped verbatim (an empty box keeps whatever lo/hi
+    it was built with), so a dump → load → dump cycle is stable.
+    """
+    return [list(box.lo), list(box.hi)]
+
+
+def box_from_jsonable(data: Sequence[Sequence[float]]) -> Box:
+    """Inverse of :func:`box_to_jsonable`."""
+    return Box(tuple(data[0]), tuple(data[1]))
 
 
 def meet_all(boxes: Iterable[Box], universe: Optional[Box] = None) -> Box:

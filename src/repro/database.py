@@ -1,0 +1,446 @@
+"""The public ``Database``/``Session`` facade.
+
+The library grew bottom-up — tables, compiler, physical plans, caches,
+partitioning — and each capability shipped with its own entry point
+(``run_query``, ``execute``, ``plan.physical(...)``, CLI flags).  This
+module is the one front door over all of it:
+
+* a :class:`Database` owns named tables and named constant-region
+  bindings, turns constraint text (or a
+  :class:`~repro.constraints.system.ConstraintSystem`) into a
+  :class:`~repro.engine.query.SpatialQuery` against them, and
+  round-trips to disk via :mod:`repro.spatial.snapshot`
+  (:meth:`Database.save` / :meth:`Database.open` — ~100ms warm load
+  instead of a full STR build);
+* a :class:`Session` executes queries with one uniform keyword
+  vocabulary — ``mode=``, ``join_strategy=``, ``partitions=``,
+  ``parallel=``, ``limit=`` — matching the CLI flags one-for-one, with
+  per-session defaults and an optional shared
+  :class:`~repro.spatial.table.ProbeCache`.
+
+The old entry points remain as thin deprecated shims (see
+:func:`repro.engine.executor.run_query`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .algebra.regions import Region
+from .constraints.parser import parse_system
+from .constraints.system import ConstraintSystem
+from .engine.compiler import QueryPlan, compile_query
+from .engine.executor import Answer, answers_as_oid_tuples
+from .engine.query import AggregateSpec, KNNStep, SpatialQuery
+from .engine.stats import ExecutionStats
+from .spatial.snapshot import read_snapshot, write_snapshot
+from .spatial.table import ProbeCache, SpatialObject, SpatialTable
+
+__all__ = ["Database", "QueryResult", "Session"]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET = object()
+
+#: The uniform execution-option vocabulary (mirrors the CLI flags
+#: ``--mode``/``--join``/``--partitions``/``--parallel``/``--limit``).
+SESSION_OPTIONS = ("mode", "join_strategy", "partitions", "parallel", "limit")
+
+_OPTION_DEFAULTS = {
+    "mode": "boxplan",
+    "join_strategy": None,
+    "partitions": 0,
+    "parallel": 0,
+    "limit": None,
+}
+
+
+@dataclass
+class QueryResult:
+    """One execution's answers plus its counters and timings.
+
+    Unpacks like the classic pair — ``answers, stats = session.run(q)``
+    — while also carrying the retrieval order and streaming timings.
+    """
+
+    answers: List[Answer]
+    stats: ExecutionStats
+    order: Tuple[str, ...] = ()
+    time_to_first_s: Optional[float] = None
+    total_s: Optional[float] = None
+
+    def __iter__(self) -> Iterator:
+        return iter((self.answers, self.stats))
+
+    def oid_tuples(self, order: Optional[Sequence[str]] = None) -> List[Tuple]:
+        """Sorted oid tuples (set-comparison form; see the tests)."""
+        return answers_as_oid_tuples(self.answers, order or self.order)
+
+
+class Database:
+    """Named tables plus named constant bindings, with disk snapshots.
+
+    ``tables`` is keyed the way queries reference tables — by
+    *variable* name (the smugglers query's ``T``/``R``/``B``), not by
+    the table's own descriptive name.
+    """
+
+    def __init__(
+        self,
+        tables: Optional[Dict[str, SpatialTable]] = None,
+        bindings: Optional[Dict[str, Region]] = None,
+    ):
+        self.tables: Dict[str, SpatialTable] = dict(tables or {})
+        self.bindings: Dict[str, Region] = dict(bindings or {})
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_query(cls, query: SpatialQuery) -> "Database":
+        """A database over an existing query's tables and bindings."""
+        return cls(tables=query.tables, bindings=query.bindings)
+
+    @classmethod
+    def open(cls, path: str) -> "Database":
+        """Load a snapshot saved by :meth:`save` (warm indexes/caches)."""
+        tables, bindings = read_snapshot(path)
+        return cls(tables=tables, bindings=bindings)
+
+    def save(
+        self, path: str, statistics: bool = True, partitions: int = 0
+    ) -> None:
+        """Atomically snapshot every table and binding to ``path``.
+
+        ``statistics=True`` (default) computes each table's default
+        planner statistics first so the snapshot ships a warm catalog;
+        ``partitions > 0`` additionally computes and ships the STR
+        partitioning at that granularity.
+        """
+        for table in self.tables.values():
+            if partitions > 0:
+                table.partitioning(partitions)
+            if statistics:
+                table.statistics()
+        write_snapshot(path, self.tables, self.bindings)
+
+    # -- registration ----------------------------------------------------------
+    def create_table(
+        self, name: str, dim: int, **table_kwargs
+    ) -> SpatialTable:
+        """Create, register, and return an empty table under ``name``."""
+        table = SpatialTable(name, dim, **table_kwargs)
+        self.tables[name] = table
+        return table
+
+    def attach(
+        self, table: SpatialTable, name: Optional[str] = None
+    ) -> SpatialTable:
+        """Register an existing table (default key: its own name)."""
+        self.tables[name or table.name] = table
+        return table
+
+    def bind(self, name: str, region: Region) -> None:
+        """Register a named constant region."""
+        self.bindings[name] = region
+
+    def table(self, name: str) -> SpatialTable:
+        """Table lookup (KeyError names the known tables)."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table {name!r}; known tables: {sorted(self.tables)}"
+            ) from None
+
+    # -- queries ---------------------------------------------------------------
+    def query(
+        self,
+        system: Union[str, ConstraintSystem],
+        bindings: Optional[Dict[str, Region]] = None,
+        order: Optional[Sequence[str]] = None,
+        knn: Optional[KNNStep] = None,
+        aggregate: Optional[AggregateSpec] = None,
+    ) -> SpatialQuery:
+        """Build a :class:`SpatialQuery` against this database.
+
+        ``system`` may be constraint text in the Figure-1 syntax (it is
+        parsed) or an already-built system.  Each system variable
+        resolves to a stored binding (constants) or a stored table
+        (unknowns), in that order; ``bindings`` overrides/extends the
+        stored constants for this query only.
+        """
+        if isinstance(system, str):
+            system = parse_system(system)
+        bound = {
+            name: region
+            for name, region in self.bindings.items()
+            if name in system.variables()
+        }
+        if bindings:
+            bound.update(bindings)
+        tables = {
+            var: self.tables[var]
+            for var in system.variables()
+            if var not in bound and var in self.tables
+        }
+        return SpatialQuery(
+            system=system,
+            tables=tables,
+            bindings=bound,
+            order=tuple(order) if order else None,
+            knn=knn,
+            aggregate=aggregate,
+        )
+
+    def session(self, **defaults) -> "Session":
+        """A :class:`Session` over this database."""
+        return Session(db=self, **defaults)
+
+
+class Session:
+    """Query execution with uniform options and per-session defaults.
+
+    Accepts a :class:`SpatialQuery`, a compiled
+    :class:`~repro.engine.compiler.QueryPlan`, or — when constructed
+    with a :class:`Database` — raw constraint text.  Keyword options
+    (``mode=``, ``join_strategy=``, ``partitions=``, ``parallel=``,
+    ``limit=``) match the CLI flags; constructor keywords set session
+    defaults, call keywords override per query.  ``probe_cache=N``
+    shares an N-entry :class:`ProbeCache` across the session's probes
+    (pass ``cache=`` to share an existing one, e.g. the service's).
+    """
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        cache: Optional[ProbeCache] = None,
+        probe_cache: int = 0,
+        **defaults,
+    ):
+        unknown = set(defaults) - set(SESSION_OPTIONS)
+        if unknown:
+            raise TypeError(
+                f"unknown session option(s) {sorted(unknown)}; valid "
+                f"options: {SESSION_OPTIONS}"
+            )
+        self.db = db
+        self.cache = cache
+        if self.cache is None and probe_cache:
+            self.cache = ProbeCache(maxsize=probe_cache)
+        self.defaults = dict(_OPTION_DEFAULTS)
+        self.defaults.update(defaults)
+
+    # -- option/plan resolution ------------------------------------------------
+    def _option(self, name: str, value):
+        return self.defaults[name] if value is _UNSET else value
+
+    def _physical_options(self, partitions, parallel, join_strategy) -> dict:
+        partitions = self._option("partitions", partitions)
+        parallel = self._option("parallel", parallel)
+        join = self._option("join_strategy", join_strategy)
+        if join is None and (partitions or parallel):
+            # Same default the CLI applies: partitioned execution with
+            # no explicit algorithm delegates the pick to the planner.
+            join = "auto"
+        return {
+            "partitions": partitions,
+            "parallel": parallel,
+            "join_strategy": join,
+        }
+
+    def _compile(
+        self,
+        query: Union[str, ConstraintSystem, SpatialQuery, QueryPlan],
+        order: Optional[Sequence[str]] = None,
+    ) -> QueryPlan:
+        if isinstance(query, QueryPlan):
+            return query
+        if isinstance(query, (str, ConstraintSystem)):
+            if self.db is None:
+                raise ValueError(
+                    "constraint text needs a Database to resolve tables "
+                    "and bindings; construct Session(db=...) or pass a "
+                    "SpatialQuery"
+                )
+            query = self.db.query(query)
+        if order is None and not query.order:
+            # No caller- or query-given order: plan one (the CLI's
+            # default strategy), honoring a kNN step's anchor ordering.
+            from .engine.compiler import repair_knn_order
+            from .engine.planner import plan_order
+
+            order = plan_order(
+                query,
+                strategy="histogram",
+                partitions=self.defaults["partitions"],
+            )
+            if query.knn is not None:
+                order = repair_knn_order(order, query.knn, query.tables)
+        return compile_query(query, order=order)
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        query: Union[str, ConstraintSystem, SpatialQuery, QueryPlan],
+        *,
+        mode=_UNSET,
+        order: Optional[Sequence[str]] = None,
+        limit=_UNSET,
+        partitions=_UNSET,
+        parallel=_UNSET,
+        join_strategy=_UNSET,
+    ) -> QueryResult:
+        """Execute and return a :class:`QueryResult`.
+
+        Streams internally — ``limit=k`` stops after ``k`` answers
+        without exhausting the search space, and the result carries
+        time-to-first-answer alongside the total.
+        """
+        plan = self._compile(query, order=order)
+        pplan = plan.physical(
+            self._option("mode", mode),
+            estimate=False,
+            **self._physical_options(partitions, parallel, join_strategy),
+        )
+        start = perf_counter()
+        first = None
+        answers: List[Answer] = []
+        for answer in pplan.execute_iter(
+            limit=self._option("limit", limit), cache=self.cache
+        ):
+            if first is None:
+                first = perf_counter() - start
+            answers.append(answer)
+        total = perf_counter() - start
+        return QueryResult(
+            answers=answers,
+            stats=pplan.stats(),
+            order=tuple(plan.order),
+            time_to_first_s=first,
+            total_s=total,
+        )
+
+    def explain(
+        self,
+        query: Union[str, ConstraintSystem, SpatialQuery, QueryPlan],
+        *,
+        mode=_UNSET,
+        order: Optional[Sequence[str]] = None,
+        analyze: bool = False,
+        partitions=_UNSET,
+        parallel=_UNSET,
+        join_strategy=_UNSET,
+    ) -> str:
+        """The physical operator tree, with catalog cost estimates.
+
+        ``analyze=True`` also executes the plan and annotates actual
+        per-operator rows/probes/node reads (the CLI's ``--analyze``).
+        """
+        plan = self._compile(query, order=order)
+        pplan = plan.physical(
+            self._option("mode", mode),
+            **self._physical_options(partitions, parallel, join_strategy),
+        )
+        if analyze:
+            pplan.run(cache=self.cache)
+        return pplan.explain()
+
+    def bench(
+        self,
+        query: Union[str, ConstraintSystem, SpatialQuery, QueryPlan],
+        *,
+        mode=_UNSET,
+        order: Optional[Sequence[str]] = None,
+        limit=_UNSET,
+        partitions=_UNSET,
+        parallel=_UNSET,
+        join_strategy=_UNSET,
+    ) -> dict:
+        """Execute and report the machine-independent counters.
+
+        The returned dictionary nests the full
+        :meth:`~repro.engine.stats.ExecutionStats.to_dict` payload under
+        ``"counters"`` (JSON-round-trippable), plus per-table index
+        counters and wall-clock timings.
+        """
+        plan = self._compile(query, order=order)
+        for table in plan.query.tables.values():
+            table.reset_stats()  # report query-time reads, not build-time
+        result = self.run(
+            plan,
+            mode=mode,
+            limit=limit,
+            partitions=partitions,
+            parallel=parallel,
+            join_strategy=join_strategy,
+        )
+        return {
+            "mode": self._option("mode", mode),
+            "order": list(result.order),
+            "answers": len(result.answers),
+            "counters": result.stats.to_dict(),
+            "tables": {
+                name: table.index_stats()
+                for name, table in plan.query.tables.items()
+            },
+            "time_to_first_s": result.time_to_first_s,
+            "total_s": result.total_s,
+        }
+
+    def aggregate(
+        self,
+        query: Union[str, ConstraintSystem, SpatialQuery],
+        aggregates: Sequence[Tuple[str, Optional[str]]] = (("count", None),),
+        group_by: Sequence[str] = (),
+        exact: bool = True,
+        **options,
+    ) -> QueryResult:
+        """Run the query's aggregation form (COUNT/MIN/MAX, grouped).
+
+        Rebuilds the query with an :class:`AggregateSpec`; the result's
+        ``answers`` are aggregate rows (see
+        :class:`repro.engine.physical.AggregateRow`).
+        """
+        if isinstance(query, (str, ConstraintSystem)):
+            if self.db is None:
+                raise ValueError(
+                    "constraint text needs a Database; construct "
+                    "Session(db=...) or pass a SpatialQuery"
+                )
+            query = self.db.query(query)
+        spec = AggregateSpec(
+            aggregates=tuple(aggregates),
+            group_by=tuple(group_by),
+            exact=exact,
+        )
+        query = SpatialQuery(
+            system=query.system,
+            tables=query.tables,
+            bindings=query.bindings,
+            order=query.order,
+            knn=query.knn,
+            aggregate=spec,
+        )
+        return self.run(query, **options)
+
+    def nearest(
+        self,
+        table: Union[str, SpatialTable],
+        anchor,
+        k: int,
+        access: str = "auto",
+    ) -> List[Tuple[float, SpatialObject]]:
+        """The ``k`` rows of a table nearest to a point or box anchor.
+
+        ``table`` may be a name (resolved through the session's
+        :class:`Database`) or a table object; semantics are those of
+        :meth:`~repro.spatial.table.SpatialTable.nearest`.
+        """
+        if isinstance(table, str):
+            if self.db is None:
+                raise ValueError(
+                    "a table name needs a Database; construct "
+                    "Session(db=...) or pass the SpatialTable itself"
+                )
+            table = self.db.table(table)
+        return table.nearest(anchor, k, access=access)

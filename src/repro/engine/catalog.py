@@ -28,7 +28,13 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple, TYPE_CHECKING
 
 from ..boxes.bconstraints import BoxQuery
-from ..boxes.box import Box, EMPTY_BOX, enclose_all
+from ..boxes.box import (
+    Box,
+    EMPTY_BOX,
+    box_from_jsonable,
+    box_to_jsonable,
+    enclose_all,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..spatial.table import SpatialObject, SpatialTable
@@ -49,6 +55,23 @@ class PartitionStatistics:
     pid: int
     count: int
     mbr: Box
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see :meth:`from_dict`)."""
+        return {
+            "pid": self.pid,
+            "count": self.count,
+            "mbr": box_to_jsonable(self.mbr),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionStatistics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            pid=int(data["pid"]),
+            count=int(data["count"]),
+            mbr=box_from_jsonable(data["mbr"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -112,6 +135,25 @@ class Histogram:
     def fraction_at_least(self, x: float) -> float:
         """Estimated fraction of values ``>= x``."""
         return 1.0 - self.fraction_below(x)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see :meth:`from_dict`)."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "counts": list(self.counts),
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            lo=float(data["lo"]),
+            hi=float(data["hi"]),
+            counts=tuple(int(c) for c in data["counts"]),
+            total=int(data["total"]),
+        )
 
 
 def _clamp(p: float) -> float:
@@ -302,6 +344,49 @@ class TableStatistics:
             if ok:
                 holding.append(obj)
         return len(holding) / len(rows), tuple(holding)
+
+    # -- snapshot serialization ------------------------------------------------
+    def to_dict(self, row_index: dict) -> dict:
+        """JSON-serializable form for snapshots.
+
+        The random row sample is stored as *indices* into the table's
+        saved row order (``row_index`` maps ``id(obj)`` to the index),
+        so the loaded statistics reference the loaded table's own row
+        objects instead of duplicating their regions.
+        """
+        return {
+            "name": self.name,
+            "dim": self.dim,
+            "count": self.count,
+            "mbr": box_to_jsonable(self.mbr),
+            "lo_hists": [h.to_dict() for h in self.lo_hists],
+            "hi_hists": [h.to_dict() for h in self.hi_hists],
+            "avg_sides": list(self.avg_sides),
+            "sample": [row_index[id(obj)] for obj in self.sample],
+            "partitions": [p.to_dict() for p in self.partitions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, rows) -> "TableStatistics":
+        """Inverse of :meth:`to_dict`; ``rows`` resolves sample indices."""
+        return cls(
+            name=str(data["name"]),
+            dim=int(data["dim"]),
+            count=int(data["count"]),
+            mbr=box_from_jsonable(data["mbr"]),
+            lo_hists=tuple(
+                Histogram.from_dict(h) for h in data["lo_hists"]
+            ),
+            hi_hists=tuple(
+                Histogram.from_dict(h) for h in data["hi_hists"]
+            ),
+            avg_sides=tuple(float(s) for s in data["avg_sides"]),
+            sample=tuple(rows[int(i)] for i in data["sample"]),
+            partitions=tuple(
+                PartitionStatistics.from_dict(p)
+                for p in data["partitions"]
+            ),
+        )
 
 
 def collect_statistics(

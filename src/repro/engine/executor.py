@@ -39,6 +39,7 @@ after ``k`` answers without materialising the rest of the search space.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..spatial.table import ProbeCache, SpatialObject
@@ -124,8 +125,22 @@ def execute_iter(
 def first_k(
     plan: QueryPlan, k: int, mode: str = "boxplan"
 ) -> List[Answer]:
-    """The first ``k`` answers of a streaming execution."""
-    return list(execute_iter(plan, mode, limit=k))
+    """The first ``k`` answers of a streaming execution.
+
+    .. deprecated:: 1.1
+        Use ``Session().run(plan, mode=..., limit=k).answers`` — the
+        :class:`~repro.database.Session` facade exposes the same
+        early-exit streaming with the uniform option vocabulary.
+    """
+    warnings.warn(
+        "first_k() is deprecated; use repro.Session().run(plan, "
+        "mode=..., limit=k).answers",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..database import Session
+
+    return Session().run(plan, mode=mode, limit=k).answers
 
 
 def run_query(
@@ -133,11 +148,23 @@ def run_query(
     mode: str = "boxplan",
     order: Optional[Sequence[str]] = None,
 ) -> Tuple[List[Answer], ExecutionStats]:
-    """Compile and execute in one call."""
-    from .compiler import compile_query
+    """Compile and execute in one call.
 
-    plan = compile_query(query, order=order)
-    return execute(plan, mode=mode)
+    .. deprecated:: 1.1
+        Use ``Session().run(query, mode=..., order=...)`` — identical
+        answers and stats, plus timings, caching, and the partitioned-
+        execution options in one place.
+    """
+    warnings.warn(
+        "run_query() is deprecated; use repro.Session().run(query, "
+        "mode=..., order=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..database import Session
+
+    result = Session().run(query, mode=mode, order=order)
+    return result.answers, result.stats
 
 
 def answers_as_oid_tuples(

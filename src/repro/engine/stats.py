@@ -10,7 +10,7 @@ cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
 
 
@@ -38,6 +38,16 @@ class StepStats:
         if self.candidates == 0:
             return 1.0
         return self.survivors / self.candidates
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full-fidelity JSON-serializable form (see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StepStats":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -89,6 +99,36 @@ class ExecutionStats:
         if requests == 0:
             return 0.0
         return self.cache_hits / requests
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full-fidelity JSON-serializable form.
+
+        Unlike :meth:`as_dict` (a flat benchmark-table projection), this
+        round-trips through :meth:`from_dict` without losing per-step
+        counters, so services can ship stats over the wire and clients
+        can reconstruct the exact :class:`ExecutionStats`.
+        """
+        return {
+            "mode": self.mode,
+            "tuples_emitted": self.tuples_emitted,
+            "partial_tuples": self.partial_tuples,
+            "region_ops": self.region_ops,
+            "box_ops_estimate": self.box_ops_estimate,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExecutionStats":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        stats = cls(
+            mode=str(data.get("mode", "")),
+            tuples_emitted=int(data.get("tuples_emitted", 0)),
+            partial_tuples=int(data.get("partial_tuples", 0)),
+            region_ops=int(data.get("region_ops", 0)),
+            box_ops_estimate=int(data.get("box_ops_estimate", 0)),
+        )
+        stats.steps = [StepStats.from_dict(s) for s in data.get("steps", [])]
+        return stats
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary for benchmark tables."""

@@ -70,3 +70,23 @@ class UnknownModeError(ReproError, ValueError):
 
 class UnboundVariableError(CompilationError):
     """Raised when a query references a variable with no table or binding."""
+
+
+class SnapshotError(ReproError):
+    """Raised when a database snapshot cannot be read or written.
+
+    Covers missing files, malformed JSON, and format-version mismatches;
+    the message names the offending path and what was expected.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the query service for malformed or unserviceable requests.
+
+    Carries an HTTP-ish ``status`` so the server maps it onto a response
+    code; clients raise it when the server reports an error payload.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status

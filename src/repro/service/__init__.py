@@ -1,0 +1,22 @@
+"""The resident query service (snapshot isolation over asyncio HTTP).
+
+See :mod:`repro.service.server` for the architecture — lock-free
+snapshot reads, background rebuild, atomic swap with probe-cache purge
+— and :mod:`repro.service.client` for the matching blocking client.
+"""
+
+from .client import ServiceClient
+from .server import (
+    QueryService,
+    ServiceServer,
+    SnapshotStore,
+    serve_in_thread,
+)
+
+__all__ = [
+    "QueryService",
+    "ServiceClient",
+    "ServiceServer",
+    "SnapshotStore",
+    "serve_in_thread",
+]

@@ -1,0 +1,499 @@
+"""The resident query service: snapshot isolation over asyncio HTTP.
+
+The execution engine is synchronous and CPU-bound; what a long-lived
+server adds is *snapshot isolation*:
+
+* every request captures the current :class:`~repro.database.Database`
+  with a single attribute read (:meth:`SnapshotStore.current`) — no
+  reader lock — and executes entirely against that immutable snapshot;
+* a mutation (``POST /insert``) never touches served tables: a
+  background rebuild constructs *new* table objects (old rows + the
+  mutation, STR-packed, statistics pre-warmed) and then
+  :meth:`SnapshotStore.swap` publishes them with one atomic reference
+  assignment.  In-flight readers keep their old snapshot and finish
+  bit-identically; new requests see the new one;
+* at swap time the superseded tables are proactively purged from the
+  shared :class:`~repro.spatial.table.ProbeCache` — the old objects are
+  never looked up again, so without the purge their entries would
+  squat in the LRU until eviction or garbage collection.
+
+The HTTP layer is a deliberately small stdlib-only HTTP/1.1 loop over
+``asyncio.start_server`` (the engine has no third-party dependencies —
+see ``pyproject.toml``); query execution runs in the default thread
+pool via ``run_in_executor`` so slow queries do not stall the accept
+loop.  Endpoints: ``GET /health``, ``GET /stats``, and ``POST
+/run | /explain | /bench | /nearest | /insert`` with JSON bodies (see
+:class:`QueryService` for payload shapes and
+:mod:`repro.service.client` for a matching client).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..algebra.regions import Region
+from ..boxes.box import box_from_jsonable
+from ..database import Database, Session
+from ..engine.query import AggregateSpec, KNNStep
+from ..errors import ReproError, ServiceError
+from ..spatial.snapshot import (
+    _decode_oid,
+    _encode_oid,
+    region_from_jsonable,
+)
+from ..spatial.table import ProbeCache, SpatialTable
+
+__all__ = ["QueryService", "ServiceServer", "SnapshotStore", "serve_in_thread"]
+
+
+class SnapshotStore:
+    """Lock-free-reader holder of the current database snapshot.
+
+    Readers call :meth:`current` — one attribute read under the GIL, no
+    lock.  Writers serialize on a mutex, publish with a single
+    reference assignment, and purge the replaced tables from the shared
+    probe cache (the fix for the stale-entry squat described in the
+    module docstring).
+    """
+
+    def __init__(self, db: Database, cache: Optional[ProbeCache] = None):
+        self._current = db
+        self._cache = cache
+        self._version = 1
+        self._swap_lock = threading.Lock()
+
+    def current(self) -> Tuple[Database, int]:
+        """The live ``(database, version)`` pair (atomic, lock-free)."""
+        # Read the reference before the version: a concurrent swap can
+        # at worst pair the old database with the old version.
+        db = self._current
+        return db, self._version
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def swap(self, new_db: Database) -> int:
+        """Atomically publish ``new_db``; purge superseded cache entries.
+
+        Returns the new snapshot version.  In-flight readers holding
+        the old database object are unaffected — its tables are intact,
+        only the cache entries keyed on them are dropped (they would
+        never be hit again; dropping them is the proactive fix).
+        """
+        with self._swap_lock:
+            old_db = self._current
+            self._version += 1
+            self._current = new_db
+            version = self._version
+        if self._cache is not None:
+            kept = {id(t) for t in new_db.tables.values()}
+            for table in old_db.tables.values():
+                if id(table) not in kept:
+                    self._cache.purge_table(table)
+        return version
+
+
+class QueryService:
+    """Request handlers over a :class:`SnapshotStore`.
+
+    All handlers are synchronous (the HTTP layer offloads them to the
+    thread pool) and act on the snapshot captured at entry.  ``run``
+    payloads carry the query as constraint text in the Figure-1 syntax;
+    binding *names* resolve against the snapshot's stored bindings, or
+    inline ``name -> [[lo, hi], ...]`` box lists define ad-hoc ones.
+    """
+
+    def __init__(self, db: Database, cache_size: int = 1024):
+        self.cache = ProbeCache(maxsize=cache_size) if cache_size else None
+        self.store = SnapshotStore(db, cache=self.cache)
+        self._rebuild_lock = threading.Lock()
+        self.requests = 0
+        self.rebuilds = 0
+
+    # -- payload decoding ------------------------------------------------------
+    @staticmethod
+    def _decode_bindings(db: Database, data) -> Optional[Dict[str, Region]]:
+        if data is None:
+            return None
+        if isinstance(data, list):
+            missing = [name for name in data if name not in db.bindings]
+            if missing:
+                raise ServiceError(
+                    f"unknown binding name(s) {missing}; stored bindings: "
+                    f"{sorted(db.bindings)}"
+                )
+            return {name: db.bindings[name] for name in data}
+        return {
+            name: region_from_jsonable(region_data)
+            for name, region_data in data.items()
+        }
+
+    @staticmethod
+    def _decode_knn(data) -> Optional[KNNStep]:
+        if data is None:
+            return None
+        return KNNStep(
+            variable=str(data["variable"]),
+            k=int(data["k"]),
+            point=tuple(data["point"]) if data.get("point") else None,
+            ref=data.get("ref"),
+        )
+
+    @staticmethod
+    def _decode_aggregate(data) -> Optional[AggregateSpec]:
+        if data is None:
+            return None
+        return AggregateSpec(
+            aggregates=tuple(
+                (op, target) for op, target in data["aggregates"]
+            ),
+            group_by=tuple(data.get("group_by", ())),
+            exact=bool(data.get("exact", True)),
+        )
+
+    def _session(self, db: Database, payload: dict) -> Session:
+        options = {
+            name: payload[name]
+            for name in (
+                "mode",
+                "join_strategy",
+                "partitions",
+                "parallel",
+                "limit",
+            )
+            if name in payload
+        }
+        return Session(db=db, cache=self.cache, **options)
+
+    def _query(self, db: Database, payload: dict):
+        try:
+            system = payload["system"]
+        except KeyError:
+            raise ServiceError("payload needs a 'system' (constraint text)")
+        return db.query(
+            system,
+            bindings=self._decode_bindings(db, payload.get("bindings")),
+            order=payload.get("order"),
+            knn=self._decode_knn(payload.get("knn")),
+            aggregate=self._decode_aggregate(payload.get("aggregate")),
+        )
+
+    # -- endpoints -------------------------------------------------------------
+    def health(self) -> dict:
+        _db, version = self.store.current()
+        return {"ok": True, "snapshot": version}
+
+    def stats(self) -> dict:
+        db, version = self.store.current()
+        out = {
+            "snapshot": version,
+            "requests": self.requests,
+            "rebuilds": self.rebuilds,
+            "tables": {
+                key: {"name": t.name, "rows": len(t), "index": t.index_kind}
+                for key, t in db.tables.items()
+            },
+            "bindings": sorted(db.bindings),
+        }
+        if self.cache is not None:
+            out["cache"] = {
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+            }
+        return out
+
+    def run(self, payload: dict) -> dict:
+        db, version = self.store.current()
+        result = self._session(db, payload).run(self._query(db, payload))
+        if result.answers and hasattr(result.answers[0], "as_dict"):
+            answers = [row.as_dict() for row in result.answers]
+        else:
+            answers = [
+                {var: _encode_oid(obj.oid) for var, obj in answer.items()}
+                for answer in result.answers
+            ]
+        return {
+            "snapshot": version,
+            "order": list(result.order),
+            "count": len(answers),
+            "answers": answers,
+            "stats": result.stats.to_dict(),
+            "time_to_first_s": result.time_to_first_s,
+            "total_s": result.total_s,
+        }
+
+    def explain(self, payload: dict) -> dict:
+        db, version = self.store.current()
+        session = self._session(db, payload)
+        text = session.explain(
+            self._query(db, payload),
+            analyze=bool(payload.get("analyze", False)),
+        )
+        return {"snapshot": version, "plan": text}
+
+    def bench(self, payload: dict) -> dict:
+        db, version = self.store.current()
+        session = self._session(db, payload)
+        report = session.bench(self._query(db, payload))
+        report["snapshot"] = version
+        return report
+
+    def nearest(self, payload: dict) -> dict:
+        db, version = self.store.current()
+        try:
+            table = db.table(str(payload["table"]))
+        except KeyError as exc:
+            raise ServiceError(str(exc)) from exc
+        if "point" in payload:
+            anchor = tuple(float(c) for c in payload["point"])
+        elif "box" in payload:
+            anchor = box_from_jsonable(payload["box"])
+        else:
+            raise ServiceError("nearest needs a 'point' or a 'box' anchor")
+        results = table.nearest(
+            anchor,
+            int(payload.get("k", 1)),
+            access=str(payload.get("access", "auto")),
+        )
+        return {
+            "snapshot": version,
+            "results": [
+                {"distance": dist, "oid": _encode_oid(obj.oid)}
+                for dist, obj in results
+            ],
+        }
+
+    def insert(self, payload: dict) -> dict:
+        """Apply a mutation via background rebuild + atomic swap.
+
+        ``rows`` is a list of ``{"oid": ..., "boxes": [[lo, hi], ...]}``
+        objects appended to ``table``.  The rebuild never mutates served
+        tables: it re-packs a fresh table from the old rows plus the new
+        ones, pre-warms its statistics, then swaps.
+        """
+        try:
+            key = str(payload["table"])
+            rows = [
+                (
+                    _decode_oid(row["oid"]),
+                    Region.from_boxes(
+                        box_from_jsonable(b) for b in row["boxes"]
+                    ),
+                )
+                for row in payload["rows"]
+            ]
+        except (KeyError, TypeError, IndexError) as exc:
+            raise ServiceError(f"malformed insert payload: {exc}") from exc
+        version = self.apply_insert(key, rows)
+        return {"snapshot": version, "inserted": len(rows)}
+
+    # -- rebuild ---------------------------------------------------------------
+    def apply_insert(
+        self, key: str, rows: List[Tuple[object, Region]]
+    ) -> int:
+        """Rebuild ``key``'s table with ``rows`` appended, then swap."""
+        with self._rebuild_lock:
+            db, _version = self.store.current()
+            try:
+                old = db.table(key)
+            except KeyError as exc:
+                raise ServiceError(str(exc)) from exc
+            new_table = SpatialTable(
+                old.name,
+                old.dim,
+                index=old.index_kind,
+                universe=old.universe,
+                split_method=old.split_method,
+                node_capacity=old.node_capacity,
+            )
+            new_table.bulk_insert(
+                [(obj.oid, obj.region) for obj in old] + list(rows)
+            )
+            new_table.statistics()  # serve a warm catalog immediately
+            tables = dict(db.tables)
+            tables[key] = new_table
+            new_db = Database(tables=tables, bindings=dict(db.bindings))
+            self.rebuilds += 1
+            return self.store.swap(new_db)
+
+
+# -- HTTP layer ----------------------------------------------------------------
+_ROUTES = {
+    ("GET", "/health"): "health",
+    ("GET", "/stats"): "stats",
+    ("POST", "/run"): "run",
+    ("POST", "/explain"): "explain",
+    ("POST", "/bench"): "bench",
+    ("POST", "/nearest"): "nearest",
+    ("POST", "/insert"): "insert",
+}
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+
+
+class ServiceServer:
+    """The asyncio HTTP/1.1 front end of a :class:`QueryService`."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` after start)."""
+        return self.host, self.port
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request loop ----------------------------------------------------------
+    async def _serve_client(self, reader, writer) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or not request_line.strip():
+                    break
+                try:
+                    method, path, _proto = (
+                        request_line.decode("latin-1").split(" ", 2)
+                    )
+                except ValueError:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"}
+                    )
+                    break
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if not line.strip():
+                        break
+                    name, _sep, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", 0) or 0)
+                body = await reader.readexactly(length) if length else b""
+                status, response = await self._dispatch(method, path, body)
+                await self._respond(writer, status, response)
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer reset
+                pass
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        self.service.requests += 1
+        handler_name = _ROUTES.get((method, path.rstrip("/") or path))
+        if handler_name is None:
+            return 404, {"error": f"no route {method} {path}"}
+        if body:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"body is not valid JSON: {exc}"}
+        else:
+            payload = {}
+        handler = getattr(self.service, handler_name)
+        loop = asyncio.get_running_loop()
+        try:
+            if method == "GET":
+                result = await loop.run_in_executor(None, handler)
+            else:
+                result = await loop.run_in_executor(None, handler, payload)
+        except ServiceError as exc:
+            return exc.status, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        return 200, result
+
+    @staticmethod
+    async def _respond(writer, status: int, payload: dict) -> None:
+        data = json.dumps(payload, default=str).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + data)
+        await writer.drain()
+
+
+class _ThreadedServer:
+    """A :class:`ServiceServer` running in a daemon thread (tests/CLI)."""
+
+    def __init__(self, server: ServiceServer, loop, thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    def stop(self) -> None:
+        async def _shutdown():
+            await self.server.stop()
+
+        if self._loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                _shutdown(), self._loop
+            ).result(timeout=10)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+
+def serve_in_thread(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> _ThreadedServer:
+    """Start a server on a background event loop; returns a stoppable
+    handle whose ``address`` carries the bound ephemeral port."""
+    server = ServiceServer(service, host=host, port=port)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=10):  # pragma: no cover - startup hang
+        raise RuntimeError("service failed to start within 10s")
+    return _ThreadedServer(server, loop, thread)

@@ -27,6 +27,15 @@ from .rangequery import (
     matches_via_point,
 )
 from .rtree import RTree, RTreeStats
+from .snapshot import (
+    FORMAT_VERSION,
+    read_snapshot,
+    region_from_jsonable,
+    region_to_jsonable,
+    table_from_jsonable,
+    table_to_jsonable,
+    write_snapshot,
+)
 from .table import ProbeCache, SpatialObject, SpatialTable
 from .zorder import (
     ZGrid,
@@ -40,6 +49,7 @@ from .zorder import (
 __all__ = [
     "DEFAULT_TILES",
     "Exchange",
+    "FORMAT_VERSION",
     "GridFile",
     "GridStats",
     "JoinStats",
@@ -64,8 +74,14 @@ __all__ = [
     "mbr_may_match",
     "pbsm_join",
     "probe_box",
+    "read_snapshot",
+    "region_from_jsonable",
+    "region_to_jsonable",
     "str_partition",
     "synchronized_rtree_join",
+    "table_from_jsonable",
+    "table_to_jsonable",
+    "write_snapshot",
     "zorder_join",
     "zorder_overlap_query",
 ]

@@ -18,6 +18,7 @@ costs.  Deletion uses the classic condense-and-reinsert strategy.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -57,6 +58,16 @@ class RTreeStats:
         self.node_reads = self.entry_tests = 0
         self.splits = self.inserts = self.deletes = self.reinserts = 0
         self.pruned_subtrees = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serializable counter snapshot (see :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "RTreeStats":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in known})
 
 
 class _Node:
@@ -816,6 +827,111 @@ class RTree:
                 yield from node.entries
             else:
                 stack.extend(child for _b, child in node.entries)
+
+    # -- snapshot serialization -----------------------------------------------
+    def to_node_arrays(
+        self, value_key: Callable[[object], int]
+    ) -> Dict[str, object]:
+        """Flatten the tree into parallel node arrays for serialization.
+
+        Nodes are listed in preorder (root first).  Per node, ``leaf``
+        holds a 0/1 flag and ``counts`` its entry count; entries
+        contribute, in entry order, ``2 * dim`` floats to ``bounds``
+        (lo coordinates then hi; empty boxes as all zeros) and one int
+        to ``values`` — ``value_key(value)`` for leaf entries, the
+        child's node index for inner entries.  Stored MBRs are dumped
+        verbatim (they may be looser than the recomputed child MBR after
+        deletions), so :meth:`from_node_arrays` reproduces the structure
+        bit-identically instead of approximately.
+        """
+        order: List[_Node] = []
+        index: Dict[int, int] = {}
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            index[id(node)] = len(order)
+            order.append(node)
+            if not node.leaf:
+                stack.extend(
+                    child for _b, child in reversed(node.entries)
+                )
+        dim = 0
+        for node in order:
+            for box, _value in node.entries:
+                if not box.is_empty():
+                    dim = box.dim
+                    break
+            if dim:
+                break
+        leaf_flags: List[int] = []
+        counts: List[int] = []
+        bounds: List[float] = []
+        values: List[int] = []
+        for node in order:
+            leaf_flags.append(1 if node.leaf else 0)
+            counts.append(len(node.entries))
+            for box, value in node.entries:
+                if box.is_empty():
+                    bounds.extend([0.0] * (2 * dim))
+                else:
+                    bounds.extend(box.lo)
+                    bounds.extend(box.hi)
+                if node.leaf:
+                    values.append(value_key(value))
+                else:
+                    values.append(index[id(value)])
+        return {
+            "dim": dim,
+            "max_entries": self.max_entries,
+            "min_entries": self.min_entries,
+            "split_method": self.split_method,
+            "leaf": leaf_flags,
+            "counts": counts,
+            "bounds": bounds,
+            "values": values,
+        }
+
+    @classmethod
+    def from_node_arrays(
+        cls, data: Dict[str, object], values: Sequence[object]
+    ) -> "RTree":
+        """Rebuild a tree from :meth:`to_node_arrays` output.
+
+        ``values`` resolves leaf-entry indices back to stored objects
+        (typically the table's rows in saved order).  No STR sort or
+        insertion happens — nodes are reattached exactly as dumped.
+        """
+        tree = cls(
+            max_entries=int(data["max_entries"]),
+            min_entries=int(data["min_entries"]),
+            split_method=str(data["split_method"]),
+        )
+        leaf_flags = data["leaf"]
+        if not leaf_flags:
+            return tree
+        dim = int(data["dim"])
+        bounds = data["bounds"]
+        refs = data["values"]
+        nodes = [_Node(leaf=bool(flag)) for flag in leaf_flags]
+        pos = vi = size = 0
+        for node, count in zip(nodes, data["counts"]):
+            for _ in range(int(count)):
+                lo = tuple(bounds[pos : pos + dim])
+                hi = tuple(bounds[pos + dim : pos + 2 * dim])
+                pos += 2 * dim
+                box = Box._trusted(lo, hi)
+                ref = int(refs[vi])
+                vi += 1
+                if node.leaf:
+                    node.entries.append((box, values[ref]))
+                    size += 1
+                else:
+                    child = nodes[ref]
+                    child.parent = node
+                    node.entries.append((box, child))
+        tree._root = nodes[0]
+        tree._size = size
+        return tree
 
     def check_invariants(self) -> None:
         """Validate structural invariants (tests call this after inserts)."""

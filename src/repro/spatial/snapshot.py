@@ -1,0 +1,339 @@
+"""Versioned on-disk snapshots of spatial databases.
+
+A process serving the paper's queries should not pay a full STR build,
+statistics scan, and partitioning sort on every start.  This module
+serializes everything a warm :class:`~repro.spatial.table.SpatialTable`
+holds — rows, the packed R-tree (as flat node arrays, *not* a pickled
+object graph), the :class:`~repro.engine.catalog.TableStatistics`
+cache, and the STR :class:`~repro.spatial.partition.TablePartitioning`
+— into one JSON file, and loads it back without re-running any of those
+builds:
+
+* rows are stored in insertion order; regions dump their exact disjoint
+  box representation, so the loaded rows are bit-identical;
+* the R-tree is dumped with
+  :meth:`~repro.spatial.rtree.RTree.to_node_arrays` (preorder node
+  arrays whose leaf values are row indices) and reattached node-for-
+  node on load — no STR sort, identical structure, identical node-read
+  counts;
+* grid and scan backends rebuild deterministically by inserting rows in
+  saved order (their builds are linear — the R-tree's sort is the
+  startup cost worth snapshotting);
+* cached statistics reference their row sample by index, and the
+  partitioning stores per-partition row indices, so the loaded table
+  answers :meth:`statistics`/:meth:`partitioning` from the snapshot.
+
+Writes are atomic: the file is written to a sibling temporary path and
+moved into place with ``os.replace``, so a crashed save never leaves a
+truncated snapshot where a good one was.
+
+The format is versioned (:data:`FORMAT_VERSION`); loading a snapshot
+with an unknown format name or newer version raises
+:class:`~repro.errors.SnapshotError` instead of misparsing it.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.regions import Region
+from ..boxes.box import EMPTY_BOX, Box, box_from_jsonable, box_to_jsonable
+from ..errors import SnapshotError
+from .partition import Partition, TablePartitioning
+from .rtree import RTree
+from .table import SpatialObject, SpatialTable
+
+#: Format magic: identifies the file as one of ours.
+FORMAT_NAME = "repro-snapshot"
+
+#: Current format version; bump on incompatible layout changes.
+FORMAT_VERSION = 1
+
+
+# -- oid encoding --------------------------------------------------------------
+# Row identifiers are arbitrary hashables in memory; on disk we support
+# the JSON scalars plus tuples (tagged, so a list-valued payload cannot
+# collide with a tuple oid).
+
+def _encode_oid(oid: object) -> object:
+    if oid is None or isinstance(oid, (bool, int, float, str)):
+        return oid
+    if isinstance(oid, tuple):
+        return {"tuple": [_encode_oid(item) for item in oid]}
+    raise SnapshotError(
+        f"cannot serialize oid {oid!r} of type {type(oid).__name__}; "
+        f"snapshots support JSON scalars and tuples of them"
+    )
+
+
+def _decode_oid(data: object) -> object:
+    if isinstance(data, dict):
+        return tuple(_decode_oid(item) for item in data["tuple"])
+    return data
+
+
+# -- packed float arrays -------------------------------------------------------
+# The bulk of a snapshot is box coordinates: every row's region boxes
+# plus every r-tree node entry.  Dumped as JSON number lists they
+# dominate the load's parse time; packed as little-endian doubles in a
+# base64 string they parse in one ``struct.unpack`` call and round-trip
+# bit-exactly.  Everything else (oids, counts, statistics, partitioning)
+# stays plain JSON.
+
+def _pack_floats(values: Sequence[float]) -> str:
+    return base64.b64encode(
+        struct.pack(f"<{len(values)}d", *values)
+    ).decode("ascii")
+
+
+def _unpack_floats(blob: str) -> Tuple[float, ...]:
+    raw = base64.b64decode(blob)
+    return struct.unpack(f"<{len(raw) // 8}d", raw)
+
+
+def region_to_jsonable(region: Region) -> List[List[List[float]]]:
+    """The region's exact disjoint-box representation as JSON lists."""
+    return [box_to_jsonable(b) for b in region.boxes]
+
+
+def region_from_jsonable(data: Sequence) -> Region:
+    """Inverse of :func:`region_to_jsonable` (boxes already disjoint)."""
+    return Region(tuple(box_from_jsonable(b) for b in data))
+
+
+# -- table serialization -------------------------------------------------------
+def table_to_jsonable(table: SpatialTable) -> dict:
+    """Everything needed to reconstruct a warm table, as JSON data."""
+    rows = list(table)
+    row_index = {id(obj): i for i, obj in enumerate(rows)}
+    coords: List[float] = []
+    box_counts: List[int] = []
+    for obj in rows:
+        box_counts.append(len(obj.region.boxes))
+        for b in obj.region.boxes:
+            coords.extend(b.lo)
+            coords.extend(b.hi)
+    data: dict = {
+        "name": table.name,
+        "dim": table.dim,
+        "index": table.index_kind,
+        "universe": (
+            box_to_jsonable(table.universe)
+            if table.universe is not None
+            else None
+        ),
+        "split_method": table.split_method,
+        "node_capacity": table.node_capacity,
+        "table_version": table._version,
+        # Columnar rows: oids + per-row box counts + one packed
+        # coordinate blob (lo then hi per box, row-major).
+        "rows": {
+            "oids": [_encode_oid(obj.oid) for obj in rows],
+            "box_counts": box_counts,
+            "coords": _pack_floats(coords),
+        },
+    }
+    if table.index_kind == "rtree":
+        arrays = table._rtree.to_node_arrays(
+            lambda obj: row_index[id(obj)]
+        )
+        arrays["bounds"] = _pack_floats(arrays["bounds"])
+        data["rtree"] = arrays
+    if table._stats_version == table._version:
+        data["statistics"] = [
+            {"key": list(key), "stats": stats.to_dict(row_index)}
+            for key, stats in table._stats_cache.items()
+        ]
+    if (
+        table._partitioning_cache is not None
+        and table._partitioning_key is not None
+        and table._partitioning_key[0] == table._version
+    ):
+        tiling = table._partitioning_cache
+        data["partitioning"] = {
+            "target": tiling.target,
+            "partitions": [
+                {
+                    "pid": p.pid,
+                    "mbr": box_to_jsonable(p.mbr),
+                    "rows": [row_index[id(obj)] for obj in p.rows],
+                }
+                for p in tiling.partitions
+            ],
+        }
+    return data
+
+
+def table_from_jsonable(data: dict) -> SpatialTable:
+    """Rebuild a warm table from :func:`table_to_jsonable` output.
+
+    Rows are installed directly (no per-insert version bumps), the
+    R-tree is reattached from its node arrays, and the statistics and
+    partitioning caches are re-seeded, so the loaded table plans and
+    probes exactly like the one that was saved.
+    """
+    from ..engine.catalog import TableStatistics
+
+    universe = (
+        box_from_jsonable(data["universe"])
+        if data.get("universe") is not None
+        else None
+    )
+    table = SpatialTable(
+        str(data["name"]),
+        int(data["dim"]),
+        index=str(data["index"]),
+        universe=universe,
+        split_method=str(data["split_method"]),
+        node_capacity=int(data["node_capacity"]),
+    )
+    dim = int(data["dim"])
+    rows_data = data["rows"]
+    coords = _unpack_floats(rows_data["coords"])
+    rows: List[SpatialObject] = []
+    objects: Dict[object, SpatialObject] = {}
+    pos = 0
+    for oid_data, nboxes in zip(
+        rows_data["oids"], rows_data["box_counts"]
+    ):
+        boxes = []
+        for _ in range(nboxes):
+            # Region boxes are nonempty by invariant — no per-box check.
+            boxes.append(
+                Box._trusted(
+                    coords[pos : pos + dim],
+                    coords[pos + dim : pos + 2 * dim],
+                    empty=False,
+                )
+            )
+            pos += 2 * dim
+        region = Region._trusted(tuple(boxes))
+        if nboxes == 1:
+            bbox = boxes[0]
+        elif boxes:
+            blo, bhi = list(boxes[0].lo), list(boxes[0].hi)
+            for b in boxes[1:]:
+                for d in range(dim):
+                    if b.lo[d] < blo[d]:
+                        blo[d] = b.lo[d]
+                    if b.hi[d] > bhi[d]:
+                        bhi[d] = b.hi[d]
+            bbox = Box._trusted(tuple(blo), tuple(bhi), empty=False)
+        else:
+            bbox = EMPTY_BOX
+        obj = SpatialObject(
+            oid=_decode_oid(oid_data), region=region, box=bbox
+        )
+        rows.append(obj)
+        objects[obj.oid] = obj
+    table._objects = objects
+    table._version = int(data["table_version"])
+    if table.index_kind == "rtree":
+        arrays = dict(data["rtree"])
+        arrays["bounds"] = _unpack_floats(arrays["bounds"])
+        table._rtree = RTree.from_node_arrays(arrays, rows)
+    elif table.index_kind == "grid":
+        for obj in rows:
+            if not obj.box.is_empty():
+                table._grid.insert(obj.box.to_point(), obj)
+        table._grid.stats.reset()
+    if "statistics" in data:
+        table._stats_cache = {
+            tuple(entry["key"]): TableStatistics.from_dict(
+                entry["stats"], rows
+            )
+            for entry in data["statistics"]
+        }
+        table._stats_version = table._version
+    part = data.get("partitioning")
+    if part is not None:
+        table._partitioning_cache = TablePartitioning(
+            table_name=table.name,
+            version=table._version,
+            target=int(part["target"]),
+            partitions=tuple(
+                Partition(
+                    pid=int(p["pid"]),
+                    mbr=box_from_jsonable(p["mbr"]),
+                    rows=tuple(rows[int(i)] for i in p["rows"]),
+                )
+                for p in part["partitions"]
+            ),
+        )
+        table._partitioning_key = (table._version, int(part["target"]))
+    return table
+
+
+# -- database files ------------------------------------------------------------
+def write_snapshot(
+    path: str,
+    tables: Dict[str, SpatialTable],
+    bindings: Optional[Dict[str, Region]] = None,
+) -> None:
+    """Atomically write a snapshot file for named tables and bindings.
+
+    ``tables`` is keyed the way queries reference them (variable names);
+    ``bindings`` are named constant regions.  The file appears complete
+    or not at all (tmp file + ``os.replace``).
+    """
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "tables": {
+            str(key): table_to_jsonable(t) for key, t in tables.items()
+        },
+        "bindings": {
+            str(name): region_to_jsonable(r)
+            for name, r in (bindings or {}).items()
+        },
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash cleanup
+            os.unlink(tmp)
+
+
+def read_snapshot(
+    path: str,
+) -> Tuple[Dict[str, SpatialTable], Dict[str, Region]]:
+    """Load ``(tables, bindings)`` from a snapshot file.
+
+    Raises :class:`~repro.errors.SnapshotError` for a missing file,
+    malformed JSON, a foreign file, or a newer format version.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(
+            f"snapshot {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
+        raise SnapshotError(
+            f"{path!r} is not a {FORMAT_NAME} file"
+        )
+    version = payload.get("version")
+    if not isinstance(version, int) or version > FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} has format version {version!r}; this "
+            f"build reads up to {FORMAT_VERSION}"
+        )
+    tables = {
+        key: table_from_jsonable(data)
+        for key, data in payload["tables"].items()
+    }
+    bindings = {
+        name: region_from_jsonable(data)
+        for name, data in payload.get("bindings", {}).items()
+    }
+    return tables, bindings

@@ -20,6 +20,7 @@ invalidated — like the statistics cache and every
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -97,21 +98,26 @@ class ProbeCache:
         self._next_token = 0
         self.hits = 0
         self.misses = 0
+        # The query service shares one cache across concurrent reader
+        # threads; reentrant because a GC-triggered weakref purge can
+        # fire inside a locked section of the same thread.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def _purge_token(self, token: int, keep_version: Optional[int] = None):
         """Drop entries of one table (optionally keeping one version)."""
-        stale = [
-            key
-            for key in self._entries
-            if key[0] == token
-            and (keep_version is None or key[1] != keep_version)
-        ]
-        for key in stale:
-            # pop(): a GC-triggered purge callback may race this loop.
-            self._entries.pop(key, None)
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key[0] == token
+                and (keep_version is None or key[1] != keep_version)
+            ]
+            for key in stale:
+                # pop(): a GC-triggered purge callback may race this loop.
+                self._entries.pop(key, None)
 
     def _key(self, table: "SpatialTable", query: BoxQuery) -> tuple:
         handle = self._handles.get(table)
@@ -137,14 +143,15 @@ class ProbeCache:
         self, table: "SpatialTable", query: BoxQuery
     ) -> Optional[List["SpatialObject"]]:
         """Cached rows for ``query`` on ``table``, or ``None`` on miss."""
-        key = self._key(table, query)
-        rows = self._entries.get(key)
-        if rows is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return rows
+        with self._lock:
+            key = self._key(table, query)
+            rows = self._entries.get(key)
+            if rows is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return rows
 
     def store(
         self,
@@ -153,11 +160,12 @@ class ProbeCache:
         rows: List["SpatialObject"],
     ) -> None:
         """Remember a probe result, evicting least-recently-used entries."""
-        key = self._key(table, query)
-        self._entries[key] = rows
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            key = self._key(table, query)
+            self._entries[key] = rows
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     @property
     def hit_rate(self) -> float:
@@ -165,12 +173,34 @@ class ProbeCache:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
+    def purge_table(
+        self, table: "SpatialTable", keep_version: Optional[int] = None
+    ) -> None:
+        """Proactively drop a table's entries (e.g. at snapshot swap).
+
+        Version bumps purge lazily — the next :meth:`lookup` on the
+        *same* table object drops superseded entries — but a snapshot
+        swap replaces the table object outright, so the old table is
+        never seen again and its entries would linger until LRU churn
+        or garbage collection.  The query service calls this for each
+        superseded table at swap time.  ``keep_version`` preserves that
+        version's entries (default: drop them all).
+        """
+        with self._lock:
+            handle = self._handles.get(table)
+            if handle is None:
+                return
+            self._purge_token(handle.token, keep_version=keep_version)
+            if keep_version is None:
+                del self._handles[table]
+
     def clear(self) -> None:
         """Drop all entries and zero the counters."""
-        self._entries.clear()
-        self._handles.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self._handles.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 class SpatialTable:

@@ -1,0 +1,282 @@
+"""The unified ``Database``/``Session`` facade (ISSUE satellite 1/2/3).
+
+Covers: parity with the low-level entry points, the uniform option
+vocabulary, deprecation shims (warn **and** return identical results),
+JSON round trips for the stats dataclasses, and the probe-cache purge
+hook the service's snapshot swap relies on.
+"""
+
+import json
+
+import pytest
+
+from repro import BoxQuery, Database, Session
+from repro.algebra import Region
+from repro.boxes import Box
+from repro.constraints.examples import SMUGGLERS_ORDER, smugglers_system
+from repro.datagen import smugglers_query
+from repro.engine import compile_query
+from repro.engine.executor import (
+    answers_as_oid_tuples,
+    execute,
+    first_k,
+    run_query,
+)
+from repro.engine.stats import ExecutionStats
+from repro.spatial import SpatialTable
+from repro.spatial.gridfile import GridStats
+from repro.spatial.rtree import RTreeStats
+from repro.spatial.table import ProbeCache
+
+
+@pytest.fixture()
+def workload():
+    return smugglers_query(seed=2)
+
+
+@pytest.fixture()
+def db(workload):
+    query, map_ = workload
+    database = Database(tables=query.tables, bindings=query.bindings)
+    return database
+
+
+def _baseline(query, mode="boxplan"):
+    plan = compile_query(query)
+    answers, stats = execute(plan, mode)
+    return answers_as_oid_tuples(answers, plan.order), stats
+
+
+# -- Database ------------------------------------------------------------------
+def test_database_query_resolves_stored_bindings(db, workload):
+    query, _map = workload
+    built = db.query(str(query.system))
+    assert set(built.tables) == set(query.tables)
+    assert set(built.bindings) == set(query.bindings)
+    assert built.order is None  # planned later, by the Session
+
+
+def test_database_query_binding_override(db, workload):
+    query, _map = workload
+    tiny = Region.from_box(Box((0.0, 0.0), (0.5, 0.5)))
+    built = db.query(str(query.system), bindings={"A": tiny})
+    assert built.bindings["A"] == tiny
+    assert built.bindings["C"] == query.bindings["C"]
+
+
+def test_database_table_lookup_error_names_known(db):
+    with pytest.raises(KeyError, match="known tables"):
+        db.table("nope")
+
+
+def test_create_attach_bind():
+    database = Database()
+    t = database.create_table("pts", 2, index="scan")
+    assert database.table("pts") is t
+    other = SpatialTable("other", 2, index="scan")
+    database.attach(other)
+    assert database.table("other") is other
+    database.bind("Q", Region.from_box(Box((0, 0), (1, 1))))
+    assert "Q" in database.bindings
+
+
+def test_from_query_round_trip(workload):
+    query, _map = workload
+    database = Database.from_query(query)
+    assert database.tables is not query.tables  # defensive copy
+    assert database.tables == dict(query.tables)
+
+
+# -- Session parity with execute() ---------------------------------------------
+@pytest.mark.parametrize("mode", ["naive", "exact", "boxonly", "boxplan"])
+def test_session_run_matches_execute(workload, mode):
+    query, _map = workload
+    expected, expected_stats = _baseline(query, mode)
+    result = Session().run(query, mode=mode)
+    assert result.oid_tuples() == expected
+    assert result.stats.to_dict() == expected_stats.to_dict()
+    assert result.total_s is not None and result.total_s >= 0
+
+
+def test_session_text_query_matches_execute(db, workload):
+    query, _map = workload
+    result = db.session().run(str(query.system))
+    # The session plans its own retrieval order; compare both runs in
+    # the same fixed projection.
+    expected = answers_as_oid_tuples(
+        execute(compile_query(query), "boxplan")[0], SMUGGLERS_ORDER
+    )
+    assert result.oid_tuples(SMUGGLERS_ORDER) == expected
+
+
+def test_session_result_unpacks_like_pair(workload):
+    query, _map = workload
+    answers, stats = Session().run(query)
+    assert isinstance(stats, ExecutionStats)
+    assert len(answers) == stats.tuples_emitted
+
+
+def test_session_limit(workload):
+    query, _map = workload
+    full = Session().run(query)
+    limited = Session().run(query, limit=2)
+    assert len(limited.answers) == min(2, len(full.answers))
+    assert set(limited.oid_tuples()) <= set(full.oid_tuples())
+
+
+def test_session_defaults_and_override(workload):
+    query, _map = workload
+    session = Session(limit=1)
+    assert len(session.run(query).answers) == 1
+    assert len(session.run(query, limit=None).answers) >= 1
+
+
+def test_session_rejects_unknown_option():
+    with pytest.raises(TypeError, match="unknown session option"):
+        Session(modee="boxplan")
+
+
+def test_session_partitioned_matches_serial(workload):
+    query, _map = workload
+    expected, _stats = _baseline(query)
+    for kwargs in (
+        {"partitions": 4},
+        {"partitions": 4, "parallel": 2},
+        {"join_strategy": "pbsm", "partitions": 4},
+    ):
+        result = Session().run(query, **kwargs)
+        assert result.oid_tuples() == expected, kwargs
+
+
+def test_session_text_needs_db():
+    with pytest.raises(ValueError, match="needs a Database"):
+        Session().run("u sect v ~= 0;")
+
+
+def test_session_explain_and_analyze(db, workload):
+    query, _map = workload
+    text = db.session().explain(str(query.system))
+    assert "Probe" in text or "Scan" in text
+    analyzed = db.session().explain(str(query.system), analyze=True)
+    assert "actual" in analyzed
+
+
+def test_session_bench_payload_round_trips(db, workload):
+    query, _map = workload
+    payload = db.session().bench(str(query.system))
+    assert payload["answers"] == payload["counters"]["tuples_emitted"]
+    # The counters block is the JSON-round-trippable ExecutionStats.
+    restored = ExecutionStats.from_dict(
+        json.loads(json.dumps(payload["counters"]))
+    )
+    assert restored.to_dict() == payload["counters"]
+    assert set(payload["tables"]) == set(query.tables)
+
+
+def test_session_aggregate_count(db, workload):
+    query, _map = workload
+    expected, _stats = _baseline(query)
+    result = db.session().aggregate(str(query.system))
+    assert result.answers[0].as_dict()["count"] == len(expected)
+
+
+def test_session_nearest_matches_table(db, workload):
+    query, _map = workload
+    table = query.tables["T"]
+    expected = table.nearest((1.0, 1.0), 3)
+    got = db.session().nearest("T", (1.0, 1.0), 3)
+    assert [(d, o.oid) for d, o in got] == [
+        (d, o.oid) for d, o in expected
+    ]
+    with pytest.raises(ValueError, match="needs a Database"):
+        Session().nearest("T", (1.0, 1.0), 3)
+
+
+# -- deprecation shims ---------------------------------------------------------
+def test_run_query_shim_warns_and_matches(workload):
+    query, _map = workload
+    expected, expected_stats = _baseline(query)
+    with pytest.warns(DeprecationWarning, match="Session"):
+        answers, stats = run_query(query, mode="boxplan")
+    assert answers_as_oid_tuples(answers, query.order) == expected
+    assert stats.to_dict() == expected_stats.to_dict()
+
+
+def test_first_k_shim_warns_and_matches(workload):
+    query, _map = workload
+    plan = compile_query(query)
+    with pytest.warns(DeprecationWarning, match="Session"):
+        answers = first_k(plan, 2)
+    assert answers == Session().run(plan, limit=2).answers
+
+
+# -- stats JSON round trips ----------------------------------------------------
+def test_execution_stats_round_trip(workload):
+    query, _map = workload
+    _answers, stats = execute(compile_query(query), "boxplan")
+    data = json.loads(json.dumps(stats.to_dict()))
+    restored = ExecutionStats.from_dict(data)
+    assert restored.to_dict() == stats.to_dict()
+    assert [s.variable for s in restored.steps] == [
+        s.variable for s in stats.steps
+    ]
+
+
+def test_rtree_stats_round_trip(workload):
+    query, _map = workload
+    table = query.tables["T"]
+    table.range_query(BoxQuery(overlap=(Box((0, 0), (32, 32)),)))
+    stats = table._rtree.stats
+    restored = RTreeStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert restored == stats
+    assert restored.node_reads == stats.node_reads
+
+
+def test_grid_stats_round_trip():
+    query, _map = smugglers_query(index="grid", seed=2)
+    table = query.tables["T"]
+    table.range_query(BoxQuery(overlap=(Box((0, 0), (32, 32)),)))
+    stats = table._grid.stats
+    restored = GridStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert restored == stats
+
+
+# -- ProbeCache.purge_table (the swap hook) ------------------------------------
+def test_purge_table_drops_only_that_table(workload):
+    query, _map = workload
+    cache = ProbeCache(maxsize=64)
+    q = BoxQuery(overlap=(Box((0, 0), (32, 32)),))
+    for table in query.tables.values():
+        cache.store(table, q, list(table))
+    assert len(cache) == len(query.tables)
+    victim = query.tables["T"]
+    cache.purge_table(victim)
+    assert len(cache) == len(query.tables) - 1
+    assert cache.lookup(victim, q) is None
+    for var, table in query.tables.items():
+        if table is not victim:
+            assert cache.lookup(table, q) is not None, var
+
+
+def test_purge_table_unknown_table_is_noop():
+    cache = ProbeCache(maxsize=4)
+    t = SpatialTable("t", 2, index="scan")
+    cache.purge_table(t)  # never seen: no error, no effect
+    assert len(cache) == 0
+
+
+def test_session_probe_cache_hits(workload):
+    query, _map = workload
+    session = Session(probe_cache=128)
+    first = session.run(query)
+    second = session.run(query)
+    assert second.oid_tuples() == first.oid_tuples()
+    assert session.cache.hits > 0
+
+
+# -- smugglers text round trip (the service's wire format) ---------------------
+def test_system_text_round_trips_through_parser(db):
+    from repro.constraints.parser import parse_system
+
+    system = smugglers_system()
+    assert str(parse_system(str(system))) == str(system)

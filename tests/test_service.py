@@ -1,0 +1,353 @@
+"""The resident query service (tentpole): snapshot isolation, the
+atomic swap, proactive probe-cache purge, and the HTTP front end.
+
+The concurrency tests pin readers to the *old* snapshot while a rebuild
+swaps in a new one — their answers must stay bit-identical to a serial
+baseline on that snapshot — and the stale-probe regression warms the
+cache, mutates, and asserts the post-swap answer reflects the mutation
+with the superseded table's entries gone from the cache.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import BoxQuery, Database, Session
+from repro.algebra import Region
+from repro.boxes import Box
+from repro.datagen import smugglers_query
+from repro.engine.stats import ExecutionStats
+from repro.errors import ServiceError
+from repro.service import QueryService, ServiceClient, serve_in_thread
+
+
+def _make_service(seed=2, cache_size=1024):
+    query, _map = smugglers_query(seed=seed)
+    db = Database(tables=query.tables, bindings=query.bindings)
+    return QueryService(db, cache_size=cache_size), str(query.system)
+
+
+@pytest.fixture(scope="module")
+def served():
+    service, system = _make_service()
+    handle = serve_in_thread(service)
+    host, port = handle.address
+    client = ServiceClient(host, port, timeout=30.0)
+    yield service, client, system
+    handle.stop()
+
+
+_ORDER = ("T", "R", "B")
+
+
+def _local_tuples(db, system, cache=None):
+    """The answer set as oid tuples in a fixed projection (a set: the
+    post-mutation snapshots mix int and str oids, which don't sort)."""
+    result = Session(db=db, cache=cache).run(system)
+    return {
+        tuple(a[v].oid for v in _ORDER) for a in result.answers
+    }, result
+
+
+# -- SnapshotStore -------------------------------------------------------------
+def test_store_swap_bumps_version_and_keeps_old_db():
+    service, system = _make_service(seed=7)
+    db_old, v1 = service.store.current()
+    baseline, _res = _local_tuples(db_old, system)
+    v2 = service.apply_insert(
+        "T", [("extra", Region.from_box(Box((1, 1), (2, 2))))]
+    )
+    assert v2 == v1 + 1
+    db_new, v_now = service.store.current()
+    assert v_now == v2 and db_new is not db_old
+    # The old snapshot is untouched: same rows, same answers.
+    assert len(db_old.table("T")) + 1 == len(db_new.table("T"))
+    assert _local_tuples(db_old, system)[0] == baseline
+
+
+def test_insert_unknown_table_is_service_error():
+    service, _system = _make_service(seed=7)
+    with pytest.raises(ServiceError, match="known tables"):
+        service.apply_insert(
+            "nope", [("x", Region.from_box(Box((0, 0), (1, 1))))]
+        )
+
+
+def test_swap_purges_only_superseded_tables():
+    service, _system = _make_service(seed=7)
+    db, _v = service.store.current()
+    q = BoxQuery(overlap=(Box((0, 0), (32, 32)),))
+    for table in db.tables.values():
+        service.cache.store(table, q, list(table))
+    assert len(service.cache) == len(db.tables)
+    old_t = db.table("T")
+    service.apply_insert(
+        "T", [("extra", Region.from_box(Box((1, 1), (2, 2))))]
+    )
+    # Only T was rebuilt: its old entries are gone, R's and B's remain.
+    assert service.cache.lookup(old_t, q) is None
+    assert len(service.cache) == len(db.tables) - 1
+    for key in db.tables:
+        if key != "T":
+            assert service.cache.lookup(db.table(key), q) is not None
+
+
+def test_stale_probe_regression_post_swap_query_sees_mutation():
+    """A query after the swap must never be served a stale probe."""
+    service, system = _make_service(seed=2)
+    db_old, _v = service.store.current()
+    baseline, _res = _local_tuples(db_old, system, cache=service.cache)
+    assert service.cache.misses > 0  # the warm-up populated the cache
+
+    # Insert a town with the exact region of an answering town: the new
+    # oid must join the answer set — a stale cached probe would hide it.
+    answer_town = Session(db=db_old).run(system).answers[0]["T"]
+    service.apply_insert("T", [("stale-check", answer_town.region)])
+    db_new, _v = service.store.current()
+    after, _res = _local_tuples(db_new, system, cache=service.cache)
+    assert after != baseline
+    assert any("stale-check" in t for t in after)
+
+
+def test_rebuild_preserves_index_configuration():
+    query, _map = smugglers_query(seed=4, node_capacity=4)
+    service = QueryService(Database.from_query(query))
+    service.apply_insert(
+        "T", [("x", Region.from_box(Box((1, 1), (2, 2))))]
+    )
+    new_t = service.store.current()[0].table("T")
+    old_t = query.tables["T"]
+    assert new_t.index_kind == old_t.index_kind
+    assert new_t.node_capacity == old_t.node_capacity
+    assert new_t.universe == old_t.universe
+    # The rebuild ships a warm catalog (no first-query stats stall).
+    assert new_t._stats_version == new_t._version
+
+
+# -- concurrent readers during rebuild + swap ----------------------------------
+def test_concurrent_queries_during_rebuild_bit_identical():
+    service, system = _make_service(seed=3)
+    db_old, _v = service.store.current()
+    baseline, _res = _local_tuples(db_old, system, cache=service.cache)
+
+    errors, results = [], []
+    start = threading.Barrier(5)
+
+    def reader():
+        try:
+            start.wait(timeout=10)
+            for _ in range(3):
+                # Pinned to the captured snapshot, exactly as a request
+                # in flight across the swap would be.
+                results.append(
+                    _local_tuples(db_old, system, cache=service.cache)[0]
+                )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def writer():
+        try:
+            start.wait(timeout=10)
+            for i in range(3):
+                service.apply_insert(
+                    "T",
+                    [(f"w{i}", Region.from_box(Box((1, 1), (2, 2))))],
+                )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    threads.append(threading.Thread(target=writer))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert len(results) == 12
+    assert all(r == baseline for r in results)
+    assert service.store.version == 4  # three swaps happened
+
+
+# -- HTTP front end ------------------------------------------------------------
+def test_health_and_stats(served):
+    _service, client, _system = served
+    health = client.health()
+    assert health["ok"] is True and health["snapshot"] >= 1
+    stats = client.stats()
+    assert set(stats["tables"]) == {"T", "R", "B"}
+    assert stats["bindings"] == ["A", "C"]
+    assert "cache" in stats
+
+
+def test_run_over_the_wire_matches_local(served):
+    service, client, system = served
+    db, _v = service.store.current()
+    local, result = _local_tuples(db, system)
+    reply = client.run(system, bindings=["C", "A"])
+    # Project the wire answers into the same fixed variable order so
+    # the two answer sets compare tuple-for-tuple.
+    wire = {tuple(a[v] for v in _ORDER) for a in reply["answers"]}
+    assert wire == local
+    assert reply["count"] == len(local)
+    # The stats payload round-trips through the dataclass.
+    restored = ExecutionStats.from_dict(reply["stats"])
+    assert restored.tuples_emitted == reply["count"]
+
+
+def test_run_uniform_options_over_the_wire(served):
+    _service, client, system = served
+    full = client.run(system)
+    limited = client.run(system, limit=1, mode="exact", partitions=2)
+    assert limited["count"] == min(1, full["count"])
+
+
+def test_explain_over_the_wire(served):
+    _service, client, system = served
+    reply = client.explain(system)
+    assert "Probe" in reply["plan"] or "Scan" in reply["plan"]
+    analyzed = client.explain(system, analyze=True)
+    assert "actual" in analyzed["plan"]
+
+
+def test_bench_over_the_wire(served):
+    _service, client, system = served
+    report = client.bench(system)
+    assert report["answers"] == report["counters"]["tuples_emitted"]
+    assert set(report["tables"]) == {"T", "R", "B"}
+    assert report["snapshot"] >= 1
+
+
+def test_nearest_over_the_wire(served):
+    service, client, system = served
+    db, _v = service.store.current()
+    expected = db.table("T").nearest((1.0, 1.0), 3)
+    reply = client.nearest("T", k=3, point=(1.0, 1.0))
+    assert [r["oid"] for r in reply["results"]] == [
+        o.oid for _d, o in expected
+    ]
+    assert [r["distance"] for r in reply["results"]] == [
+        d for d, _o in expected
+    ]
+
+
+def test_aggregate_over_the_wire(served):
+    _service, client, system = served
+    full = client.run(system)
+    reply = client.run(system, aggregate={"aggregates": [["count", None]]})
+    assert reply["answers"][0]["count"] == full["count"]
+
+
+def test_inline_binding_regions_over_the_wire(served):
+    service, client, system = served
+    # Ad-hoc constant regions (inline box lists) instead of stored
+    # binding names: reuse the stored regions' own boxes, so the reply
+    # must match the named-bindings run exactly.
+    db, _v = service.store.current()
+    inline = {
+        name: [[list(b.lo), list(b.hi)] for b in region.boxes]
+        for name, region in db.bindings.items()
+    }
+    named = client.run(system, bindings=["C", "A"])
+    adhoc = client.run(system, bindings=inline)
+    assert adhoc["count"] == named["count"]
+    assert sorted(map(str, adhoc["answers"])) == sorted(
+        map(str, named["answers"])
+    )
+    # A degenerate (empty) area makes the ground constraints
+    # unsatisfiable — reported as a client error, not a 500.
+    with pytest.raises(ServiceError, match="unsatisfiable") as exc_info:
+        client.run(
+            system,
+            bindings=dict(inline, A=[[[0.0, 0.0], [0.0, 0.0]]]),
+        )
+    assert exc_info.value.status == 400
+
+
+def test_error_mapping(served):
+    _service, client, system = served
+    with pytest.raises(ServiceError, match="no route"):
+        client._request("GET", "/nope", None)
+    with pytest.raises(ServiceError, match="unknown binding"):
+        client.run(system, bindings=["Z"])
+    with pytest.raises(ServiceError, match="needs a 'system'"):
+        client._post("/run", {})
+    with pytest.raises(ServiceError, match="ParseError"):
+        client.run("this is not the Figure-1 syntax")
+    try:
+        client.run(system, bindings=["Z"])
+    except ServiceError as exc:
+        assert exc.status == 400
+
+
+def test_insert_over_the_wire_bumps_snapshot(served):
+    service, client, system = served
+    before = client.health()["snapshot"]
+    count_before = client.run(system)["count"]
+    # Clone an answering town's region under a new oid: the new town
+    # must appear in the post-swap answers.
+    db, _v = service.store.current()
+    answer_town = Session(db=db).run(system).answers[0]["T"]
+    reply = client.insert(
+        "T",
+        [
+            {
+                "oid": "wire-town",
+                "boxes": [
+                    [list(b.lo), list(b.hi)]
+                    for b in answer_town.region.boxes
+                ],
+            }
+        ],
+    )
+    assert reply["snapshot"] == before + 1
+    assert reply["inserted"] == 1
+    after = client.run(system)
+    assert after["snapshot"] == before + 1
+    assert after["count"] > count_before
+    assert any("wire-town" in a.values() for a in after["answers"])
+
+
+def test_concurrent_clients_during_wire_insert(served):
+    service, client, system = served
+    host, port = client.host, client.port
+    errors, counts = [], []
+    start = threading.Barrier(4)
+
+    def requester():
+        c = ServiceClient(host, port, timeout=30.0)
+        try:
+            start.wait(timeout=10)
+            for _ in range(3):
+                counts.append(c.run(system)["count"])
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def inserter():
+        c = ServiceClient(host, port, timeout=30.0)
+        try:
+            start.wait(timeout=10)
+            c.insert(
+                "B",
+                [{"oid": "noise", "boxes": [[[30.0, 30.0], [31.0, 31.0]]]}],
+            )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=requester) for _ in range(3)]
+    threads.append(threading.Thread(target=inserter))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    # Every request succeeded; the off-area insert never changes the
+    # smugglers answer, whichever snapshot served it.
+    assert len(counts) == 9
+    assert len(set(counts)) == 1
+
+
+def test_stats_payload_is_json_serializable(served):
+    _service, client, system = served
+    reply = client.bench(system)
+    json.dumps(reply)  # no TypeError — everything is plain JSON
