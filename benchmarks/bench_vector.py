@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Vectorized batched filter vs the per-object path → ``BENCH_vector.json``.
+
+The columnar refactor (:mod:`repro.spatial.columnar`) exists to make the
+hot filter loop — "which of these N boxes satisfy this BoxQuery?" — a
+handful of array comparisons instead of N Python-level predicate calls.
+This bench times :meth:`ColumnStore.match_positions` against the
+per-object oracle loop on random box populations across a scale ladder
+and enforces the CI gate:
+
+    at the largest scale, the vectorized batched filter must run at
+    least **3×** faster than the per-object path (best-of-N on both
+    sides, so scheduler noise cannot fail the gate spuriously).
+
+Every scale also cross-checks that both paths select the identical row
+set — a fast kernel with different answers would be worse than useless.
+The gate is only meaningful for the NumPy backend; without NumPy the
+``array``-module fallback is measured and reported but not gated (it
+exists for portability and bit-identity, not speed).
+
+``REPRO_BENCH_VECTOR_SIZES`` overrides the scale ladder,
+``REPRO_BENCH_VECTOR_REPS`` the repetition count.
+
+Usage::
+
+    python benchmarks/bench_vector.py [--out BENCH_vector.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+from time import perf_counter
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_REPO, os.path.join(_REPO, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.boxes import Box  # noqa: E402
+from repro.boxes.bconstraints import BoxQuery  # noqa: E402
+from repro.spatial import (  # noqa: E402
+    HAVE_NUMPY,
+    ColumnStore,
+    active_backend,
+    forced_backend,
+)
+
+SIZES = [
+    int(s)
+    for s in os.environ.get(
+        "REPRO_BENCH_VECTOR_SIZES", "4096,16384,65536"
+    ).split(",")
+]
+REPS = int(os.environ.get("REPRO_BENCH_VECTOR_REPS", "5"))
+
+#: The CI gate: vectorized filter ≥ 3× per-object at the largest scale.
+SPEEDUP_GATE = 3.0
+
+SEED = 23
+UNIVERSE_SIDE = 1024.0
+
+
+def _population(n: int):
+    """``n`` random boxes (a sprinkle of empties) plus a query that
+    admits roughly a quarter of them — representative, not adversarial."""
+    rng = random.Random(SEED + n)
+    boxes = []
+    for _ in range(n):
+        if rng.random() < 0.05:
+            boxes.append(Box((1.0, 1.0), (1.0, 1.0)))  # degenerate = empty
+            continue
+        lo = (
+            rng.uniform(0, UNIVERSE_SIDE - 40),
+            rng.uniform(0, UNIVERSE_SIDE - 40),
+        )
+        boxes.append(
+            Box(
+                lo,
+                (lo[0] + rng.uniform(1, 32), lo[1] + rng.uniform(1, 32)),
+            )
+        )
+    half = UNIVERSE_SIDE / 2
+    query = BoxQuery(
+        inside=Box((0.0, 0.0), (half + 64.0, UNIVERSE_SIDE)),
+        overlap=(Box((64.0, 64.0), (half, UNIVERSE_SIDE - 64.0)),),
+    )
+    return boxes, query
+
+
+def bench_scale(n: int) -> dict:
+    boxes, query = _population(n)
+    store = ColumnStore(2)
+    for i, box in enumerate(boxes):
+        store.append(box, i)
+
+    def per_object():
+        return [
+            i
+            for i, box in enumerate(boxes)
+            if not box.is_empty() and query.matches(box)
+        ]
+
+    scalar_times = []
+    for _ in range(REPS):
+        start = perf_counter()
+        want = per_object()
+        scalar_times.append(perf_counter() - start)
+
+    vector_times = []
+    for _ in range(REPS):
+        start = perf_counter()
+        got = store.match_positions(query)
+        vector_times.append(perf_counter() - start)
+
+    identical = list(got) == want
+    scalar_s, vector_s = min(scalar_times), min(vector_times)
+    return {
+        "size": n,
+        "selected": len(want),
+        "per_object_ms": round(scalar_s * 1e3, 3),
+        "vectorized_ms": round(vector_s * 1e3, 3),
+        "speedup": round(scalar_s / vector_s, 2) if vector_s else float("inf"),
+        "identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_vector.json")
+    args = parser.parse_args(argv)
+
+    backend = "numpy" if HAVE_NUMPY else "array"
+    with forced_backend(backend):
+        assert active_backend() == backend
+        rows = [bench_scale(size) for size in SIZES]
+
+    largest = rows[-1]
+    result = {
+        "python": platform.python_version(),
+        "backend": backend,
+        "sizes": SIZES,
+        "reps": REPS,
+        "gate": {
+            "threshold": SPEEDUP_GATE,
+            "enforced": HAVE_NUMPY,
+            "size": largest["size"],
+            "speedup": largest["speedup"],
+        },
+        "rows": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    failures = []
+    for row in rows:
+        print(
+            f"filter n={row['size']} ({backend}): vectorized "
+            f"{row['vectorized_ms']}ms vs per-object "
+            f"{row['per_object_ms']}ms ({row['speedup']}x), "
+            f"identical={row['identical']}"
+        )
+        if not row["identical"]:
+            failures.append(
+                f"vectorized filter at n={row['size']} selected a "
+                "different row set than the per-object path"
+            )
+    if not HAVE_NUMPY:
+        print(
+            "numpy not installed: stdlib fallback measured, "
+            "speedup gate skipped"
+        )
+    elif largest["speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"vectorized filter only {largest['speedup']}x faster at "
+            f"n={largest['size']}; the gate requires ≥ {SPEEDUP_GATE}x"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("all vector gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,7 +45,14 @@ _UNSET = object()
 
 #: The uniform execution-option vocabulary (mirrors the CLI flags
 #: ``--mode``/``--join``/``--partitions``/``--parallel``/``--limit``).
-SESSION_OPTIONS = ("mode", "join_strategy", "partitions", "parallel", "limit")
+SESSION_OPTIONS = (
+    "mode",
+    "join_strategy",
+    "partitions",
+    "parallel",
+    "limit",
+    "vectorize",
+)
 
 _OPTION_DEFAULTS = {
     "mode": "boxplan",
@@ -53,6 +60,7 @@ _OPTION_DEFAULTS = {
     "partitions": 0,
     "parallel": 0,
     "limit": None,
+    "vectorize": None,
 }
 
 
@@ -234,7 +242,9 @@ class Session:
     def _option(self, name: str, value):
         return self.defaults[name] if value is _UNSET else value
 
-    def _physical_options(self, partitions, parallel, join_strategy) -> dict:
+    def _physical_options(
+        self, partitions, parallel, join_strategy, vectorize=_UNSET
+    ) -> dict:
         partitions = self._option("partitions", partitions)
         parallel = self._option("parallel", parallel)
         join = self._option("join_strategy", join_strategy)
@@ -246,6 +256,7 @@ class Session:
             "partitions": partitions,
             "parallel": parallel,
             "join_strategy": join,
+            "vectorize": self._option("vectorize", vectorize),
         }
 
     def _compile(
@@ -289,6 +300,7 @@ class Session:
         partitions=_UNSET,
         parallel=_UNSET,
         join_strategy=_UNSET,
+        vectorize=_UNSET,
     ) -> QueryResult:
         """Execute and return a :class:`QueryResult`.
 
@@ -300,7 +312,9 @@ class Session:
         pplan = plan.physical(
             self._option("mode", mode),
             estimate=False,
-            **self._physical_options(partitions, parallel, join_strategy),
+            **self._physical_options(
+                partitions, parallel, join_strategy, vectorize
+            ),
         )
         start = perf_counter()
         first = None
@@ -330,6 +344,7 @@ class Session:
         partitions=_UNSET,
         parallel=_UNSET,
         join_strategy=_UNSET,
+        vectorize=_UNSET,
     ) -> str:
         """The physical operator tree, with catalog cost estimates.
 
@@ -339,7 +354,9 @@ class Session:
         plan = self._compile(query, order=order)
         pplan = plan.physical(
             self._option("mode", mode),
-            **self._physical_options(partitions, parallel, join_strategy),
+            **self._physical_options(
+                partitions, parallel, join_strategy, vectorize
+            ),
         )
         if analyze:
             pplan.run(cache=self.cache)
@@ -355,6 +372,7 @@ class Session:
         partitions=_UNSET,
         parallel=_UNSET,
         join_strategy=_UNSET,
+        vectorize=_UNSET,
     ) -> dict:
         """Execute and report the machine-independent counters.
 
@@ -373,6 +391,7 @@ class Session:
             partitions=partitions,
             parallel=parallel,
             join_strategy=join_strategy,
+            vectorize=vectorize,
         )
         return {
             "mode": self._option("mode", mode),

@@ -80,13 +80,14 @@ class QueryPlan:
         parallel: int = 0,
         parallel_kind: str = "thread",
         join_strategy=None,
+        vectorize=None,
     ):
         """Lower to a physical operator tree (the third pipeline stage).
 
         ``estimate=False`` skips the EXPLAIN-only catalog cost rollouts
         (they cost far more than executing a small query).
-        ``partitions``/``parallel``/``join_strategy`` configure
-        partitioned execution — see
+        ``partitions``/``parallel``/``join_strategy``/``vectorize``
+        configure partitioned and columnar execution — see
         :func:`repro.engine.physical.build_physical_plan`.
         """
         from .physical import build_physical_plan
@@ -100,6 +101,7 @@ class QueryPlan:
             parallel=parallel,
             parallel_kind=parallel_kind,
             join_strategy=join_strategy,
+            vectorize=vectorize,
         )
 
     def explain(self, mode: str = "boxplan", analyze: bool = False) -> str:

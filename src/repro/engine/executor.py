@@ -68,6 +68,7 @@ def execute(
     partitions: int = 0,
     parallel: int = 0,
     join_strategy=None,
+    vectorize=None,
 ) -> Tuple[List[Answer], ExecutionStats]:
     """Run a compiled plan in the given mode.
 
@@ -77,10 +78,10 @@ def execute(
     which all index probes go — repeated executions over unchanged
     tables then skip the index entirely.
     ``partitions``/``parallel``/``join_strategy`` configure partitioned
-    execution (see :func:`~repro.engine.physical.build_physical_plan`);
-    the answer set is the same for every setting.  An unknown ``mode``
-    raises :class:`~repro.errors.UnknownModeError` naming the valid
-    modes.
+    execution and ``vectorize`` the columnar kernels (see
+    :func:`~repro.engine.physical.build_physical_plan`); the answer set
+    is the same for every setting.  An unknown ``mode`` raises
+    :class:`~repro.errors.UnknownModeError` naming the valid modes.
     """
     # estimate=False: catalog cost annotations are EXPLAIN-only and the
     # rollouts would otherwise dominate small-query execution time.
@@ -91,6 +92,7 @@ def execute(
         partitions=partitions,
         parallel=parallel,
         join_strategy=join_strategy,
+        vectorize=vectorize,
     ).run(cache=cache)
 
 
@@ -102,6 +104,7 @@ def execute_iter(
     partitions: int = 0,
     parallel: int = 0,
     join_strategy=None,
+    vectorize=None,
 ) -> Iterator[Answer]:
     """Streaming execution — answers are yielded as found.
 
@@ -119,6 +122,7 @@ def execute_iter(
         partitions=partitions,
         parallel=parallel,
         join_strategy=join_strategy,
+        vectorize=vectorize,
     ).execute_iter(limit=limit, cache=cache)
 
 

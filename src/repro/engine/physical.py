@@ -80,6 +80,7 @@ from ..boxes.box import Box, enclose_all
 from ..constraints.solved import SolvedConstraint
 from ..constraints.system import ConstraintSystem
 from ..errors import UnknownModeError
+from ..spatial import columnar
 from ..spatial.partition import (
     DEFAULT_TILES,
     Exchange,
@@ -114,17 +115,25 @@ class OperatorStats:
     partitions_visited: int = 0
     partitions_pruned: int = 0
     dedup_skipped: int = 0  # PBSM boundary duplicates suppressed
+    vectorized_batches: int = 0  # columnar kernel dispatches
+    vectorized_candidates: int = 0  # rows/entries those kernels saw
     executed: bool = False  # has the operator been pulled at all?
 
 
 class ExecutionContext:
     """Per-execution state shared by all operators of one plan run."""
 
-    def __init__(self, plan: QueryPlan, cache: Optional[ProbeCache] = None):
+    def __init__(
+        self,
+        plan: QueryPlan,
+        cache: Optional[ProbeCache] = None,
+        vectorize: bool = False,
+    ):
         self.plan = plan
         self.algebra = plan.algebra
         self.universe: Box = plan.algebra.universe_box
         self.cache = cache
+        self.vectorize = vectorize
         self._base_box_env = {
             name: region.bounding_box()
             for name, region in plan.query.bindings.items()
@@ -219,6 +228,23 @@ class ExtendStep(PhysicalOperator):
     ) -> List[SpatialObject]:
         raise NotImplementedError
 
+    def _vectorized_mark(self) -> Tuple[int, int]:
+        """Snapshot the table's columnar-kernel counters."""
+        return (
+            self.table.vectorized_batches,
+            self.table.vectorized_candidates,
+        )
+
+    def _vectorized_absorb(self, mark: Tuple[int, int]) -> None:
+        """Attribute kernel work done since ``mark`` to this operator."""
+        batches, candidates = mark
+        self.stats.vectorized_batches += (
+            self.table.vectorized_batches - batches
+        )
+        self.stats.vectorized_candidates += (
+            self.table.vectorized_candidates - candidates
+        )
+
     def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
         self.stats.executed = True
         for binding in self.child.iterate(ctx):
@@ -290,13 +316,33 @@ class IndexProbe(ExtendStep):
         self.stats.box_evals += 1
         self.stats.probes += 1
         before = self.table.index_read_count()
-        rows, hit = self.table.range_query_cached(query, ctx.cache)
+        mark = self._vectorized_mark()
+        rows, hit = self.table.range_query_cached(
+            query, ctx.cache, vectorize=ctx.vectorize
+        )
         self.stats.node_reads += self.table.index_read_count() - before
+        self._vectorized_absorb(mark)
         if hit:
             self.stats.cache_hits += 1
         elif ctx.cache is not None:
             self.stats.cache_misses += 1
         return rows
+
+
+class VectorizedScanProbe(IndexProbe):
+    """A fused scan + box filter over the table's columnar mirror.
+
+    The vectorized replacement for the ``TableScan → BoxFilter`` pair on
+    unindexed tables: the step's instantiated box query is evaluated by
+    one :meth:`~repro.spatial.columnar.ColumnStore.match_rows` batch per
+    input binding instead of one ``query.matches`` call per row.  The
+    mechanics are :class:`IndexProbe`'s (the table's scan-backend range
+    query takes the columnar fast path), so probe-cache sharing and the
+    stats mapping come for free; results are bit-identical to the
+    scalar pair because the kernels use the exact same comparisons.
+    """
+
+    kind = "VectorizedScanProbe"
 
 
 class KNNProbe(ExtendStep):
@@ -344,10 +390,15 @@ class KNNProbe(ExtendStep):
         if self._ranked is None:
             self.stats.probes += 1
             before = self.table.index_read_count()
+            mark = self._vectorized_mark()
             ranked = self.table.nearest(
-                self._anchor(ctx), self.knn.k, access=self.access
+                self._anchor(ctx),
+                self.knn.k,
+                access=self.access,
+                vectorize=ctx.vectorize,
             )
             self.stats.node_reads += self.table.index_read_count() - before
+            self._vectorized_absorb(mark)
             self._ranked = [obj for _dist, obj in ranked]
         return self._ranked
 
@@ -388,10 +439,15 @@ class DistanceJoin(ExtendStep):
         if rows is None:
             self.stats.probes += 1
             before = self.table.index_read_count()
+            mark = self._vectorized_mark()
             ranked = self.table.nearest(
-                anchor, self.knn.k, access=self.access
+                anchor,
+                self.knn.k,
+                access=self.access,
+                vectorize=ctx.vectorize,
             )
             self.stats.node_reads += self.table.index_read_count() - before
+            self._vectorized_absorb(mark)
             rows = self._memo[anchor] = [obj for _dist, obj in ranked]
         return rows
 
@@ -561,12 +617,28 @@ class PartitionScan(ExtendStep):
         if query.is_unsatisfiable():
             self.stats.partitions_pruned += len(self._partitioning)
             return []
+        store = (
+            self.table.column_store(True) if ctx.vectorize else None
+        )
         out: List[SpatialObject] = []
         for part in self._partitioning.partitions:
             if not mbr_may_match(part.mbr, query):
                 self.stats.partitions_pruned += 1
                 continue
             self.stats.partitions_visited += 1
+            if store is not None and part.indices:
+                # One batched kernel per visited partition: the stored
+                # indices address the rows' columnar slots directly.
+                self.stats.pair_tests += len(part.indices)
+                self.stats.vectorized_batches += 1
+                self.stats.vectorized_candidates += len(part.indices)
+                matched = store.match_positions(
+                    query, candidates=part.indices
+                )
+                out.extend(
+                    store.rows[part.indices[j]] for j in matched
+                )
+                continue
             for obj in part.rows:
                 self.stats.pair_tests += 1
                 if query.matches(obj.box):
@@ -590,6 +662,7 @@ class _BulkJoinStep(ExtendStep):
 
     def _candidate_pairs(
         self,
+        ctx: ExecutionContext,
         probes: List[Tuple[int, Box]],
         rows: List[SpatialObject],
     ) -> List[Tuple[int, int]]:
@@ -610,9 +683,12 @@ class _BulkJoinStep(ExtendStep):
         if not bindings:
             return
         self.stats.probes += 1
-        rows = [
-            obj for obj in self.table.scan() if not obj.box.is_empty()
-        ]
+        rows: List[SpatialObject] = []
+        row_pos: List[int] = []  # columnar slot of each kept row
+        for slot, obj in enumerate(self.table.scan()):
+            if not obj.box.is_empty():
+                rows.append(obj)
+                row_pos.append(slot)
         if not rows:
             return
         extent = enclose_all(obj.box for obj in rows)
@@ -625,16 +701,43 @@ class _BulkJoinStep(ExtendStep):
                 probes.append((i, p))
         if not probes:
             return
-        pairs = self._candidate_pairs(probes, rows)
+        pairs = self._candidate_pairs(ctx, probes, rows)
         pairs.sort()
-        for i, seq in pairs:
-            self.stats.pair_tests += 1
-            if not queries[i].matches(rows[seq].box):
-                continue
-            extended = dict(bindings[i])
-            extended[self.variable] = rows[seq]
-            self.stats.rows_out += 1
-            yield extended
+        store = self.table.column_store(True) if ctx.vectorize else None
+        if store is None:
+            for i, seq in pairs:
+                self.stats.pair_tests += 1
+                if not queries[i].matches(rows[seq].box):
+                    continue
+                extended = dict(bindings[i])
+                extended[self.variable] = rows[seq]
+                self.stats.rows_out += 1
+                yield extended
+            return
+        # Vectorized verification: the sorted pair list is contiguous
+        # per input binding, so each group is one batched kernel over
+        # its candidate rows' columnar slots.  Candidate order is
+        # ascending within a group, so the emit order (binding, then
+        # table row order) matches the scalar loop exactly.
+        start, n = 0, len(pairs)
+        while start < n:
+            i = pairs[start][0]
+            end = start
+            while end < n and pairs[end][0] == i:
+                end += 1
+            seqs = [pairs[p][1] for p in range(start, end)]
+            start = end
+            self.stats.pair_tests += len(seqs)
+            self.stats.vectorized_batches += 1
+            self.stats.vectorized_candidates += len(seqs)
+            matched = store.match_positions(
+                queries[i], candidates=[row_pos[s] for s in seqs]
+            )
+            for j in matched:
+                extended = dict(bindings[i])
+                extended[self.variable] = rows[seqs[j]]
+                self.stats.rows_out += 1
+                yield extended
 
 
 class PartitionedSpatialJoin(_BulkJoinStep):
@@ -673,7 +776,7 @@ class PartitionedSpatialJoin(_BulkJoinStep):
             f"tiles={self.n_tiles}, exchange={self.exchange.describe()})"
         )
 
-    def _candidate_pairs(self, probes, rows):
+    def _candidate_pairs(self, ctx, probes, rows):
         join_stats = JoinStats()
         pairs = pbsm_join(
             [(box, i) for i, box in probes],
@@ -711,7 +814,7 @@ class ZOrderJoin(_BulkJoinStep):
             f"levels={self.levels})"
         )
 
-    def _candidate_pairs(self, probes, rows):
+    def _candidate_pairs(self, ctx, probes, rows):
         from ..spatial.zorder import ZGrid, ZOrderIndex, zorder_join
 
         universe = self.table.universe
@@ -724,11 +827,21 @@ class ZOrderJoin(_BulkJoinStep):
             return []
         grid = ZGrid(extent, levels=self.levels)
         left = ZOrderIndex(grid)
-        for i, box in probes:
-            left.insert(box, i)
         right = ZOrderIndex(grid)
-        for seq, obj in enumerate(rows):
-            right.insert(obj.box, seq)
+        if ctx.vectorize:
+            # Batched z-key computation (bit-identical to the scalar
+            # inserts); count the boxes the batch kernel considered.
+            self.stats.vectorized_batches += 2
+            self.stats.vectorized_candidates += len(probes) + len(rows)
+            left.insert_batch([(box, i) for i, box in probes])
+            right.insert_batch(
+                [(obj.box, seq) for seq, obj in enumerate(rows)]
+            )
+        else:
+            for i, box in probes:
+                left.insert(box, i)
+            for seq, obj in enumerate(rows):
+                right.insert(obj.box, seq)
         return list(zorder_join(left, right, exact=True))
 
 
@@ -845,6 +958,7 @@ class PhysicalPlan:
     exchange: Optional[Exchange] = None
     knn_access: Optional[str] = None
     aggregate_op: Optional[PhysicalOperator] = None
+    vectorized: bool = False
 
     # -- execution ---------------------------------------------------------------
     def execute_iter(
@@ -861,7 +975,9 @@ class PhysicalPlan:
         if limit is not None and limit <= 0:
             return
         self.root.reset_stats()
-        ctx = ExecutionContext(self.logical, cache=cache)
+        ctx = ExecutionContext(
+            self.logical, cache=cache, vectorize=self.vectorized
+        )
         emitted = 0
         for binding in self.root.iterate(ctx):
             yield binding
@@ -895,6 +1011,8 @@ class PhysicalPlan:
             step.node_reads = extend.node_reads
             step.cache_hits = extend.cache_hits
             step.cache_misses = extend.cache_misses
+            step.vectorized_batches = extend.vectorized_batches
+            step.vectorized_candidates = extend.vectorized_candidates
             if ops.box_filter is not None:
                 step.candidates = ops.box_filter.stats.rows_out
                 stats.box_ops_estimate += ops.box_filter.stats.box_evals
@@ -994,6 +1112,11 @@ class PhysicalPlan:
                     actual.append(f"pair_tests={s.pair_tests}")
                 if s.dedup_skipped:
                     actual.append(f"dedup={s.dedup_skipped}")
+                if s.vectorized_batches:
+                    actual.append(
+                        f"vec={s.vectorized_batches}/"
+                        f"{s.vectorized_candidates}"
+                    )
                 if s.region_ops:
                     actual.append(f"region_ops={s.region_ops}")
                 parts.append("actual: " + " ".join(actual))
@@ -1094,6 +1217,7 @@ def build_physical_plan(
     parallel: int = 0,
     parallel_kind: str = "thread",
     join_strategy=None,
+    vectorize=None,
 ) -> PhysicalPlan:
     """Lower a logical :class:`QueryPlan` to a physical operator tree.
 
@@ -1101,7 +1225,11 @@ def build_physical_plan(
     docstring); an unknown mode raises
     :class:`~repro.errors.UnknownModeError` naming the valid modes.
     ``estimate=False`` skips the catalog cost annotations (they need a
-    pass over table statistics).
+    pass over table statistics).  ``vectorize`` selects the columnar
+    kernels (``None`` = whatever backend
+    :func:`repro.spatial.columnar.active_backend` resolves to,
+    ``False`` = per-object execution, ``True`` = columnar unless the
+    backend is forced off); answers are identical either way.
 
     Partitioned execution options (box modes only):
 
@@ -1120,6 +1248,7 @@ def build_physical_plan(
     """
     if mode not in MODES:
         raise UnknownModeError(mode, MODES)
+    vec = columnar.resolve(vectorize)
 
     from .planner import choose_aggregate_strategy, choose_knn_access
 
@@ -1144,6 +1273,7 @@ def build_physical_plan(
             step_ops=[_StepOps(variable=sp.variable, extend=count_op)],
             join_strategies=("pushdown",),
             aggregate_op=count_op,
+            vectorized=vec,
         )
         if estimate:
             _annotate_estimates(pplan, catalog)
@@ -1216,6 +1346,17 @@ def build_physical_plan(
                     node, sp.variable, sp.table, sp.template
                 )
                 node = extend
+            elif (
+                use_boxes
+                and vec
+                and sp.table.column_store() is not None
+            ):
+                # Unindexed table, columnar mirror available: fuse the
+                # scan and the box filter into one batched probe.
+                extend = VectorizedScanProbe(
+                    node, sp.variable, sp.table, sp.template
+                )
+                node = extend
             else:
                 extend = TableScan(node, sp.variable, sp.table)
                 node = extend
@@ -1258,6 +1399,7 @@ def build_physical_plan(
         exchange=exchange,
         knn_access=knn_access,
         aggregate_op=aggregate_op,
+        vectorized=vec,
     )
     if estimate:
         _annotate_estimates(pplan, catalog)

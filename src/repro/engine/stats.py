@@ -31,6 +31,8 @@ class StepStats:
     node_reads: int = 0  # index reads consumed by this step's probes
     cache_hits: int = 0  # probes answered from the probe cache
     cache_misses: int = 0  # probes that fell through to the index
+    vectorized_batches: int = 0  # columnar kernel dispatches
+    vectorized_candidates: int = 0  # rows/entries those kernels evaluated
 
     @property
     def filter_ratio(self) -> float:
@@ -93,6 +95,16 @@ class ExecutionStats:
         return sum(s.cache_misses for s in self.steps)
 
     @property
+    def vectorized_batches(self) -> int:
+        """Columnar kernel dispatches over all steps (0 = scalar run)."""
+        return sum(s.vectorized_batches for s in self.steps)
+
+    @property
+    def vectorized_candidates(self) -> int:
+        """Rows/entries evaluated by columnar kernels over all steps."""
+        return sum(s.vectorized_candidates for s in self.steps)
+
+    @property
     def cache_hit_rate(self) -> float:
         """Hits as a fraction of cached probe requests (0.0 uncached)."""
         requests = self.cache_hits + self.cache_misses
@@ -143,6 +155,8 @@ class ExecutionStats:
             "node_reads": self.node_reads,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "vectorized_batches": self.vectorized_batches,
+            "vectorized_candidates": self.vectorized_candidates,
             "per_step": [
                 (s.variable, s.candidates, s.survivors) for s in self.steps
             ],

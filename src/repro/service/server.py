@@ -164,6 +164,7 @@ class QueryService:
                 "partitions",
                 "parallel",
                 "limit",
+                "vectorize",
             )
             if name in payload
         }

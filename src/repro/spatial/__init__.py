@@ -5,6 +5,15 @@ reduction, a z-order join in the style of PROBE [10], and the
 :class:`SpatialTable` facade the query engine uses.
 """
 
+from .columnar import (
+    BACKENDS,
+    HAVE_NUMPY,
+    ColumnStore,
+    active_backend,
+    forced_backend,
+    pack_floats,
+    unpack_floats,
+)
 from .gridfile import GridFile, GridStats
 from .join import index_nested_loop_join, synchronized_rtree_join
 from .partition import (
@@ -42,15 +51,19 @@ from .zorder import (
     ZOrderIndex,
     ZRange,
     interleave,
+    interleave_batch,
     zorder_join,
     zorder_overlap_query,
 )
 
 __all__ = [
+    "BACKENDS",
+    "ColumnStore",
     "DEFAULT_TILES",
     "Exchange",
     "FORMAT_VERSION",
     "GridFile",
+    "HAVE_NUMPY",
     "GridStats",
     "JoinStats",
     "OPEN_EPS",
@@ -66,12 +79,16 @@ __all__ = [
     "ZGrid",
     "ZOrderIndex",
     "ZRange",
+    "active_backend",
     "compile_range",
+    "forced_backend",
     "index_nested_loop_join",
     "figure3_rectangle",
     "interleave",
+    "interleave_batch",
     "matches_via_point",
     "mbr_may_match",
+    "pack_floats",
     "pbsm_join",
     "probe_box",
     "read_snapshot",
@@ -81,6 +98,7 @@ __all__ = [
     "synchronized_rtree_join",
     "table_from_jsonable",
     "table_to_jsonable",
+    "unpack_floats",
     "write_snapshot",
     "zorder_join",
     "zorder_overlap_query",

@@ -1,0 +1,551 @@
+"""Columnar struct-of-arrays storage and the vectorized spatial kernels.
+
+Every hot inner loop of the engine — box intersection tests, the PBSM
+plane sweep, z-order key computation, kNN distance metrics — evaluates a
+fixed set of per-dimension float comparisons uniformly over many
+candidate boxes.  That shape batches well: this module keeps a
+:class:`ColumnStore` mirror of a table's bounding boxes as one
+contiguous lo/hi coordinate array per dimension and evaluates compiled
+:class:`~repro.boxes.bconstraints.BoxQuery` predicates (and the kNN
+distance metrics) against whole index ranges at once.
+
+Backends
+--------
+Three backends, selected by :func:`active_backend`:
+
+``"numpy"``
+    NumPy ufuncs over zero-copy views of the coordinate arrays — the
+    fast path, used whenever :mod:`numpy` imports (install the
+    ``repro-helm-pods[accel]`` extra).
+``"array"``
+    The stdlib :mod:`array` fallback: the same columnar layout walked by
+    scalar Python loops.  Bit-identical results — the expressions are
+    the exact per-dimension comparisons and accumulations
+    :class:`~repro.boxes.box.Box` uses, in the same order — just
+    without the constant-factor win.
+``"off"``
+    Disable the vectorized paths entirely; every caller falls back to
+    the per-object oracle code.
+
+The default is ``"numpy"`` when available, else ``"array"``.  The
+``REPRO_COLUMNAR`` environment variable overrides it (``numpy`` quietly
+degrades to ``array`` when NumPy is missing, so one setting works
+everywhere); tests pin a backend with :func:`forced_backend`.
+
+Bit identity
+------------
+The kernels are property-tested to match the per-object oracle exactly,
+not approximately:
+
+* predicate kernels use the same strict/weak comparisons as
+  :meth:`Box.le <repro.boxes.box.Box.le>` / :meth:`Box.overlaps
+  <repro.boxes.box.Box.overlaps>` — float comparisons have no rounding,
+  so the backends trivially agree;
+* distance kernels accumulate squared per-dimension contributions in
+  dimension order (float addition is order-sensitive) and take one
+  square root at the end.  ``x ** 2`` / ``x * x`` and ``acc ** 0.5`` /
+  ``numpy.sqrt(acc)`` are correctly rounded on the supported platforms,
+  so the backends and the oracle produce identical doubles — including
+  the distance ties the kNN tie-break rule depends on.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from array import array
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..boxes.bconstraints import BoxQuery
+from ..boxes.box import Box
+
+try:  # pragma: no cover - exercised via both CI jobs
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the no-numpy CI job
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = [
+    "BACKENDS",
+    "HAVE_NUMPY",
+    "ColumnStore",
+    "active_backend",
+    "enabled",
+    "forced_backend",
+    "match_mask",
+    "mindist_box_arrays",
+    "mindist_point_arrays",
+    "minmaxdist_point_arrays",
+    "node_may_match_mask",
+    "pack_floats",
+    "resolve",
+    "unpack_floats",
+]
+
+#: Recognised backend names (see module docstring).
+BACKENDS = ("numpy", "array", "off")
+
+#: Test override installed by :func:`forced_backend`; ``None`` defers to
+#: the environment / availability default.
+_FORCED: Optional[str] = None
+
+
+def active_backend() -> str:
+    """The backend the kernels will use right now.
+
+    Precedence: :func:`forced_backend` override, then the
+    ``REPRO_COLUMNAR`` environment variable, then ``"numpy"`` when
+    available and ``"array"`` otherwise.  A ``numpy`` request without
+    NumPy installed degrades to ``"array"``.
+    """
+    name = _FORCED
+    if name is None:
+        env = os.environ.get("REPRO_COLUMNAR", "").strip().lower()
+        name = env if env in BACKENDS else None
+    if name is None:
+        name = "numpy" if HAVE_NUMPY else "array"
+    if name == "numpy" and not HAVE_NUMPY:
+        return "array"
+    return name
+
+
+def enabled() -> bool:
+    """Whether any vectorized path may run (backend not ``"off"``)."""
+    return active_backend() != "off"
+
+
+def resolve(vectorize: Optional[bool]) -> bool:
+    """Fold a per-plan ``vectorize`` option into the global switch.
+
+    ``None`` means "use the vectorized path when a backend is enabled";
+    an explicit ``False`` always wins, and an explicit ``True`` still
+    respects ``REPRO_COLUMNAR=off`` (the global kill switch).
+    """
+    if vectorize is None:
+        return enabled()
+    return bool(vectorize) and enabled()
+
+
+@contextmanager
+def forced_backend(name: Optional[str]) -> Iterator[None]:
+    """Pin the backend for the duration of a ``with`` block (tests).
+
+    ``name`` must be one of :data:`BACKENDS` or ``None`` (restore the
+    default resolution).  Forcing ``"numpy"`` without NumPy installed
+    raises — a test that asks for the fast path should fail loudly, not
+    silently measure the fallback.
+    """
+    global _FORCED
+    if name is not None and name not in BACKENDS:
+        raise ValueError(
+            f"unknown columnar backend {name!r}; expected one of {BACKENDS}"
+        )
+    if name == "numpy" and not HAVE_NUMPY:
+        raise ValueError("cannot force the numpy backend: numpy is not installed")
+    previous = _FORCED
+    _FORCED = name
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+# -- packed coordinate blobs ---------------------------------------------------
+# Snapshots store box coordinates as packed little-endian doubles; the
+# process-pool Exchange ships tile payloads the same way (one bytes blob
+# instead of a pickled object graph per box).  Floats round-trip
+# bit-exactly through struct, so rebuilt boxes are identical.
+
+def pack_floats(values: Sequence[float]) -> bytes:
+    """Pack floats as little-endian doubles (bit-exact round-trip)."""
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def unpack_floats(blob: bytes) -> Tuple[float, ...]:
+    """Inverse of :func:`pack_floats`."""
+    return struct.unpack(f"<{len(blob) // 8}d", blob)
+
+
+# -- array-level predicate kernels (numpy backend only) ------------------------
+# Shared by the ColumnStore and the R-tree's node-entry mirror: given
+# per-dimension lo/hi coordinate arrays and a nonempty mask, evaluate a
+# BoxQuery over every slot at once.
+
+def match_mask(lo, hi, nonempty, query: BoxQuery):
+    """Boolean mask of slots whose *nonempty* box matches ``query``.
+
+    Exactly ``not box.is_empty() and query.matches(box)`` per slot: the
+    per-dimension comparisons are Box.le / Box.overlaps for nonempty
+    operands (the overlap test simplifies to two strict comparisons
+    because both boxes are nonempty under the mask).
+    """
+    mask = nonempty.copy()
+    dim = len(lo)
+    inside = query.inside
+    if inside is not None:
+        if inside.is_empty():
+            mask[:] = False
+        else:
+            for d in range(dim):
+                mask &= lo[d] >= inside.lo[d]
+                mask &= hi[d] <= inside.hi[d]
+    covers = query.covers
+    if covers is not None and not covers.is_empty():
+        for d in range(dim):
+            mask &= lo[d] <= covers.lo[d]
+            mask &= hi[d] >= covers.hi[d]
+    for c in query.overlap:
+        if c.is_empty():
+            mask[:] = False
+            break
+        for d in range(dim):
+            mask &= lo[d] < c.hi[d]
+            mask &= hi[d] > c.lo[d]
+    return mask
+
+
+def node_may_match_mask(lo, hi, nonempty, query: BoxQuery):
+    """Boolean mask of inner-node MBR slots that may hold a match.
+
+    The vectorized :meth:`RTree._node_may_match
+    <repro.spatial.rtree.RTree._node_may_match>`: each constraint kind
+    contributes a factor that is False for empty MBRs, but a query with
+    no constraint boxes at all descends everything — including empty
+    MBRs — exactly like the scalar test.
+    """
+    dim = len(lo)
+    mask = np.ones(len(nonempty), dtype=bool)
+    inside = query.inside
+    if inside is not None:
+        if inside.is_empty():
+            mask[:] = False
+        else:
+            mask &= nonempty
+            for d in range(dim):
+                mask &= lo[d] < inside.hi[d]
+                mask &= hi[d] > inside.lo[d]
+    covers = query.covers
+    if covers is not None and not covers.is_empty():
+        mask &= nonempty
+        for d in range(dim):
+            mask &= lo[d] <= covers.lo[d]
+            mask &= hi[d] >= covers.hi[d]
+    for c in query.overlap:
+        if c.is_empty():
+            mask[:] = False
+            break
+        mask &= nonempty
+        for d in range(dim):
+            mask &= lo[d] < c.hi[d]
+            mask &= hi[d] > c.lo[d]
+    return mask
+
+
+# -- array-level distance kernels (numpy backend only) -------------------------
+# Shared by the ColumnStore and the R-tree's best-first traversal.  All
+# three return one distance per slot (``inf`` at empty slots),
+# accumulating squared per-dimension contributions in dimension order
+# and rooting once — the exact float recipe of the Box methods, so
+# ranking (ties included) matches the per-object oracle.
+
+def mindist_point_arrays(lo, hi, nonempty, point):
+    """Per-slot :meth:`Box.mindist_point
+    <repro.boxes.box.Box.mindist_point>` distances to ``point``."""
+    acc = np.zeros(len(nonempty), dtype=np.float64)
+    for d in range(len(lo)):
+        p = float(point[d])
+        below = lo[d] - p
+        above = p - hi[d]
+        acc += np.where(
+            p < lo[d],
+            below * below,
+            np.where(p > hi[d], above * above, 0.0),
+        )
+    dist = np.sqrt(acc)
+    dist[~nonempty] = np.inf
+    return dist
+
+
+def mindist_box_arrays(lo, hi, nonempty, anchor: Box):
+    """Per-slot :meth:`Box.mindist <repro.boxes.box.Box.mindist>`
+    distances to ``anchor`` (all ``inf`` for an empty anchor)."""
+    n = len(nonempty)
+    if anchor.is_empty():
+        return np.full(n, np.inf)
+    acc = np.zeros(n, dtype=np.float64)
+    for d in range(len(lo)):
+        c, e = float(anchor.lo[d]), float(anchor.hi[d])
+        below = c - hi[d]
+        above = lo[d] - e
+        acc += np.where(
+            c > hi[d],
+            below * below,
+            np.where(lo[d] > e, above * above, 0.0),
+        )
+    dist = np.sqrt(acc)
+    dist[~nonempty] = np.inf
+    return dist
+
+
+def minmaxdist_point_arrays(lo, hi, nonempty, point):
+    """Per-slot :meth:`Box.minmaxdist_point
+    <repro.boxes.box.Box.minmaxdist_point>` distances to ``point``."""
+    dim = len(lo)
+    n = len(nonempty)
+    total_far = np.zeros(n, dtype=np.float64)
+    near_sq = []
+    far_sq = []
+    for d in range(dim):
+        p = float(point[d])
+        mid = (lo[d] + hi[d]) / 2
+        near = np.where(p <= mid, lo[d], hi[d])
+        far = np.where(p >= mid, lo[d], hi[d])
+        n_sq = (p - near) ** 2
+        f_sq = (p - far) ** 2
+        near_sq.append(n_sq)
+        far_sq.append(f_sq)
+        total_far += f_sq
+    best = total_far - far_sq[0] + near_sq[0]
+    for d in range(1, dim):
+        np.minimum(best, total_far - far_sq[d] + near_sq[d], out=best)
+    dist = np.sqrt(best)
+    dist[~nonempty] = np.inf
+    return dist
+
+
+class ColumnStore:
+    """Struct-of-arrays mirror of a table's bounding boxes.
+
+    One contiguous ``array('d')`` of lo and of hi edge coordinates per
+    dimension, plus a nonempty flag per row and the aligned row payloads
+    — the in-memory twin of the snapshot format's packed coordinate
+    blobs.  Rows are append-only and index-aligned with the owning
+    table's insertion order, so "store position" and "scan position" are
+    the same number everywhere.
+
+    Empty boxes occupy a placeholder slot (zeros, flag 0): they match no
+    box query and are at infinite distance, exactly like the per-object
+    code treats them.
+    """
+
+    __slots__ = ("dim", "rows", "_lo", "_hi", "_nonempty")
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        #: Aligned row payloads (the table's ``SpatialObject``\ s).
+        self.rows: List[object] = []
+        self._lo = tuple(array("d") for _ in range(dim))
+        self._hi = tuple(array("d") for _ in range(dim))
+        self._nonempty = array("B")
+
+    def __len__(self) -> int:
+        return len(self._nonempty)
+
+    # -- building ----------------------------------------------------------------
+    def append(self, box: Box, row: object) -> None:
+        """Append one row's bounding box (empty boxes take a placeholder)."""
+        if box.is_empty():
+            for d in range(self.dim):
+                self._lo[d].append(0.0)
+                self._hi[d].append(0.0)
+            self._nonempty.append(0)
+        else:
+            for d in range(self.dim):
+                self._lo[d].append(box.lo[d])
+                self._hi[d].append(box.hi[d])
+            self._nonempty.append(1)
+        self.rows.append(row)
+
+    def append_coords(
+        self, lo: Sequence[float], hi: Sequence[float], row: object
+    ) -> None:
+        """Append a nonempty box straight from coordinate sequences.
+
+        The snapshot loader's path: columns fill directly from the
+        packed payload, no intermediate ``Box`` required.
+        """
+        for d in range(self.dim):
+            self._lo[d].append(lo[d])
+            self._hi[d].append(hi[d])
+        self._nonempty.append(1)
+        self.rows.append(row)
+
+    # -- numpy views -------------------------------------------------------------
+    def _views(self):
+        """Zero-copy float64 views of the coordinate columns.
+
+        Rebuilt per call: ``array`` reallocation on append would leave a
+        cached view pointing at freed memory, and ``frombuffer`` is
+        cheap relative to any kernel that follows.
+        """
+        lo = tuple(np.frombuffer(c, dtype=np.float64) for c in self._lo)
+        hi = tuple(np.frombuffer(c, dtype=np.float64) for c in self._hi)
+        flags = np.frombuffer(self._nonempty, dtype=np.uint8)
+        return lo, hi, flags
+
+    # -- the batched box-predicate kernel -----------------------------------------
+    def match_positions(
+        self,
+        query: BoxQuery,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Positions of rows whose nonempty box satisfies ``query``.
+
+        With ``candidates`` (store indices), only those rows are tested
+        and the returned values are positions *into the candidates
+        sequence*, in candidate order; without it, every row is tested
+        and store indices come back ascending.  Either way the admitted
+        set is exactly ``{i : not box_i.is_empty() and
+        query.matches(box_i)}`` — the scan predicate of
+        :meth:`SpatialTable.range_query
+        <repro.spatial.table.SpatialTable.range_query>`.
+        """
+        if active_backend() == "numpy":
+            return self._match_positions_numpy(query, candidates)
+        return self._match_positions_scalar(query, candidates)
+
+    def _match_positions_numpy(self, query, candidates) -> List[int]:
+        lo, hi, flags = self._views()
+        if candidates is not None:
+            idx = np.asarray(candidates, dtype=np.intp)
+            lo = tuple(c[idx] for c in lo)
+            hi = tuple(c[idx] for c in hi)
+            flags = flags[idx]
+        mask = match_mask(lo, hi, flags != 0, query)
+        return np.nonzero(mask)[0].tolist()
+
+    def _match_positions_scalar(self, query, candidates) -> List[int]:
+        lo, hi, flags = self._lo, self._hi, self._nonempty
+        inside = query.inside
+        covers = query.covers
+        if covers is not None and covers.is_empty():
+            covers = None
+        dead = (inside is not None and inside.is_empty()) or any(
+            c.is_empty() for c in query.overlap
+        )
+        if dead:
+            return []
+        out: List[int] = []
+        indices = range(len(flags)) if candidates is None else candidates
+        for pos, i in enumerate(indices):
+            if not flags[i]:
+                continue
+            ok = True
+            if inside is not None:
+                for d in range(self.dim):
+                    if lo[d][i] < inside.lo[d] or hi[d][i] > inside.hi[d]:
+                        ok = False
+                        break
+            if ok and covers is not None:
+                for d in range(self.dim):
+                    if lo[d][i] > covers.lo[d] or hi[d][i] < covers.hi[d]:
+                        ok = False
+                        break
+            if ok:
+                for c in query.overlap:
+                    for d in range(self.dim):
+                        if not (lo[d][i] < c.hi[d] and hi[d][i] > c.lo[d]):
+                            ok = False
+                            break
+                    if not ok:
+                        break
+            if ok:
+                out.append(pos if candidates is not None else i)
+        return out
+
+    def match_rows(self, query: BoxQuery) -> List[object]:
+        """The matching rows themselves, in store (= insertion) order."""
+        return [self.rows[i] for i in self.match_positions(query)]
+
+    # -- batched kNN distance kernels ----------------------------------------------
+    # All three return one distance per row (``inf`` at empty rows),
+    # accumulating squared per-dimension contributions in dimension
+    # order and rooting once — the exact float recipe of the Box
+    # methods, so ranking (ties included) matches the oracle.
+
+    def mindist_point(self, point: Sequence[float]) -> Sequence[float]:
+        """Per-row :meth:`Box.mindist_point
+        <repro.boxes.box.Box.mindist_point>` distances to ``point``."""
+        if active_backend() == "numpy":
+            lo, hi, flags = self._views()
+            return mindist_point_arrays(lo, hi, flags != 0, point)
+        inf = float("inf")
+        lo, hi, flags = self._lo, self._hi, self._nonempty
+        out = []
+        for i in range(len(flags)):
+            if not flags[i]:
+                out.append(inf)
+                continue
+            acc = 0.0
+            for d in range(self.dim):
+                p, a, b = point[d], lo[d][i], hi[d][i]
+                if p < a:
+                    acc += (a - p) ** 2
+                elif p > b:
+                    acc += (p - b) ** 2
+            out.append(acc ** 0.5)
+        return out
+
+    def mindist_box(self, anchor: Box) -> Sequence[float]:
+        """Per-row :meth:`Box.mindist <repro.boxes.box.Box.mindist>`
+        distances to ``anchor`` (all ``inf`` for an empty anchor)."""
+        inf = float("inf")
+        if active_backend() == "numpy":
+            lo, hi, flags = self._views()
+            return mindist_box_arrays(lo, hi, flags != 0, anchor)
+        if anchor.is_empty():
+            return [inf] * len(self)
+        lo, hi, flags = self._lo, self._hi, self._nonempty
+        out = []
+        for i in range(len(flags)):
+            if not flags[i]:
+                out.append(inf)
+                continue
+            acc = 0.0
+            for d in range(self.dim):
+                a, b = lo[d][i], hi[d][i]
+                c, e = anchor.lo[d], anchor.hi[d]
+                if c > b:
+                    acc += (c - b) ** 2
+                elif a > e:
+                    acc += (a - e) ** 2
+            out.append(acc ** 0.5)
+        return out
+
+    def distances_to(self, anchor) -> Sequence[float]:
+        """Dispatch on the anchor kind (a :class:`Box` or a point)."""
+        if isinstance(anchor, Box):
+            return self.mindist_box(anchor)
+        return self.mindist_point(anchor)
+
+    def minmaxdist_point(self, point: Sequence[float]) -> Sequence[float]:
+        """Per-row :meth:`Box.minmaxdist_point
+        <repro.boxes.box.Box.minmaxdist_point>` distances to ``point``."""
+        if active_backend() == "numpy":
+            lo, hi, flags = self._views()
+            return minmaxdist_point_arrays(lo, hi, flags != 0, point)
+        inf = float("inf")
+        lo, hi, flags = self._lo, self._hi, self._nonempty
+        out = []
+        for i in range(len(flags)):
+            if not flags[i]:
+                out.append(inf)
+                continue
+            near_sq = []
+            far_sq = []
+            for d in range(self.dim):
+                p, a, b = point[d], lo[d][i], hi[d][i]
+                mid = (a + b) / 2
+                near = a if p <= mid else b
+                far = a if p >= mid else b
+                near_sq.append((p - near) ** 2)
+                far_sq.append((p - far) ** 2)
+            total_far = sum(far_sq)
+            best = min(
+                total_far - f + n for n, f in zip(near_sq, far_sq)
+            )
+            out.append(best ** 0.5)
+        return out

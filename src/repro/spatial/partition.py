@@ -44,6 +44,8 @@ from typing import (
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box, enclose_all
+from . import columnar
+from .columnar import pack_floats, unpack_floats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .table import SpatialObject, SpatialTable
@@ -101,11 +103,20 @@ def probe_box(query: BoxQuery, extent: Box) -> Box:
 
 @dataclass(frozen=True)
 class Partition:
-    """One spatial partition: disjoint member rows plus their MBR."""
+    """One spatial partition: disjoint member rows plus their MBR.
+
+    ``indices`` holds each member's position in the owning table's
+    insertion order — the coordinates' slots in the table's
+    :class:`~repro.spatial.columnar.ColumnStore`, so a partition scan
+    can hand the batched kernels a candidate-index array instead of
+    walking row objects.  Empty for partitions built before the table
+    alignment is known (none of the in-tree constructors).
+    """
 
     pid: int
     mbr: Box
     rows: Tuple["SpatialObject", ...]
+    indices: Tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -178,6 +189,7 @@ def str_partition(
         raise ValueError(
             f"n_partitions must be positive, got {n_partitions}"
         )
+    positions = {id(obj): i for i, obj in enumerate(table)}
     rows = [obj for obj in table if not obj.box.is_empty()]
     tiles = _str_tiles(rows, n_partitions, table.dim) if rows else []
     partitions = tuple(
@@ -185,6 +197,7 @@ def str_partition(
             pid=pid,
             mbr=enclose_all(o.box for o in tile),
             rows=tuple(tile),
+            indices=tuple(positions[id(o)] for o in tile),
         )
         for pid, tile in enumerate(tiles)
         if tile
@@ -330,6 +343,8 @@ def _sweep_tile(task: _TileTask) -> Tuple[List[Tuple[int, int]], int, int]:
     lower corner of the intersection) falls in *this* tile.
     """
     grid, tile, left, right = task
+    if columnar.active_backend() == "numpy":
+        return _sweep_tile_vectorized(grid, tile, left, right)
     left = sorted(left, key=lambda e: e[0].lo[0])
     right = sorted(right, key=lambda e: e[0].lo[0])
     pairs: List[Tuple[int, int]] = []
@@ -375,6 +390,151 @@ def _sweep_tile(task: _TileTask) -> Tuple[List[Tuple[int, int]], int, int]:
     return pairs, tests, dups
 
 
+def _sweep_tile_vectorized(
+    grid: TileGrid,
+    tile: int,
+    left: List[Tuple[Box, int]],
+    right: List[Tuple[Box, int]],
+) -> Tuple[List[Tuple[int, int]], int, int]:
+    """The numpy per-tile sweep: same pairs, tests and dedup counts.
+
+    The lockstep sweep tests a pair exactly when the two boxes' dim-0
+    intervals strictly overlap (nonempty boxes have ``lo < hi``, so the
+    active-list filter and the merge order reduce to that condition);
+    this kernel counts the same set with one comparison pass, then
+    finishes the overlap test on the remaining dimensions and applies
+    the reference-point rule to whole candidate arrays.  Pair order
+    within a tile differs from the sweep's — :func:`pbsm_join` sorts
+    globally, so join results are unchanged.
+    """
+    np = columnar.np
+    dim = grid.extent.dim
+    n_right = len(right)
+    rlo = tuple(
+        np.fromiter(
+            (b.lo[d] for b, _t in right), dtype=np.float64, count=n_right
+        )
+        for d in range(dim)
+    )
+    rhi = tuple(
+        np.fromiter(
+            (b.hi[d] for b, _t in right), dtype=np.float64, count=n_right
+        )
+        for d in range(dim)
+    )
+    rtags = [t for _b, t in right]
+    shape, elo, steps = grid.shape, grid.extent.lo, grid.steps
+    pairs: List[Tuple[int, int]] = []
+    tests = 0
+    dups = 0
+    for lbox, ltag in left:
+        mask = (rlo[0] < lbox.hi[0]) & (rhi[0] > lbox.lo[0])
+        tests += int(np.count_nonzero(mask))
+        for d in range(1, dim):
+            mask &= rlo[d] < lbox.hi[d]
+            mask &= rhi[d] > lbox.lo[d]
+        cand = np.nonzero(mask)[0]
+        if not len(cand):
+            continue
+        # Reference point: the intersection's lower corner, addressed
+        # with the exact float expressions of TileGrid.tile_of_point
+        # (int() truncation == floor here: ref >= extent.lo).
+        flat = np.zeros(len(cand), dtype=np.int64)
+        for d in range(dim):
+            ref = np.maximum(rlo[d][cand], lbox.lo[d])
+            if steps[d] > 0:
+                idx = ((ref - elo[d]) / steps[d]).astype(np.int64)
+                np.clip(idx, 0, shape[d] - 1, out=idx)
+            else:
+                idx = np.zeros(len(cand), dtype=np.int64)
+            flat = flat * shape[d] + idx
+        hit = cand[flat == tile]
+        dups += len(cand) - len(hit)
+        pairs.extend((ltag, rtags[j]) for j in hit.tolist())
+    return pairs, tests, dups
+
+
+#: A packed tile task: the grid's raw fields, the flat tile index, and
+#: per side a tag tuple plus one little-endian coordinate blob — what
+#: the process-pool Exchange pickles instead of per-object Box graphs
+#: (``Box.__reduce__`` per entry dominated the old serialization cost).
+_PackedTileTask = Tuple[
+    Tuple[float, ...],  # extent lo
+    Tuple[float, ...],  # extent hi
+    Tuple[int, ...],  # shape
+    Tuple[float, ...],  # steps (shipped, not recomputed, for bit identity)
+    int,  # tile
+    Tuple[int, ...],  # left tags
+    bytes,  # left coords (lo then hi per box)
+    Tuple[int, ...],  # right tags
+    bytes,  # right coords
+]
+
+
+def _pack_tile_task(task: _TileTask) -> _PackedTileTask:
+    """Flatten a tile task into arrays for cheap pickling."""
+    grid, tile, left, right = task
+
+    def blob(entries: List[Tuple[Box, int]]) -> bytes:
+        coords: List[float] = []
+        for b, _t in entries:
+            coords.extend(b.lo)
+            coords.extend(b.hi)
+        return pack_floats(coords)
+
+    return (
+        grid.extent.lo,
+        grid.extent.hi,
+        grid.shape,
+        grid.steps,
+        tile,
+        tuple(t for _b, t in left),
+        blob(left),
+        tuple(t for _b, t in right),
+        blob(right),
+    )
+
+
+def _sweep_tile_packed(
+    payload: _PackedTileTask,
+) -> Tuple[List[Tuple[int, int]], int, int]:
+    """Worker-side inverse of :func:`_pack_tile_task`; then sweep.
+
+    Boxes rebuild bit-exactly (floats round-trip through the packed
+    blob unchanged) and the grid reuses the shipped ``steps``, so the
+    sweep is byte-for-byte the serial one.
+    """
+    elo, ehi, shape, steps, tile, ltags, lblob, rtags, rblob = payload
+    grid = TileGrid(
+        extent=Box._trusted(tuple(elo), tuple(ehi), empty=False),
+        shape=tuple(shape),
+        steps=tuple(steps),
+    )
+    dim = len(elo)
+
+    def entries(
+        tags: Tuple[int, ...], blob: bytes
+    ) -> List[Tuple[Box, int]]:
+        coords = unpack_floats(blob)
+        out: List[Tuple[Box, int]] = []
+        pos = 0
+        for tag in tags:
+            out.append(
+                (
+                    Box._trusted(
+                        coords[pos : pos + dim],
+                        coords[pos + dim : pos + 2 * dim],
+                        empty=False,
+                    ),
+                    tag,
+                )
+            )
+            pos += 2 * dim
+        return out
+
+    return _sweep_tile((grid, tile, entries(ltags, lblob), entries(rtags, rblob)))
+
+
 # -- the Exchange driver ------------------------------------------------------
 
 
@@ -405,6 +565,14 @@ class Exchange:
         if self.workers <= 1 or self.kind == "serial":
             return "serial"
         return f"{self.kind}x{self.workers}"
+
+    def uses_processes(self, n_tasks: int) -> bool:
+        """Whether :meth:`run` would attempt a process pool for
+        ``n_tasks`` tasks — i.e. whether payloads will be pickled.
+        Callers use this to swap in compactly-serializable task forms."""
+        return (
+            self.kind == "process" and self.workers > 1 and n_tasks > 1
+        )
 
     def run(self, fn, tasks: Sequence) -> List:
         """``[fn(t) for t in tasks]`` — possibly on a pool, same order."""
@@ -483,7 +651,15 @@ def pbsm_join(
         if ls and rs
     ]
     exchange = exchange or Exchange()
-    results = exchange.run(_sweep_tile, tasks)
+    if exchange.uses_processes(len(tasks)):
+        # Process workers receive packed coordinate blobs, not pickled
+        # Box object graphs; a pool-creation fallback to serial still
+        # runs the same packed tasks, so results never depend on it.
+        results = exchange.run(
+            _sweep_tile_packed, [_pack_tile_task(t) for t in tasks]
+        )
+    else:
+        results = exchange.run(_sweep_tile, tasks)
     pairs: List[Tuple[int, int]] = []
     for tile_pairs, tests, dups in results:
         pairs.extend(tile_pairs)

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box, EMPTY_BOX, enclose_all
+from . import columnar
 
 #: Anchor of a distance traversal: a point (coordinate sequence) or a
 #: box (box-to-box MINDIST — what the distance join uses).
@@ -141,6 +142,10 @@ class RTree:
         self._mutations = 0
         self._subtree_counts: Optional[Dict[int, int]] = None
         self._subtree_counts_version = -1
+        # Flat preorder mirror of the node-entry MBRs for the numpy
+        # kernels; rebuilt lazily after any structural mutation.
+        self._entry_mirror = None
+        self._entry_mirror_version = -1
 
     # -- bulk loading (STR) ---------------------------------------------------
     @classmethod
@@ -544,6 +549,97 @@ class RTree:
             out.append(rows)
         return out
 
+    # -- columnar mirror (vectorized search) -----------------------------------
+    def _entry_columns(self):
+        """Node-entry MBRs mirrored into flat preorder arrays, cached.
+
+        Returns ``(lo, hi, nonempty, slices)`` where ``lo``/``hi`` are
+        per-dimension float64 arrays over every entry of every node (in
+        node preorder, entry order within a node), ``nonempty`` a bool
+        array, and ``slices`` maps ``id(node)`` to its ``(offset,
+        count)`` range — so a traversal tests a whole node's entries
+        with one kernel call.  ``None`` when NumPy is unavailable.
+        Rebuilt lazily after any structural mutation (like the subtree
+        counts, the maintenance walk is amortised, not billed to
+        ``stats``).
+        """
+        if not columnar.HAVE_NUMPY:
+            return None
+        if (
+            self._entry_mirror is None
+            or self._entry_mirror_version != self._mutations
+        ):
+            np = columnar.np
+            slices: Dict[int, Tuple[int, int]] = {}
+            boxes: List[Box] = []
+            dim = 0
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                slices[id(node)] = (len(boxes), len(node.entries))
+                for box, _child in node.entries:
+                    boxes.append(box)
+                    if dim == 0 and not box.is_empty():
+                        dim = box.dim
+                if not node.leaf:
+                    stack.extend(child for _b, child in node.entries)
+            n = len(boxes)
+            lo = tuple(np.zeros(n, dtype=np.float64) for _ in range(dim))
+            hi = tuple(np.zeros(n, dtype=np.float64) for _ in range(dim))
+            nonempty = np.zeros(n, dtype=bool)
+            for i, box in enumerate(boxes):
+                if box.is_empty():
+                    continue
+                nonempty[i] = True
+                for d in range(dim):
+                    lo[d][i] = box.lo[d]
+                    hi[d][i] = box.hi[d]
+            self._entry_mirror = (lo, hi, nonempty, slices)
+            self._entry_mirror_version = self._mutations
+        return self._entry_mirror
+
+    def search_columnar(self, query: BoxQuery) -> Iterator[Tuple[Box, object]]:
+        """:meth:`search` with batched node-entry tests (numpy backend).
+
+        The traversal, the visit order, the yielded entries and the
+        ``node_reads``/``entry_tests`` counters are identical to the
+        scalar :meth:`search` — only the per-entry predicate loop is
+        replaced by one :func:`~repro.spatial.columnar.match_mask` /
+        :func:`~repro.spatial.columnar.node_may_match_mask` kernel call
+        per node.  Falls back to :meth:`search` without NumPy.
+        """
+        mirror = self._entry_columns()
+        if mirror is None:
+            yield from self.search(query)
+            return
+        if query.is_unsatisfiable():
+            return
+        np = columnar.np
+        lo, hi, nonempty, slices = mirror
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.stats.node_reads += 1
+            off, cnt = slices[id(node)]
+            self.stats.entry_tests += cnt
+            if not cnt:
+                continue
+            sl = slice(off, off + cnt)
+            slo = tuple(c[sl] for c in lo)
+            shi = tuple(c[sl] for c in hi)
+            if node.leaf:
+                mask = columnar.match_mask(slo, shi, nonempty[sl], query)
+                for local in np.nonzero(mask)[0].tolist():
+                    yield node.entries[local]
+            else:
+                mask = columnar.node_may_match_mask(
+                    slo, shi, nonempty[sl], query
+                )
+                # Children push in entry order, exactly like the scalar
+                # loop, so the DFS pops them in the same order.
+                for local in np.nonzero(mask)[0].tolist():
+                    stack.append(node.entries[local][1])
+
     # -- distance browsing / nearest neighbors --------------------------------
     @staticmethod
     def _entry_dist(box: Box, anchor: "DistanceAnchor") -> float:
@@ -599,8 +695,17 @@ class RTree:
         anchor: "DistanceAnchor",
         k: int = 1,
         tie_key: Optional[Callable[[object], object]] = None,
+        vectorize: bool = False,
     ) -> List[Tuple[float, Box, object]]:
         """The ``k`` entries nearest to ``anchor``, best-first.
+
+        ``vectorize=True`` precomputes each visited node's per-entry
+        MINDIST (and, when applicable, MINMAXDIST) with the batched
+        :mod:`~repro.spatial.columnar` kernels instead of one
+        :meth:`Box.mindist <repro.boxes.box.Box.mindist>` call per
+        entry; the traversal itself — including the sequential bound
+        evolution the pruning depends on — is unchanged, so results and
+        counters are bit-identical.  Ignored without NumPy.
 
         Equivalent to (and property-tested against) sorting all entries
         by ``(distance, tie_key(value))`` and taking the first ``k`` —
@@ -622,6 +727,7 @@ class RTree:
         # is a sound upper bound on the nearest distance (a minimal MBR
         # guarantees an object within it); track it to skip pushes.
         use_minmax = k == 1 and not isinstance(anchor, Box)
+        mirror = self._entry_columns() if vectorize else None
         bound = float("inf")
         counter = 0
         heap: List[Tuple[float, int, bool, object]] = [
@@ -640,16 +746,45 @@ class RTree:
                 continue
             node: _Node = payload  # type: ignore[assignment]
             self.stats.node_reads += 1
-            for box, child in node.entries:
+            d_arr = mm_arr = None
+            if mirror is not None and node.entries:
+                lo, hi, nonempty, slices = mirror
+                off, cnt = slices[id(node)]
+                sl = slice(off, off + cnt)
+                slo = tuple(c[sl] for c in lo)
+                shi = tuple(c[sl] for c in hi)
+                snon = nonempty[sl]
+                if isinstance(anchor, Box):
+                    d_arr = columnar.mindist_box_arrays(
+                        slo, shi, snon, anchor
+                    )
+                else:
+                    d_arr = columnar.mindist_point_arrays(
+                        slo, shi, snon, anchor
+                    )
+                if use_minmax and not node.leaf:
+                    mm_arr = columnar.minmaxdist_point_arrays(
+                        slo, shi, snon, anchor
+                    )
+            for e, (box, child) in enumerate(node.entries):
                 self.stats.entry_tests += 1
-                d = self._entry_dist(box, anchor)
+                d = (
+                    float(d_arr[e])
+                    if d_arr is not None
+                    else self._entry_dist(box, anchor)
+                )
                 if d == float("inf"):
                     continue
                 if not node.leaf and d > bound:
                     self.stats.pruned_subtrees += 1
                     continue
                 if use_minmax and not node.leaf:
-                    bound = min(bound, box.minmaxdist_point(anchor))
+                    bound = min(
+                        bound,
+                        float(mm_arr[e])
+                        if mm_arr is not None
+                        else box.minmaxdist_point(anchor),
+                    )
                 counter += 1
                 if node.leaf:
                     heapq.heappush(heap, (d, counter, True, (box, child)))

@@ -37,12 +37,12 @@ from __future__ import annotations
 import base64
 import json
 import os
-import struct
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algebra.regions import Region
 from ..boxes.box import EMPTY_BOX, Box, box_from_jsonable, box_to_jsonable
 from ..errors import SnapshotError
+from .columnar import pack_floats, unpack_floats
 from .partition import Partition, TablePartitioning
 from .rtree import RTree
 from .table import SpatialObject, SpatialTable
@@ -82,17 +82,16 @@ def _decode_oid(data: object) -> object:
 # dominate the load's parse time; packed as little-endian doubles in a
 # base64 string they parse in one ``struct.unpack`` call and round-trip
 # bit-exactly.  Everything else (oids, counts, statistics, partitioning)
-# stays plain JSON.
+# stays plain JSON.  The raw packing lives in
+# :mod:`repro.spatial.columnar` (the process-pool Exchange ships tile
+# payloads through the same helpers); here it is base64-armored for JSON.
 
 def _pack_floats(values: Sequence[float]) -> str:
-    return base64.b64encode(
-        struct.pack(f"<{len(values)}d", *values)
-    ).decode("ascii")
+    return base64.b64encode(pack_floats(values)).decode("ascii")
 
 
 def _unpack_floats(blob: str) -> Tuple[float, ...]:
-    raw = base64.b64decode(blob)
-    return struct.unpack(f"<{len(raw) // 8}d", raw)
+    return unpack_floats(base64.b64decode(blob))
 
 
 def region_to_jsonable(region: Region) -> List[List[List[float]]]:
@@ -230,6 +229,12 @@ def table_from_jsonable(data: dict) -> SpatialTable:
         )
         rows.append(obj)
         objects[obj.oid] = obj
+        # Rows bypass insert() here, so the columnar mirror fills
+        # directly from the packed payload (same coords, same order).
+        if bbox.is_empty():
+            table._columns.append(bbox, obj)
+        else:
+            table._columns.append_coords(bbox.lo, bbox.hi, obj)
     table._objects = objects
     table._version = int(data["table_version"])
     if table.index_kind == "rtree":
@@ -260,6 +265,7 @@ def table_from_jsonable(data: dict) -> SpatialTable:
                     pid=int(p["pid"]),
                     mbr=box_from_jsonable(p["mbr"]),
                     rows=tuple(rows[int(i)] for i in p["rows"]),
+                    indices=tuple(int(i) for i in p["rows"]),
                 )
                 for p in part["partitions"]
             ),

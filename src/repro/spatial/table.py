@@ -30,6 +30,8 @@ from ..algebra.regions import Region
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box
 from ..errors import DimensionMismatchError
+from . import columnar
+from .columnar import ColumnStore
 from .gridfile import GridFile
 from .rangequery import compile_range
 from .rtree import RTree
@@ -263,8 +265,16 @@ class SpatialTable:
         self._grid: Optional[GridFile] = (
             GridFile(2 * dim) if index == "grid" else None
         )
+        # Struct-of-arrays mirror of the rows' bounding boxes, kept
+        # index-aligned with the insertion order (the batched kernels'
+        # input; see repro.spatial.columnar).
+        self._columns = ColumnStore(dim)
         self.probes = 0
         self.candidates_returned = 0
+        # How often a vectorized kernel ran, and how many candidate
+        # rows/entries it evaluated (reported via ExecutionStats).
+        self.vectorized_batches = 0
+        self.vectorized_candidates = 0
         # Mutation counter; invalidates the cached statistics and
         # partitioning below (and every ProbeCache entry for this table).
         self._version = 0
@@ -294,6 +304,7 @@ class SpatialTable:
             raise ValueError(f"duplicate oid {oid!r} in table {self.name!r}")
         obj = SpatialObject(oid=oid, region=region, box=region.bounding_box())
         self._objects[oid] = obj
+        self._columns.append(obj.box, obj)
         self._version += 1
         if self._rtree is not None and not obj.box.is_empty():
             self._rtree.insert(obj.box, obj)
@@ -397,18 +408,39 @@ class SpatialTable:
         return self._objects[oid]
 
     # -- queries --------------------------------------------------------------------
-    def range_query(self, query: BoxQuery) -> List[SpatialObject]:
+    def column_store(
+        self, vectorize: Optional[bool] = None
+    ) -> Optional[ColumnStore]:
+        """The table's :class:`ColumnStore`, or ``None`` when the
+        vectorized paths are disabled (see
+        :func:`repro.spatial.columnar.resolve`)."""
+        return self._columns if columnar.resolve(vectorize) else None
+
+    def range_query(
+        self, query: BoxQuery, vectorize: Optional[bool] = None
+    ) -> List[SpatialObject]:
         """All rows whose bounding box satisfies ``query``.
 
         One index probe per call — the paper's "every retrieval step is a
-        single range query".
+        single range query".  ``vectorize`` selects the batched columnar
+        kernels (``None`` defers to the global backend switch); results
+        are bit-identical either way.
         """
         self.probes += 1
         if query.is_unsatisfiable():
             return []
+        vec = columnar.resolve(vectorize)
         out: List[SpatialObject]
         if self.index_kind == "rtree":
-            out = [obj for _box, obj in self._rtree.search(query)]
+            if vec and columnar.active_backend() == "numpy":
+                before = self._rtree.stats.entry_tests
+                out = [obj for _box, obj in self._rtree.search_columnar(query)]
+                self.vectorized_batches += 1
+                self.vectorized_candidates += (
+                    self._rtree.stats.entry_tests - before
+                )
+            else:
+                out = [obj for _box, obj in self._rtree.search(query)]
         elif self.index_kind == "grid":
             pr = compile_range(query, self.dim)
             if self.universe is not None:
@@ -421,16 +453,24 @@ class SpatialTable:
                     for _p, obj in self._grid.range_search(pr.lo, pr.hi)
                 ]
         else:  # scan
-            out = [
-                obj
-                for obj in self._objects.values()
-                if not obj.box.is_empty() and query.matches(obj.box)
-            ]
+            if vec:
+                out = self._columns.match_rows(query)
+                self.vectorized_batches += 1
+                self.vectorized_candidates += len(self._columns)
+            else:
+                out = [
+                    obj
+                    for obj in self._objects.values()
+                    if not obj.box.is_empty() and query.matches(obj.box)
+                ]
         self.candidates_returned += len(out)
         return out
 
     def range_query_cached(
-        self, query: BoxQuery, cache: Optional[ProbeCache] = None
+        self,
+        query: BoxQuery,
+        cache: Optional[ProbeCache] = None,
+        vectorize: Optional[bool] = None,
     ) -> Tuple[List[SpatialObject], bool]:
         """Range query through an optional :class:`ProbeCache`.
 
@@ -439,11 +479,11 @@ class SpatialTable:
         cached one and must not be mutated.
         """
         if cache is None:
-            return self.range_query(query), False
+            return self.range_query(query, vectorize=vectorize), False
         rows = cache.lookup(self, query)
         if rows is not None:
             return rows, True
-        rows = self.range_query(query)
+        rows = self.range_query(query, vectorize=vectorize)
         cache.store(self, query, rows)
         return rows, False
 
@@ -451,6 +491,7 @@ class SpatialTable:
         self,
         queries: Sequence[BoxQuery],
         cache: Optional[ProbeCache] = None,
+        vectorize: Optional[bool] = None,
     ) -> List[List[SpatialObject]]:
         """Answer many box queries, probing once per *distinct* query.
 
@@ -465,7 +506,9 @@ class SpatialTable:
         for query in queries:
             rows = memo.get(query)
             if rows is None:
-                rows, _hit = self.range_query_cached(query, cache)
+                rows, _hit = self.range_query_cached(
+                    query, cache, vectorize=vectorize
+                )
                 memo[query] = rows
             out.append(rows)
         return out
@@ -478,7 +521,11 @@ class SpatialTable:
         return obj.box.mindist_point(anchor)
 
     def nearest(
-        self, anchor, k: int, access: str = "auto"
+        self,
+        anchor,
+        k: int,
+        access: str = "auto",
+        vectorize: Optional[bool] = None,
     ) -> List[Tuple[float, SpatialObject]]:
         """The ``k`` rows nearest to ``anchor`` (a point or a box).
 
@@ -509,13 +556,30 @@ class SpatialTable:
                 f"{self.name!r} uses {self.index_kind!r}"
             )
         self.probes += 1
+        vec = (
+            columnar.resolve(vectorize)
+            and columnar.active_backend() == "numpy"
+        )
         if self._rtree is not None and access != "scan":
+            before = self._rtree.stats.entry_tests
             out = [
                 (dist, obj)
                 for dist, _box, obj in self._rtree.nearest(
-                    anchor, k, tie_key=lambda obj: repr(obj.oid)
+                    anchor,
+                    k,
+                    tie_key=lambda obj: repr(obj.oid),
+                    vectorize=vec,
                 )
             ]
+            if vec:
+                self.vectorized_batches += 1
+                self.vectorized_candidates += (
+                    self._rtree.stats.entry_tests - before
+                )
+        elif vec:
+            out = self._nearest_columnar(anchor, k)
+            self.vectorized_batches += 1
+            self.vectorized_candidates += len(self._columns)
         else:
             out = self._nearest_scan(anchor, k)
         self.candidates_returned += len(out)
@@ -550,6 +614,28 @@ class SpatialTable:
         )
         return ranked[:k]
 
+    def _nearest_columnar(
+        self, anchor, k: int
+    ) -> List[Tuple[float, SpatialObject]]:
+        """:meth:`_nearest_scan` over the columnar distance kernel.
+
+        One batched MINDIST evaluation replaces the per-object distance
+        calls; the kernels produce the exact same doubles (empty rows at
+        ``inf`` are filtered like the oracle's empty-box guard), so the
+        sort — ties included — is unchanged.
+        """
+        store = self._columns
+        dists = store.distances_to(anchor)
+        ranked = sorted(
+            (
+                (float(dists[i]), store.rows[i])
+                for i in range(len(store))
+                if not store.rows[i].box.is_empty()
+            ),
+            key=lambda pair: (pair[0], repr(pair[1].oid)),
+        )
+        return ranked[:k]
+
     # -- counting aggregation ------------------------------------------------------
     def count_range(self, query: BoxQuery) -> int:
         """``len(self.range_query(query))`` without materialising rows.
@@ -579,6 +665,8 @@ class SpatialTable:
         """Zero the probe counters (index-internal counters too)."""
         self.probes = 0
         self.candidates_returned = 0
+        self.vectorized_batches = 0
+        self.vectorized_candidates = 0
         if self._rtree is not None:
             self._rtree.stats.reset()
         if self._grid is not None:

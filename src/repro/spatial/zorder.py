@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..boxes.box import Box
 from ..errors import DimensionMismatchError
+from . import columnar
 
 
 def interleave(coords: Sequence[int], bits: int) -> int:
@@ -35,6 +36,24 @@ def interleave(coords: Sequence[int], bits: int) -> int:
     for b in range(bits):
         for d, c in enumerate(coords):
             out |= ((c >> b) & 1) << (b * k + d)
+    return out
+
+
+def interleave_batch(cells, bits: int):
+    """:func:`interleave` over the rows of an ``(n, k)`` int64 array.
+
+    Callers must ensure ``k * bits <= 62`` (the int64 code width); the
+    scalar :func:`interleave` has no such limit thanks to Python ints.
+    """
+    np = columnar.np
+    n, k = cells.shape
+    out = np.zeros(n, dtype=np.int64)
+    one = np.int64(1)
+    for b in range(bits):
+        for d in range(k):
+            out |= ((cells[:, d] >> np.int64(b)) & one) << np.int64(
+                b * k + d
+            )
     return out
 
 
@@ -152,6 +171,68 @@ class ZOrderIndex:
         for r in self.grid.decompose(box, self.max_ranges):
             self._ranges.append(ZRange(r.lo, r.hi, value))
         self._sorted = False
+
+    def insert_batch(self, items: Sequence[Tuple[Box, object]]) -> None:
+        """Insert many objects; identical stream to sequential inserts.
+
+        The numpy backend vectorizes the *single-cell* fast path: boxes
+        whose universe clip fits inside one finest-level cell decompose
+        to exactly one unit z-interval, so their cell indices and Morton
+        codes compute in one batch (:func:`interleave_batch`) instead of
+        one recursive :meth:`ZGrid.decompose` descent each.  The cell
+        bounds are recomputed with the exact float expressions of the
+        descent and verified per box — any box that fails (or spans
+        cells, or overflows the int64 code width) falls back to the
+        scalar path, so the resulting ranges are always bit-identical.
+        """
+        grid = self.grid
+        single_z: Dict[int, int] = {}
+        if (
+            columnar.active_backend() == "numpy"
+            and len(items) > 1
+            and grid.k * grid.levels <= 62
+        ):
+            np = columnar.np
+            cand = [
+                (n, box)
+                for n, (box, _v) in enumerate(items)
+                if not box.is_empty() and box.dim == grid.k
+            ]
+            if cand:
+                k = grid.k
+                ulo, uhi = grid.universe.lo, grid.universe.hi
+                steps = grid._steps
+                cells = grid._cells_per_dim
+                lo = np.array([b.lo for _n, b in cand], dtype=np.float64)
+                hi = np.array([b.hi for _n, b in cand], dtype=np.float64)
+                cl_lo = np.maximum(lo, ulo)
+                cl_hi = np.minimum(hi, uhi)
+                # ok: clip nonempty and contained in cell idx's exact
+                # float bounds (the decompose recursion's authority).
+                ok = np.all(cl_lo < cl_hi, axis=1)
+                idx = np.zeros((len(cand), k), dtype=np.int64)
+                for d in range(k):
+                    i = ((cl_lo[:, d] - ulo[d]) / steps[d]).astype(
+                        np.int64
+                    )
+                    np.clip(i, 0, cells - 1, out=i)
+                    idx[:, d] = i
+                    cell_lo = ulo[d] + i * steps[d]
+                    cell_hi = ulo[d] + (i + 1) * steps[d]
+                    ok &= cell_lo <= cl_lo[:, d]
+                    ok &= cl_hi[:, d] <= cell_hi
+                codes = interleave_batch(idx, grid.levels)
+                for pos, (n, _b) in enumerate(cand):
+                    if ok[pos]:
+                        single_z[n] = int(codes[pos])
+        for n, (box, value) in enumerate(items):
+            z = single_z.get(n)
+            if z is None:
+                self.insert(box, value)
+            else:
+                self._boxes[value] = box
+                self._ranges.append(ZRange(z, z + 1, value))
+                self._sorted = False
 
     def ranges(self) -> List[ZRange]:
         """The sorted z-interval stream."""

@@ -20,6 +20,7 @@ from hypothesis import strategies as st
 
 from repro.algebra import Region
 from repro.boxes import Box
+from repro.boxes.bconstraints import BoxQuery
 from repro.constraints import (
     ConstraintSystem,
     nonempty,
@@ -27,7 +28,7 @@ from repro.constraints import (
     overlaps,
     subset,
 )
-from repro.spatial import SpatialTable
+from repro.spatial import HAVE_NUMPY, SpatialTable
 
 #: The shared universe of every generated workload.
 UNIVERSE = Box((0.0, 0.0), (32.0, 32.0))
@@ -40,6 +41,15 @@ CONSTS = ("P", "Q")
 
 #: CI seed-matrix shift: each matrix entry explores disjoint workloads.
 SEED_OFFSET = int(os.environ.get("REPRO_TEST_SEED", "0")) * 10_007
+
+#: Columnar backends the differential tests force in turn: the pure-
+#: stdlib fallback always, NumPy only where the accelerator is
+#: installed (the no-numpy CI job then still covers the fallback).
+COLUMNAR_BACKENDS = ("numpy", "array") if HAVE_NUMPY else ("array",)
+
+#: A duplicate-rich coordinate pool for edge-case boxes: repeated
+#: values make degenerate sides and shared edges likely.
+EDGE_COORDS = (0.0, 1.0, 1.0, 2.5, 2.5, 7.0, 16.0, 31.0, 32.0)
 
 
 def shifted_seed(seed: int) -> int:
@@ -74,6 +84,44 @@ def constraint_systems(draw):
         if v not in used:
             constraints.append(nonempty(v))
     return ConstraintSystem.build(*constraints)
+
+
+@st.composite
+def edge_boxes(draw):
+    """Boxes rich in kernel edge cases.
+
+    Coordinates come from :data:`EDGE_COORDS`, so degenerate boxes
+    (``lo == hi`` in some dimension — empty by the strict-properness
+    invariant), inverted (empty) intervals, point-thin sides, and
+    duplicated coordinates across boxes are all likely.
+    """
+    c = st.sampled_from(EDGE_COORDS)
+    return Box((draw(c), draw(c)), (draw(c), draw(c)))
+
+
+@st.composite
+def edge_query_boxes(draw):
+    """:func:`edge_boxes`, sometimes with unbounded (infinite) sides."""
+    box = draw(edge_boxes())
+    if draw(st.booleans()):
+        lo = tuple(
+            -float("inf") if draw(st.booleans()) else c for c in box.lo
+        )
+        hi = tuple(
+            float("inf") if draw(st.booleans()) else c for c in box.hi
+        )
+        box = Box(lo, hi)
+    return box
+
+
+@st.composite
+def edge_box_queries(draw):
+    """Random :class:`BoxQuery` values over edge-case constraint boxes:
+    absent/empty/unbounded sides in every combination."""
+    inside = draw(st.one_of(st.none(), edge_query_boxes()))
+    covers = draw(st.one_of(st.none(), edge_query_boxes()))
+    overlap = tuple(draw(st.lists(edge_query_boxes(), max_size=2)))
+    return BoxQuery(inside=inside, covers=covers, overlap=overlap)
 
 
 def random_table(

@@ -1,0 +1,335 @@
+"""Columnar storage unit tests: backends, kernels, and mirrors.
+
+Query- and engine-level bit-identity lives in ``test_differential.py``;
+this module pins down the pieces underneath: backend forcing and
+resolution, the packed-float codec, the batched box-filter and distance
+kernels against their per-object :class:`~repro.boxes.box.Box` oracles,
+the R-tree's columnar entry mirror, the vectorized PBSM tile sweep (and
+its packed process-pool payloads), and batched z-order key computation.
+Every comparison is exact — the vectorized kernels promise the same
+floats, not approximately the same.
+"""
+
+import random
+
+import pytest
+
+from repro.boxes import Box
+from repro.boxes.bconstraints import BoxQuery
+from repro.spatial import (
+    BACKENDS,
+    HAVE_NUMPY,
+    ColumnStore,
+    Exchange,
+    JoinStats,
+    SpatialTable,
+    active_backend,
+    forced_backend,
+    pack_floats,
+    pbsm_join,
+    unpack_floats,
+)
+from repro.spatial.columnar import resolve
+from repro.spatial.partition import (
+    _pack_tile_task,
+    _sweep_tile,
+    _sweep_tile_packed,
+    TileGrid,
+)
+from repro.spatial.zorder import ZGrid, ZOrderIndex
+from tests.conftest import COLUMNAR_BACKENDS, UNIVERSE, random_table
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+def _random_boxes(seed, n, allow_empty=True):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        if allow_empty and rng.random() < 0.15:
+            out.append(Box((8.0, 8.0), (8.0, 8.0)))  # degenerate = empty
+            continue
+        lo = (rng.uniform(0, 28), rng.uniform(0, 28))
+        out.append(
+            Box(lo, (lo[0] + rng.uniform(0.5, 6), lo[1] + rng.uniform(0.5, 6)))
+        )
+    return out
+
+
+class TestBackends:
+    def test_active_backend_is_known(self):
+        assert active_backend() in BACKENDS
+
+    def test_forced_backend_round_trip(self):
+        with forced_backend("array"):
+            assert active_backend() == "array"
+            with forced_backend("off"):
+                assert active_backend() == "off"
+            assert active_backend() == "array"
+
+    def test_forced_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            with forced_backend("simd"):
+                pass  # pragma: no cover
+
+    @pytest.mark.skipif(HAVE_NUMPY, reason="only without numpy")
+    def test_forcing_numpy_without_numpy_raises(self):
+        with pytest.raises(ValueError):
+            with forced_backend("numpy"):
+                pass  # pragma: no cover
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "array")
+        assert active_backend() == "array"
+        monkeypatch.setenv("REPRO_COLUMNAR", "off")
+        assert active_backend() == "off"
+
+    def test_resolve_semantics(self):
+        with forced_backend("array"):
+            assert resolve(None) is True
+            assert resolve(True) is True
+            assert resolve(False) is False
+        with forced_backend("off"):
+            assert resolve(None) is False
+            # An explicit request cannot overrule a disabled backend.
+            assert resolve(True) is False
+            assert resolve(False) is False
+
+
+class TestPackedFloats:
+    def test_round_trip_is_bit_exact(self):
+        values = (
+            0.0,
+            -0.0,
+            1.5,
+            -2.25,
+            3.141592653589793,
+            5e-324,
+            1.7976931348623157e308,
+            float("inf"),
+            -float("inf"),
+        )
+        out = unpack_floats(pack_floats(values))
+        assert len(out) == len(values)
+        for a, b in zip(values, out):
+            assert a == b
+            # -0.0 == 0.0 compares equal; pin the sign bit too.
+            assert str(a) == str(b)
+
+    def test_empty(self):
+        assert unpack_floats(pack_floats(())) == ()
+
+
+class TestMatchKernels:
+    @pytest.mark.parametrize("backend", COLUMNAR_BACKENDS)
+    def test_match_positions_equals_oracle(self, backend):
+        boxes = _random_boxes(11, 60)
+        queries = [
+            BoxQuery(inside=Box((2.0, 2.0), (26.0, 30.0))),
+            BoxQuery(covers=Box((10.0, 10.0), (11.0, 11.0))),
+            BoxQuery(overlap=(Box((5.0, 5.0), (20.0, 20.0)),)),
+            BoxQuery(
+                inside=Box((0.0, 0.0), (32.0, 32.0)),
+                overlap=(
+                    Box((5.0, 5.0), (20.0, 20.0)),
+                    Box((8.0, 1.0), (30.0, 28.0)),
+                ),
+            ),
+            BoxQuery(overlap=(Box((3.0, 3.0), (3.0, 9.0)),)),  # empty c
+            BoxQuery(),  # unconstrained: every nonempty row
+        ]
+        with forced_backend(backend):
+            store = ColumnStore(2)
+            for i, b in enumerate(boxes):
+                store.append(b, i)
+            for query in queries:
+                oracle = [
+                    i
+                    for i, b in enumerate(boxes)
+                    if not b.is_empty() and query.matches(b)
+                ]
+                assert store.match_positions(query) == oracle
+
+    @pytest.mark.parametrize("backend", COLUMNAR_BACKENDS)
+    def test_distance_kernels_equal_box_methods(self, backend):
+        boxes = _random_boxes(13, 50)
+        rng = random.Random(14)
+        point = (rng.uniform(-4, 36), rng.uniform(-4, 36))
+        anchor = Box((9.0, 4.0), (13.0, 7.5))
+        inf = float("inf")
+        with forced_backend(backend):
+            store = ColumnStore(2)
+            for i, b in enumerate(boxes):
+                store.append(b, i)
+            mind_p = store.mindist_point(point)
+            mind_b = store.mindist_box(anchor)
+            minmax = store.minmaxdist_point(point)
+            for i, b in enumerate(boxes):
+                if b.is_empty():
+                    assert mind_p[i] == inf
+                    assert mind_b[i] == inf
+                    assert minmax[i] == inf
+                    continue
+                # Exact float equality: same recipe, same doubles.
+                assert mind_p[i] == b.mindist_point(point)
+                assert mind_b[i] == b.mindist(anchor)
+                assert minmax[i] == b.minmaxdist_point(point)
+
+    @pytest.mark.parametrize("backend", COLUMNAR_BACKENDS)
+    def test_distance_to_empty_anchor_is_inf(self, backend):
+        boxes = _random_boxes(15, 10, allow_empty=False)
+        with forced_backend(backend):
+            store = ColumnStore(2)
+            for i, b in enumerate(boxes):
+                store.append(b, i)
+            dists = store.distances_to(Box((1.0, 1.0), (1.0, 5.0)))
+            assert all(d == float("inf") for d in dists)
+
+
+class TestRTreeColumnarMirror:
+    @needs_numpy
+    def test_search_columnar_matches_scalar_search(self):
+        table = random_table("t", random.Random(21), 120)
+        tree = table._rtree
+        queries = [
+            BoxQuery(overlap=(Box((4.0, 4.0), (18.0, 18.0)),)),
+            BoxQuery(inside=Box((0.0, 0.0), (16.0, 32.0))),
+            BoxQuery(covers=Box((10.0, 10.0), (10.5, 10.5))),
+            BoxQuery(),
+        ]
+        for query in queries:
+            tree.stats.reset()
+            want = [obj for _b, obj in tree.search(query)]
+            scalar = (tree.stats.node_reads, tree.stats.entry_tests)
+            tree.stats.reset()
+            with forced_backend("numpy"):
+                got = [obj for _b, obj in tree.search_columnar(query)]
+            vectorized = (tree.stats.node_reads, tree.stats.entry_tests)
+            # Same rows, same order, same billed index work.
+            assert got == want
+            assert vectorized == scalar
+
+    @needs_numpy
+    def test_vectorized_nearest_preserves_node_reads(self):
+        table = random_table("t", random.Random(22), 150)
+        tree = table._rtree
+        point = (11.0, 23.0)
+        tree.stats.reset()
+        want = tree.nearest(point, k=7)
+        scalar_reads = tree.stats.node_reads
+        tree.stats.reset()
+        with forced_backend("numpy"):
+            got = tree.nearest(point, k=7, vectorize=True)
+        assert [(d, o) for d, _b, o in got] == [
+            (d, o) for d, _b, o in want
+        ]
+        assert tree.stats.node_reads == scalar_reads
+
+
+class TestTableMirror:
+    @pytest.mark.parametrize("index", ["rtree", "grid", "scan"])
+    def test_insert_keeps_mirror_aligned(self, index):
+        table = SpatialTable("t", 2, index=index, universe=UNIVERSE)
+        boxes = _random_boxes(31, 40)
+        from repro.algebra import Region
+
+        for i, b in enumerate(boxes):
+            table.insert(
+                i, Region.from_box(b) if not b.is_empty() else Region.empty()
+            )
+        store = table.column_store(vectorize=True)
+        assert store is not None and len(store) == len(boxes)
+        for slot, obj in enumerate(table):
+            assert store.rows[slot] is obj
+
+    def test_column_store_respects_off(self):
+        table = random_table("t", random.Random(33), 5)
+        with forced_backend("off"):
+            assert table.column_store() is None
+            assert table.column_store(vectorize=True) is None
+        assert table.column_store(vectorize=False) is None
+
+
+class TestVectorizedSweep:
+    def _tile_inputs(self, seed):
+        rng = random.Random(seed)
+        left = [
+            (b, i)
+            for i, b in enumerate(_random_boxes(seed, 40, allow_empty=False))
+        ]
+        right = [
+            (b, i)
+            for i, b in enumerate(
+                _random_boxes(seed + 1, 40, allow_empty=False)
+            )
+        ]
+        del rng
+        return left, right
+
+    @pytest.mark.parametrize("backend", COLUMNAR_BACKENDS)
+    def test_pbsm_join_matches_scalar(self, backend):
+        left, right = self._tile_inputs(41)
+        with forced_backend("off"):
+            want_stats = JoinStats()
+            want = pbsm_join(left, right, n_tiles=9, stats=want_stats)
+        with forced_backend(backend):
+            got_stats = JoinStats()
+            got = pbsm_join(left, right, n_tiles=9, stats=got_stats)
+        assert got == want
+        assert got_stats.pair_tests == want_stats.pair_tests
+        assert got_stats.dedup_skipped == want_stats.dedup_skipped
+        assert got_stats.pairs == want_stats.pairs
+
+    def test_packed_tile_task_round_trips(self):
+        left, right = self._tile_inputs(43)
+        grid = TileGrid.build(
+            [b for b, _t in left] + [b for b, _t in right], n_tiles=9
+        )
+        assert grid is not None
+        for tile in grid.tiles_overlapping(grid.extent):
+            task = (
+                grid,
+                tile,
+                [e for e in left if tile in grid.tiles_overlapping(e[0])],
+                [e for e in right if tile in grid.tiles_overlapping(e[0])],
+            )
+            assert _sweep_tile_packed(_pack_tile_task(task)) == _sweep_tile(
+                task
+            )
+
+    def test_process_pool_pbsm_matches_serial(self):
+        left, right = self._tile_inputs(47)
+        serial_stats = JoinStats()
+        serial = pbsm_join(
+            left, right, n_tiles=9, stats=serial_stats,
+            exchange=Exchange(workers=0, kind="serial"),
+        )
+        pool_stats = JoinStats()
+        pool = pbsm_join(
+            left, right, n_tiles=9, stats=pool_stats,
+            exchange=Exchange(workers=4, kind="process"),
+        )
+        assert pool == serial
+        assert pool_stats.pair_tests == serial_stats.pair_tests
+        assert pool_stats.dedup_skipped == serial_stats.dedup_skipped
+
+
+class TestZOrderBatch:
+    @pytest.mark.parametrize("backend", COLUMNAR_BACKENDS)
+    def test_insert_batch_equals_sequential(self, backend):
+        boxes = _random_boxes(51, 80) + [
+            Box((0.5, 0.5), (0.5001, 0.5001)),  # single-cell tiny box
+            Box((-5.0, -5.0), (40.0, 40.0)),  # straddles the universe
+        ]
+        grid = ZGrid(Box((0.0, 0.0), (32.0, 32.0)), levels=5)
+        with forced_backend("off"):
+            seq = ZOrderIndex(grid)
+            for i, b in enumerate(boxes):
+                seq.insert(b, i)
+        with forced_backend(backend):
+            batch = ZOrderIndex(grid)
+            batch.insert_batch([(b, i) for i, b in enumerate(boxes)])
+        assert len(batch) == len(seq)
+        assert [
+            (r.lo, r.hi, r.value) for r in batch.ranges()
+        ] == [(r.lo, r.hi, r.value) for r in seq.ranges()]

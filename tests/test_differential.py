@@ -25,8 +25,12 @@ from repro.engine import (
     execute,
 )
 from repro.errors import UnsatisfiableError
+from repro.spatial import ColumnStore, forced_backend
 from tests.conftest import (
+    COLUMNAR_BACKENDS,
     constraint_systems,
+    edge_box_queries,
+    edge_boxes,
     make_workload,
     random_table,
     shifted_seed,
@@ -307,3 +311,135 @@ def test_box_count_pushdown_differential(seed, use_overlap):
         )
         assert results[index] == expected, f"{index} pushdown diverged"
     assert results["rtree"] == results["scan"]
+
+
+# ---------------------------------------------------------------------------
+# Columnar kernels: vectorized execution == per-object oracle, per backend
+# ---------------------------------------------------------------------------
+
+
+@given(
+    constraint_systems(),
+    st.integers(0, 10_000),
+    st.sampled_from(STRATEGIES),
+    st.integers(1, 5),
+    st.sampled_from(("rtree", "scan", "grid")),
+)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_vectorized_execution_differential(
+    system, seed, strategy, n_partitions, index
+):
+    """Vectorized plans return exactly the per-object plans' answers in
+    every mode × join strategy × partition count × index backend, under
+    both columnar backends.  This drives every engine-level kernel:
+    batched scan filters, columnar R-tree descent, the PBSM tile sweep,
+    partition-pruned batch matching, and batched z-order keys."""
+    tables, bindings = make_workload(seed, system=system, index=index)
+    if not tables:
+        return
+    order = sorted(tables)
+    query = SpatialQuery(system=system, tables=tables, bindings=bindings)
+    try:
+        plan = compile_query(query, order=order)
+    except UnsatisfiableError:
+        return
+    for mode in ("boxplan", "boxonly"):
+        with forced_backend("off"):
+            oracle_plan = build_physical_plan(
+                plan,
+                mode,
+                estimate=False,
+                partitions=n_partitions,
+                join_strategy=strategy,
+            )
+            expected = answers_as_oid_tuples(
+                list(oracle_plan.execute_iter()), order
+            )
+            assert oracle_plan.stats().vectorized_batches == 0
+        for backend in COLUMNAR_BACKENDS:
+            with forced_backend(backend):
+                pplan = build_physical_plan(
+                    plan,
+                    mode,
+                    estimate=False,
+                    partitions=n_partitions,
+                    join_strategy=strategy,
+                    vectorize=True,
+                )
+                got = answers_as_oid_tuples(
+                    list(pplan.execute_iter()), order
+                )
+            assert got == expected, (
+                f"{mode}/{strategy}/partitions={n_partitions}/"
+                f"{index}/{backend} diverged for:\n{system}"
+            )
+
+
+@given(
+    st.lists(edge_boxes(), min_size=1, max_size=30),
+    edge_box_queries(),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_columnar_match_oracle_edge_cases(boxes, query):
+    """The batched box filter admits exactly the per-object oracle's
+    rows on edge-case inputs — degenerate/point boxes, inverted
+    (empty) intervals, unbounded query sides, duplicate coordinates —
+    under both backends, on the full-store and candidate-subset paths."""
+    oracle = [
+        i
+        for i, b in enumerate(boxes)
+        if not b.is_empty() and query.matches(b)
+    ]
+    hits = set(oracle)
+    candidates = list(range(0, len(boxes), 2))
+    want_subset = [p for p, i in enumerate(candidates) if i in hits]
+    for backend in COLUMNAR_BACKENDS:
+        with forced_backend(backend):
+            store = ColumnStore(2)
+            for i, b in enumerate(boxes):
+                store.append(b, i)
+            assert store.match_positions(query) == oracle, backend
+            assert (
+                store.match_positions(query, candidates=candidates)
+                == want_subset
+            ), backend
+            assert store.match_rows(query) == oracle, backend
+
+
+@given(st.integers(0, 10_000), st.integers(1, 12), st.booleans())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_vectorized_nearest_differential(seed, k, box_anchor):
+    """`SpatialTable.nearest` returns bit-identical distance/oid
+    rankings with vectorized kernels on and off, for point and box
+    anchors, on indexed and scan tables, under both backends."""
+    rng = random.Random(shifted_seed(seed) + 5)
+    if box_anchor:
+        lo = (rng.uniform(-4, 30), rng.uniform(-4, 30))
+        anchor = Box(
+            lo, (lo[0] + rng.uniform(1, 6), lo[1] + rng.uniform(1, 6))
+        )
+    else:
+        anchor = (rng.uniform(-4, 36), rng.uniform(-4, 36))
+    for index in ("rtree", "scan"):
+        rng_t = random.Random(shifted_seed(seed) + 6)
+        table = random_table("t", rng_t, rng_t.randint(1, 30), index=index)
+        with forced_backend("off"):
+            want = table.nearest(anchor, k, vectorize=False)
+        for backend in COLUMNAR_BACKENDS:
+            with forced_backend(backend):
+                got = table.nearest(anchor, k, vectorize=True)
+            assert [(d, o.oid) for d, o in got] == [
+                (d, o.oid) for d, o in want
+            ], f"{index}/{backend} diverged"

@@ -21,7 +21,7 @@ from repro.engine import (
     execute,
 )
 from repro.errors import UnknownModeError
-from repro.spatial import SpatialTable
+from repro.spatial import SpatialTable, forced_backend
 
 
 @pytest.fixture()
@@ -65,13 +65,32 @@ class TestPlanShapes:
     def test_scan_backend_lowers_to_scan_plus_box_filter(self):
         q, _m = smugglers_query(seed=5, n_towns=8, n_roads=8, index="scan")
         plan = compile_query(q)
+        with forced_backend("off"):
+            pplan = build_physical_plan(plan, "boxplan")
+            kinds = [op.kind for op in pplan.operators()]
+            assert "IndexProbe" not in kinds
+            assert kinds.count("TableScan") == 3
+            assert kinds.count("BoxFilter") == 3
+            answers, _ = pplan.run()
+        expected, _ = execute(compile_query(q), "exact")
+        assert answers_as_oid_tuples(answers, ["T", "R", "B"]) == (
+            answers_as_oid_tuples(expected, ["T", "R", "B"])
+        )
+
+    def test_scan_backend_lowers_to_vectorized_probe(self):
+        """With a columnar backend the scan+filter pair fuses."""
+        q, _m = smugglers_query(seed=5, n_towns=8, n_roads=8, index="scan")
+        plan = compile_query(q)
         pplan = build_physical_plan(plan, "boxplan")
         kinds = [op.kind for op in pplan.operators()]
-        assert "IndexProbe" not in kinds
-        assert kinds.count("TableScan") == 3
-        assert kinds.count("BoxFilter") == 3
-        answers, _ = pplan.run()
-        expected, _ = execute(compile_query(q), "exact")
+        assert kinds.count("VectorizedScanProbe") == 3
+        assert "BoxFilter" not in kinds and "TableScan" not in kinds
+        answers, stats = pplan.run()
+        assert stats.vectorized_batches > 0
+        assert stats.vectorized_candidates > 0
+        with forced_backend("off"):
+            expected, off_stats = execute(compile_query(q), "boxplan")
+        assert off_stats.vectorized_batches == 0
         assert answers_as_oid_tuples(answers, ["T", "R", "B"]) == (
             answers_as_oid_tuples(expected, ["T", "R", "B"])
         )
