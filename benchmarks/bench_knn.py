@@ -141,7 +141,7 @@ def count_pushdown_row(size: int) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_knn.json")
+    parser.add_argument("--out", default="benchmarks/out/BENCH_knn.json")
     args = parser.parse_args(argv)
 
     knn_rows = [knn_row(size) for size in SIZES]
@@ -154,6 +154,7 @@ def main(argv=None) -> int:
         "knn": knn_rows,
         "count_pushdown": count_rows,
     }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as handle:
         json.dump(result, handle, indent=2)
     print(f"wrote {args.out}")

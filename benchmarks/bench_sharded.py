@@ -1,0 +1,300 @@
+#!/usr/bin/env python
+"""Sharded scale-out join scaling → ``benchmarks/out/BENCH_sharded.json``.
+
+The sharded execution layer (:mod:`repro.spatial.shard`) exists to scale
+the paper's box-level joins across workers without changing a single
+answer: STR shards with their own R-trees, an MBR semi-join coordinator
+that only ships probes to shards that can possibly match, a persistent
+process pool, and shard coordinate columns published once over
+``multiprocessing.shared_memory`` instead of re-pickled per task.
+
+This bench measures the 1/2/4/8-worker scaling curve of the sharded
+join on a persistent process pool and enforces, at every point:
+
+* **bit-identity** — the sharded parallel join returns exactly the
+  serial coordinator's pairs, with identical deterministic counters
+  (semi-join tests, pair tests, dedup skips);
+* **spill equivalence** — the bounded-memory out-of-core path
+  (``spill=N`` probe-bucket spilling to disk tiles) returns exactly the
+  in-memory pairs while actually spilling;
+* **engine equivalence** — full query plans built with ``shards=S``
+  emit the same answer streams as unsharded serial plans.
+
+With ``--check-speedup`` (the CI gate; off by default because a
+single-core dev box cannot scale) the 4-worker join must additionally
+run at least **1.5×** faster than the 1-worker join at the largest
+scale (best-of-N on both sides).
+
+``REPRO_BENCH_SHARDED_SIZES`` overrides the scale ladder,
+``REPRO_BENCH_SHARDED_REPS`` the repetition count,
+``REPRO_BENCH_SHARDED_SHARDS`` the shard count.
+
+Usage::
+
+    python benchmarks/bench_sharded.py [--out ...] [--check-speedup]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+from time import perf_counter
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_REPO, os.path.join(_REPO, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.algebra import Region  # noqa: E402
+from repro.boxes import Box  # noqa: E402
+from repro.datagen import smugglers_query  # noqa: E402
+from repro.engine import (  # noqa: E402
+    answers_as_oid_tuples,
+    build_physical_plan,
+    compile_query,
+)
+from repro.spatial import SpatialTable  # noqa: E402
+from repro.spatial.partition import Exchange, WorkerPool  # noqa: E402
+from repro.spatial.shard import ShardJoinStats  # noqa: E402
+
+SIZES = [
+    int(s)
+    for s in os.environ.get(
+        "REPRO_BENCH_SHARDED_SIZES", "20000,40000"
+    ).split(",")
+]
+REPS = int(os.environ.get("REPRO_BENCH_SHARDED_REPS", "3"))
+N_SHARDS = int(os.environ.get("REPRO_BENCH_SHARDED_SHARDS", "8"))
+WORKERS = (1, 2, 4, 8)
+
+#: The CI gate: 4-worker join ≥ 1.5× the 1-worker join, largest scale.
+SPEEDUP_GATE = 1.5
+def spill_cap(n: int) -> int:
+    """Spill smoke: resident probe entries allowed before spilling —
+    an eighth of the probe count, so the out-of-core path must engage."""
+    return max(256, n // 8)
+
+SEED = 47
+UNIVERSE_SIDE = 1024.0
+
+
+def _table_and_probes(n: int):
+    """``n`` random rows plus ``n`` probe boxes over the same universe."""
+    rng = random.Random(SEED + n)
+    universe = Box((0.0, 0.0), (UNIVERSE_SIDE, UNIVERSE_SIDE))
+    table = SpatialTable("sharded_bench", 2, index="rtree", universe=universe)
+    side = 4.0
+    rows = []
+    for i in range(n):
+        lo = (
+            rng.uniform(0, UNIVERSE_SIDE - side),
+            rng.uniform(0, UNIVERSE_SIDE - side),
+        )
+        rows.append(
+            (i, Box(lo, (lo[0] + rng.uniform(1, side), lo[1] + rng.uniform(1, side))))
+        )
+    table.bulk_insert([(oid, Region.from_boxes([box])) for oid, box in rows])
+    probes = []
+    for i in range(n):
+        lo = (
+            rng.uniform(0, UNIVERSE_SIDE - side),
+            rng.uniform(0, UNIVERSE_SIDE - side),
+        )
+        probes.append(
+            (i, Box(lo, (lo[0] + rng.uniform(1, side), lo[1] + rng.uniform(1, side))))
+        )
+    return table, probes
+
+
+def bench_scale(n: int, pools: dict) -> dict:
+    table, probes = _table_and_probes(n)
+    sharding = table.sharding(N_SHARDS)
+
+    serial_stats = ShardJoinStats()
+    start = perf_counter()
+    serial_pairs = sorted(sharding.join_pairs(probes, stats=serial_stats))
+    serial_s = perf_counter() - start
+
+    curve = []
+    for workers in WORKERS:
+        pool = pools[workers]
+        exchange = Exchange(workers=workers, kind="process", pool=pool)
+        times = []
+        stats = ShardJoinStats()
+        for _ in range(REPS):
+            stats = ShardJoinStats()
+            start = perf_counter()
+            pairs = sorted(
+                sharding.join_pairs(probes, exchange=exchange, stats=stats)
+            )
+            times.append(perf_counter() - start)
+        curve.append(
+            {
+                "workers": workers,
+                "join_ms": round(min(times) * 1e3, 3),
+                "identical": pairs == serial_pairs,
+                "counters_identical": (
+                    stats.pair_tests == serial_stats.pair_tests
+                    and stats.semi_join_tests == serial_stats.semi_join_tests
+                    and stats.dedup_skipped == serial_stats.dedup_skipped
+                ),
+                "fallbacks": exchange.fallbacks,
+            }
+        )
+
+    # Bounded-memory smoke: the out-of-core path must spill for real and
+    # still return the exact in-memory pairs.
+    cap = spill_cap(n)
+    spill_stats = ShardJoinStats()
+    spill_pairs = sorted(
+        sharding.join_pairs(probes, stats=spill_stats, spill=cap)
+    )
+    t1 = next(c for c in curve if c["workers"] == 1)["join_ms"]
+    t4 = next(c for c in curve if c["workers"] == 4)["join_ms"]
+    row = {
+        "size": n,
+        "shards": len(sharding.shards),
+        "pairs": len(serial_pairs),
+        "serial_ms": round(serial_s * 1e3, 3),
+        "curve": curve,
+        "speedup_4v1": round(t1 / t4, 2) if t4 else float("inf"),
+        "shm_published": sharding.shm_published,
+        "shm_bytes": sharding.shm_bytes,
+        "shm_failed": sharding.shm_failed,
+        "spill": {
+            "cap": cap,
+            "identical": spill_pairs == serial_pairs,
+            "spilled_entries": spill_stats.spilled_entries,
+            "spill_flushes": spill_stats.spill_flushes,
+        },
+    }
+    sharding.close()
+    return row
+
+
+def engine_bit_identity() -> dict:
+    """Full plans with ``shards=S`` vs serial: identical oid streams."""
+    q, _world = smugglers_query(
+        seed=9, n_towns=60, n_roads=60, states_grid=(4, 4)
+    )
+    plan = compile_query(q)
+    reference = answers_as_oid_tuples(
+        build_physical_plan(plan, "boxplan").run()[0], plan.order
+    )
+    checked, identical = 0, True
+    for strategy in ("shardscan", "shardjoin"):
+        for shards in (2, N_SHARDS):
+            for workers in (0, 2):
+                pplan = build_physical_plan(
+                    plan,
+                    "boxplan",
+                    shards=shards,
+                    join_strategy=strategy,
+                    parallel=workers,
+                )
+                got = answers_as_oid_tuples(pplan.run()[0], plan.order)
+                checked += 1
+                identical = identical and got == reference
+    return {"answers": len(reference), "plans": checked, "identical": identical}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="benchmarks/out/BENCH_sharded.json")
+    parser.add_argument(
+        "--check-speedup",
+        action="store_true",
+        help="enforce the ≥1.5x 4-worker speedup gate (CI has the "
+        "cores; a single-core dev box does not)",
+    )
+    args = parser.parse_args(argv)
+
+    pools = {w: WorkerPool(workers=w, kind="process") for w in WORKERS}
+    try:
+        rows = [bench_scale(size, pools) for size in SIZES]
+    finally:
+        for pool in pools.values():
+            pool.close()
+    engine = engine_bit_identity()
+
+    largest = rows[-1]
+    result = {
+        "python": platform.python_version(),
+        "sizes": SIZES,
+        "reps": REPS,
+        "shards": N_SHARDS,
+        "workers": list(WORKERS),
+        "gate": {
+            "threshold": SPEEDUP_GATE,
+            "enforced": args.check_speedup,
+            "size": largest["size"],
+            "speedup_4v1": largest["speedup_4v1"],
+        },
+        "engine_bit_identity": engine,
+        "rows": rows,
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    failures = []
+    for row in rows:
+        points = " ".join(
+            f"{c['workers']}w={c['join_ms']}ms" for c in row["curve"]
+        )
+        print(
+            f"sharded join n={row['size']} ({row['shards']} shards, "
+            f"{row['pairs']} pairs): serial={row['serial_ms']}ms {points} "
+            f"speedup(4v1)={row['speedup_4v1']}x "
+            f"shm={row['shm_published']}seg/{row['shm_bytes']}B"
+        )
+        for c in row["curve"]:
+            if not c["identical"]:
+                failures.append(
+                    f"{c['workers']}-worker join at n={row['size']} "
+                    "returned different pairs than the serial coordinator"
+                )
+            if not c["counters_identical"]:
+                failures.append(
+                    f"{c['workers']}-worker join at n={row['size']} "
+                    "drifted its deterministic counters"
+                )
+        spill = row["spill"]
+        if not spill["identical"]:
+            failures.append(
+                f"spilled join at n={row['size']} differed from in-memory"
+            )
+        if not spill["spilled_entries"]:
+            failures.append(
+                f"spill cap {spill['cap']} never spilled at "
+                f"n={row['size']}; the out-of-core path went untested"
+            )
+    print(
+        f"engine plans: {engine['plans']} sharded plans vs serial, "
+        f"identical={engine['identical']}"
+    )
+    if not engine["identical"]:
+        failures.append("a sharded physical plan changed the answer stream")
+    if args.check_speedup and largest["speedup_4v1"] < SPEEDUP_GATE:
+        failures.append(
+            f"4-worker join only {largest['speedup_4v1']}x faster at "
+            f"n={largest['size']}; the gate requires ≥ {SPEEDUP_GATE}x"
+        )
+    if not args.check_speedup:
+        print("speedup gate not enforced (pass --check-speedup in CI)")
+
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("all sharded gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

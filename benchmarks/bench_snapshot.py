@@ -111,7 +111,7 @@ def bench_scale(size: int, workdir: str) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_snapshot.json")
+    parser.add_argument("--out", default="benchmarks/out/BENCH_snapshot.json")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory() as workdir:
@@ -130,6 +130,7 @@ def main(argv=None) -> int:
         },
         "rows": rows,
     }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as handle:
         json.dump(result, handle, indent=2)
     print(f"wrote {args.out}")

@@ -131,7 +131,7 @@ def bench_scale(n: int) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_vector.json")
+    parser.add_argument("--out", default="benchmarks/out/BENCH_vector.json")
     args = parser.parse_args(argv)
 
     backend = "numpy" if HAVE_NUMPY else "array"
@@ -153,6 +153,7 @@ def main(argv=None) -> int:
         },
         "rows": rows,
     }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as handle:
         json.dump(result, handle, indent=2)
     print(f"wrote {args.out}")

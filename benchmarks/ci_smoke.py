@@ -264,10 +264,10 @@ def partitioned_join_section(full: bool) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_ci.json")
+    parser.add_argument("--out", default="benchmarks/out/BENCH_ci.json")
     parser.add_argument(
         "--partitioned-out",
-        default="BENCH_partitioned.json",
+        default="benchmarks/out/BENCH_partitioned.json",
         help="separate artifact for the partitioned-join rows",
     )
     parser.add_argument(
@@ -288,6 +288,8 @@ def main(argv=None) -> int:
         "probe_cache": probe_cache_section(args.full),
         "partitioned_join": partitioned,
     }
+    for target in (args.out, args.partitioned_out):
+        os.makedirs(os.path.dirname(target) or ".", exist_ok=True)
     with open(args.out, "w") as handle:
         json.dump(result, handle, indent=2)
     print(f"wrote {args.out}")

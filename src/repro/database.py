@@ -14,9 +14,13 @@ module is the one front door over all of it:
   instead of a full STR build);
 * a :class:`Session` executes queries with one uniform keyword
   vocabulary — ``mode=``, ``join_strategy=``, ``partitions=``,
-  ``parallel=``, ``limit=`` — matching the CLI flags one-for-one, with
-  per-session defaults and an optional shared
-  :class:`~repro.spatial.table.ProbeCache`.
+  ``parallel=``, ``parallel_kind=``, ``shards=``, ``spill=``,
+  ``limit=`` — matching the CLI flags one-for-one, with per-session
+  defaults and an optional shared
+  :class:`~repro.spatial.table.ProbeCache`.  Parallel plans borrow the
+  database's persistent :class:`~repro.spatial.partition.WorkerPool`
+  (one per pool shape, alive until :meth:`Database.close`) instead of
+  constructing a pool per query.
 
 The old entry points remain as thin deprecated shims (see
 :func:`repro.engine.executor.run_query`).
@@ -35,6 +39,7 @@ from .engine.compiler import QueryPlan, compile_query
 from .engine.executor import Answer, answers_as_oid_tuples
 from .engine.query import AggregateSpec, KNNStep, SpatialQuery
 from .engine.stats import ExecutionStats
+from .spatial.partition import WorkerPool
 from .spatial.snapshot import read_snapshot, write_snapshot
 from .spatial.table import ProbeCache, SpatialObject, SpatialTable
 
@@ -50,6 +55,9 @@ SESSION_OPTIONS = (
     "join_strategy",
     "partitions",
     "parallel",
+    "parallel_kind",
+    "shards",
+    "spill",
     "limit",
     "vectorize",
 )
@@ -59,6 +67,9 @@ _OPTION_DEFAULTS = {
     "join_strategy": None,
     "partitions": 0,
     "parallel": 0,
+    "parallel_kind": "thread",
+    "shards": 0,
+    "spill": None,
     "limit": None,
     "vectorize": None,
 }
@@ -101,6 +112,40 @@ class Database:
     ):
         self.tables: Dict[str, SpatialTable] = dict(tables or {})
         self.bindings: Dict[str, Region] = dict(bindings or {})
+        self._pools: Dict[Tuple[str, int], WorkerPool] = {}
+
+    # -- parallel substrate ------------------------------------------------------
+    def worker_pool(self, workers: int, kind: str = "thread") -> WorkerPool:
+        """The database's persistent worker pool, created lazily.
+
+        One pool per ``(kind, workers)`` shape lives for the database's
+        lifetime (until :meth:`close`), so parallel queries reuse
+        warm workers instead of paying pool construction — and, for
+        process pools, process spawn — per query.
+        """
+        key = (kind, max(1, int(workers)))
+        pool = self._pools.get(key)
+        if pool is None or pool.closed:
+            pool = WorkerPool(workers=key[1], kind=kind)
+            self._pools[key] = pool
+        return pool
+
+    def close(self) -> None:
+        """Release the worker pools and shared-memory shard columns."""
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+        for table in self.tables.values():
+            if table._sharding_cache is not None:
+                table._sharding_cache.close()
+                table._sharding_cache = None
+                table._sharding_key = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -115,18 +160,26 @@ class Database:
         return cls(tables=tables, bindings=bindings)
 
     def save(
-        self, path: str, statistics: bool = True, partitions: int = 0
+        self,
+        path: str,
+        statistics: bool = True,
+        partitions: int = 0,
+        shards: int = 0,
     ) -> None:
         """Atomically snapshot every table and binding to ``path``.
 
         ``statistics=True`` (default) computes each table's default
         planner statistics first so the snapshot ships a warm catalog;
         ``partitions > 0`` additionally computes and ships the STR
-        partitioning at that granularity.
+        partitioning at that granularity, and ``shards > 0`` the
+        sharding (per-shard row membership — :meth:`open` rebuilds the
+        same shards without re-running the STR sort).
         """
         for table in self.tables.values():
             if partitions > 0:
                 table.partitioning(partitions)
+            if shards > 0:
+                table.sharding(shards)
             if statistics:
                 table.statistics()
         write_snapshot(path, self.tables, self.bindings)
@@ -212,6 +265,7 @@ class Session:
     :class:`~repro.engine.compiler.QueryPlan`, or — when constructed
     with a :class:`Database` — raw constraint text.  Keyword options
     (``mode=``, ``join_strategy=``, ``partitions=``, ``parallel=``,
+    ``parallel_kind=``, ``shards=``, ``spill=``,
     ``limit=``) match the CLI flags; constructor keywords set session
     defaults, call keywords override per query.  ``probe_cache=N``
     shares an N-entry :class:`ProbeCache` across the session's probes
@@ -243,20 +297,38 @@ class Session:
         return self.defaults[name] if value is _UNSET else value
 
     def _physical_options(
-        self, partitions, parallel, join_strategy, vectorize=_UNSET
+        self,
+        partitions,
+        parallel,
+        join_strategy,
+        vectorize=_UNSET,
+        shards=_UNSET,
+        spill=_UNSET,
+        parallel_kind=_UNSET,
     ) -> dict:
         partitions = self._option("partitions", partitions)
         parallel = self._option("parallel", parallel)
+        shards = self._option("shards", shards)
+        kind = self._option("parallel_kind", parallel_kind)
         join = self._option("join_strategy", join_strategy)
-        if join is None and (partitions or parallel):
+        if join is None and (partitions or parallel or shards):
             # Same default the CLI applies: partitioned execution with
             # no explicit algorithm delegates the pick to the planner.
             join = "auto"
+        pool = None
+        if self.db is not None and parallel:
+            # Parallel plans borrow the database's persistent pool; a
+            # detached session falls back to per-run executors.
+            pool = self.db.worker_pool(parallel, kind)
         return {
             "partitions": partitions,
             "parallel": parallel,
+            "parallel_kind": kind,
             "join_strategy": join,
             "vectorize": self._option("vectorize", vectorize),
+            "shards": shards,
+            "spill": self._option("spill", spill),
+            "pool": pool,
         }
 
     def _compile(
@@ -299,6 +371,9 @@ class Session:
         limit=_UNSET,
         partitions=_UNSET,
         parallel=_UNSET,
+        parallel_kind=_UNSET,
+        shards=_UNSET,
+        spill=_UNSET,
         join_strategy=_UNSET,
         vectorize=_UNSET,
     ) -> QueryResult:
@@ -313,7 +388,13 @@ class Session:
             self._option("mode", mode),
             estimate=False,
             **self._physical_options(
-                partitions, parallel, join_strategy, vectorize
+                partitions,
+                parallel,
+                join_strategy,
+                vectorize,
+                shards=shards,
+                spill=spill,
+                parallel_kind=parallel_kind,
             ),
         )
         start = perf_counter()
@@ -343,6 +424,9 @@ class Session:
         analyze: bool = False,
         partitions=_UNSET,
         parallel=_UNSET,
+        parallel_kind=_UNSET,
+        shards=_UNSET,
+        spill=_UNSET,
         join_strategy=_UNSET,
         vectorize=_UNSET,
     ) -> str:
@@ -355,7 +439,13 @@ class Session:
         pplan = plan.physical(
             self._option("mode", mode),
             **self._physical_options(
-                partitions, parallel, join_strategy, vectorize
+                partitions,
+                parallel,
+                join_strategy,
+                vectorize,
+                shards=shards,
+                spill=spill,
+                parallel_kind=parallel_kind,
             ),
         )
         if analyze:
@@ -371,6 +461,9 @@ class Session:
         limit=_UNSET,
         partitions=_UNSET,
         parallel=_UNSET,
+        parallel_kind=_UNSET,
+        shards=_UNSET,
+        spill=_UNSET,
         join_strategy=_UNSET,
         vectorize=_UNSET,
     ) -> dict:
@@ -390,6 +483,9 @@ class Session:
             limit=limit,
             partitions=partitions,
             parallel=parallel,
+            parallel_kind=parallel_kind,
+            shards=shards,
+            spill=spill,
             join_strategy=join_strategy,
             vectorize=vectorize,
         )

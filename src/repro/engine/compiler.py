@@ -81,13 +81,17 @@ class QueryPlan:
         parallel_kind: str = "thread",
         join_strategy=None,
         vectorize=None,
+        shards: int = 0,
+        spill=None,
+        pool=None,
     ):
         """Lower to a physical operator tree (the third pipeline stage).
 
         ``estimate=False`` skips the EXPLAIN-only catalog cost rollouts
         (they cost far more than executing a small query).
         ``partitions``/``parallel``/``join_strategy``/``vectorize``
-        configure partitioned and columnar execution — see
+        configure partitioned and columnar execution, ``shards``/
+        ``spill``/``pool`` sharded scale-out — see
         :func:`repro.engine.physical.build_physical_plan`.
         """
         from .physical import build_physical_plan
@@ -102,6 +106,9 @@ class QueryPlan:
             parallel_kind=parallel_kind,
             join_strategy=join_strategy,
             vectorize=vectorize,
+            shards=shards,
+            spill=spill,
+            pool=pool,
         )
 
     def explain(self, mode: str = "boxplan", analyze: bool = False) -> str:

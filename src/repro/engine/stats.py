@@ -61,6 +61,9 @@ class ExecutionStats:
     partial_tuples: int = 0  # total partial solutions materialised
     region_ops: int = 0  # exact region-algebra operations
     box_ops_estimate: int = 0  # bounding-box function evaluations
+    exchange_kind: str = "serial"  # worker pool kind ("serial" = none)
+    exchange_workers: int = 0  # parallel workers the plan was built with
+    exchange_fallbacks: int = 0  # parallel runs that fell back to serial
     steps: List[StepStats] = field(default_factory=list)
 
     def step(self, variable: str) -> StepStats:
@@ -126,6 +129,9 @@ class ExecutionStats:
             "partial_tuples": self.partial_tuples,
             "region_ops": self.region_ops,
             "box_ops_estimate": self.box_ops_estimate,
+            "exchange_kind": self.exchange_kind,
+            "exchange_workers": self.exchange_workers,
+            "exchange_fallbacks": self.exchange_fallbacks,
             "steps": [s.to_dict() for s in self.steps],
         }
 
@@ -138,6 +144,9 @@ class ExecutionStats:
             partial_tuples=int(data.get("partial_tuples", 0)),
             region_ops=int(data.get("region_ops", 0)),
             box_ops_estimate=int(data.get("box_ops_estimate", 0)),
+            exchange_kind=str(data.get("exchange_kind", "serial")),
+            exchange_workers=int(data.get("exchange_workers", 0)),
+            exchange_fallbacks=int(data.get("exchange_fallbacks", 0)),
         )
         stats.steps = [StepStats.from_dict(s) for s in data.get("steps", [])]
         return stats
@@ -157,6 +166,9 @@ class ExecutionStats:
             "cache_misses": self.cache_misses,
             "vectorized_batches": self.vectorized_batches,
             "vectorized_candidates": self.vectorized_candidates,
+            "exchange_kind": self.exchange_kind,
+            "exchange_workers": self.exchange_workers,
+            "exchange_fallbacks": self.exchange_fallbacks,
             "per_step": [
                 (s.variable, s.candidates, s.survivors) for s in self.steps
             ],
@@ -173,8 +185,15 @@ class ExecutionStats:
                 f" cache={self.cache_hits}/"
                 f"{self.cache_hits + self.cache_misses}"
             )
+        exchange = ""
+        if self.exchange_workers or self.exchange_fallbacks:
+            exchange = (
+                f" exchange={self.exchange_kind}x{self.exchange_workers}"
+            )
+            if self.exchange_fallbacks:
+                exchange += f" fallbacks={self.exchange_fallbacks}"
         return (
             f"[{self.mode}] tuples={self.tuples_emitted} "
             f"partials={self.partial_tuples} region_ops={self.region_ops} "
-            f"steps=({steps}){cache}"
+            f"steps=({steps}){cache}{exchange}"
         )

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..algebra.regions import Region
 from ..boxes.box import box_from_jsonable
-from ..database import Database, Session
+from ..database import SESSION_OPTIONS, Database, Session
 from ..engine.query import AggregateSpec, KNNStep
 from ..errors import ReproError, ServiceError
 from ..spatial.snapshot import (
@@ -89,11 +89,18 @@ class SnapshotStore:
             self._version += 1
             self._current = new_db
             version = self._version
-        if self._cache is not None:
-            kept = {id(t) for t in new_db.tables.values()}
-            for table in old_db.tables.values():
-                if id(table) not in kept:
-                    self._cache.purge_table(table)
+        kept = {id(t) for t in new_db.tables.values()}
+        for table in old_db.tables.values():
+            if id(table) in kept:
+                continue
+            if self._cache is not None:
+                self._cache.purge_table(table)
+            # A superseded table's shards are never probed again;
+            # release their shared-memory columns now rather than at GC.
+            if table._sharding_cache is not None:
+                table._sharding_cache.close()
+                table._sharding_cache = None
+                table._sharding_key = None
         return version
 
 
@@ -158,14 +165,7 @@ class QueryService:
     def _session(self, db: Database, payload: dict) -> Session:
         options = {
             name: payload[name]
-            for name in (
-                "mode",
-                "join_strategy",
-                "partitions",
-                "parallel",
-                "limit",
-                "vectorize",
-            )
+            for name in SESSION_OPTIONS
             if name in payload
         }
         return Session(db=db, cache=self.cache, **options)
@@ -320,6 +320,10 @@ class QueryService:
             tables = dict(db.tables)
             tables[key] = new_table
             new_db = Database(tables=tables, bindings=dict(db.bindings))
+            # The worker pools are the service's, not the snapshot's:
+            # hand the same pool registry to the new database so warm
+            # workers survive the swap.
+            new_db._pools = db._pools
             self.rebuilds += 1
             return self.store.swap(new_db)
 

@@ -23,6 +23,8 @@ from .partition import (
     Partition,
     TablePartitioning,
     TileGrid,
+    TileSpill,
+    WorkerPool,
     mbr_may_match,
     pbsm_join,
     probe_box,
@@ -36,6 +38,12 @@ from .rangequery import (
     matches_via_point,
 )
 from .rtree import RTree, RTreeStats
+from .shard import (
+    ShardColumnBlock,
+    ShardJoinStats,
+    ShardedTable,
+    TableShard,
+)
 from .snapshot import (
     FORMAT_VERSION,
     read_snapshot,
@@ -72,10 +80,16 @@ __all__ = [
     "ProbeCache",
     "RTree",
     "RTreeStats",
+    "ShardColumnBlock",
+    "ShardJoinStats",
+    "ShardedTable",
     "SpatialObject",
     "SpatialTable",
     "TablePartitioning",
+    "TableShard",
     "TileGrid",
+    "TileSpill",
+    "WorkerPool",
     "ZGrid",
     "ZOrderIndex",
     "ZRange",

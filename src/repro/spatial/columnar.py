@@ -73,6 +73,7 @@ __all__ = [
     "HAVE_NUMPY",
     "ColumnStore",
     "active_backend",
+    "argsort_by_center",
     "enabled",
     "forced_backend",
     "match_mask",
@@ -167,6 +168,32 @@ def pack_floats(values: Sequence[float]) -> bytes:
 def unpack_floats(blob: bytes) -> Tuple[float, ...]:
     """Inverse of :func:`pack_floats`."""
     return struct.unpack(f"<{len(blob) // 8}d", blob)
+
+
+# -- STR sort keys -------------------------------------------------------------
+# The Sort-Tile-Recursive build (R-tree bulk load, table partitioning,
+# shard splitting) repeatedly sorts boxes by per-dimension centers.  The
+# center key is the same IEEE double whether computed per-object or in
+# bulk, and a *stable* argsort of identical keys is the same permutation
+# as a stable sort — so the vectorized build packs bit-identical trees.
+
+def argsort_by_center(
+    los: Sequence[float], his: Sequence[float]
+) -> List[int]:
+    """Stable permutation sorting slots by center ``(lo + hi) / 2``.
+
+    Equivalent to ``sorted(range(n), key=lambda i: (los[i] + his[i]) / 2)``
+    — Timsort is stable and so is the numpy path (``kind="stable"``), so
+    both backends return the identical permutation.  Non-finite centers
+    (``(-inf + inf) / 2`` is NaN, which numpy orders differently from
+    Python's comparison-based sort) fall back to the Python path.
+    """
+    keys = [(lo + hi) / 2 for lo, hi in zip(los, his)]
+    if active_backend() == "numpy" and keys:
+        arr = np.asarray(keys, dtype=np.float64)
+        if not np.isnan(arr).any():
+            return np.argsort(arr, kind="stable").tolist()
+    return sorted(range(len(keys)), key=keys.__getitem__)
 
 
 # -- array-level predicate kernels (numpy backend only) ------------------------
@@ -459,6 +486,24 @@ class ColumnStore:
     def match_rows(self, query: BoxQuery) -> List[object]:
         """The matching rows themselves, in store (= insertion) order."""
         return [self.rows[i] for i in self.match_positions(query)]
+
+    def argsort_by_center(
+        self, d: int, candidates: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Stable center-sort of store slots along dimension ``d``.
+
+        Returns ``candidates`` (or all slots) permuted by
+        :func:`argsort_by_center`; empty rows sort by their placeholder
+        zeros, exactly like the per-object code sees when it never asks
+        (callers only pass nonempty slots).
+        """
+        lo, hi = self._lo[d], self._hi[d]
+        if candidates is None:
+            perm = argsort_by_center(lo, hi)
+            return perm
+        los = [lo[i] for i in candidates]
+        his = [hi[i] for i in candidates]
+        return [candidates[p] for p in argsort_by_center(los, his)]
 
     # -- batched kNN distance kernels ----------------------------------------------
     # All three return one distance per row (``inf`` at empty rows),

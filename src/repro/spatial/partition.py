@@ -24,12 +24,24 @@ parallelisable one:
   ``concurrent.futures`` thread or process pool, with a deterministic
   serial fallback (``workers <= 1``, single task, or pool creation
   failure).  Task order is preserved, so parallel results are
-  bit-identical to serial ones.
+  bit-identical to serial ones.  An Exchange normally borrows a
+  persistent :class:`WorkerPool` (owned by the ``Database`` /
+  ``QueryService`` lifetime) so repeated queries never pay process
+  spawn again; without one it falls back to a one-shot pool per call.
+
+* :class:`TileSpill` — disk-backed tile buckets (the out-of-core PBSM
+  path): replicated tile entries are flushed to per-tile spill files in
+  the snapshot format's packed-float codec once an in-memory budget is
+  exceeded, and :func:`pbsm_join` then streams tile tasks back in
+  bounded chunks instead of materialising every bucket at once.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import struct
+import tempfile
 from dataclasses import dataclass
 from itertools import product
 from typing import (
@@ -154,14 +166,22 @@ class TablePartitioning:
 def _str_tiles(
     rows: List["SpatialObject"], target: int, dim: int, d: int = 0
 ) -> List[List["SpatialObject"]]:
-    """Recursive Sort-Tile-Recursive slicing over the centre coordinates."""
+    """Recursive Sort-Tile-Recursive slicing over the centre coordinates.
+
+    The sort key is the boxes' centre along dimension ``d``, computed by
+    the columnar :func:`~repro.spatial.columnar.argsort_by_center`
+    kernel — the same ``(lo + hi) / 2`` doubles under a stable sort on
+    every backend, so the resulting tiling is bit-identical whether or
+    not numpy is installed.
+    """
     if target <= 1 or len(rows) <= 1 or d >= dim:
         return [rows]
     dims_left = dim - d
     slices = max(1, math.ceil(target ** (1.0 / dims_left)))
-    rows = sorted(
-        rows, key=lambda o: (o.box.lo[d] + o.box.hi[d]) / 2
+    perm = columnar.argsort_by_center(
+        [o.box.lo[d] for o in rows], [o.box.hi[d] for o in rows]
     )
+    rows = [rows[i] for i in perm]
     per_slice = math.ceil(len(rows) / slices)
     out: List[List["SpatialObject"]] = []
     for i in range(0, len(rows), per_slice):
@@ -320,6 +340,8 @@ class JoinStats:
     pair_tests: int = 0  # candidate box-overlap tests in the sweeps
     pairs: int = 0  # result pairs after dedup
     dedup_skipped: int = 0  # boundary duplicates suppressed
+    spilled_entries: int = 0  # tile entries written to spill files
+    spill_flushes: int = 0  # buffer flushes to disk
 
     def merge_tile(self, tests: int, dups: int) -> None:
         self.tiles += 1
@@ -538,6 +560,92 @@ def _sweep_tile_packed(
 # -- the Exchange driver ------------------------------------------------------
 
 
+class WorkerPool:
+    """A persistent ``concurrent.futures`` pool reused across queries.
+
+    The historical :class:`Exchange` constructed (and tore down) a
+    ``ProcessPoolExecutor`` on every ``run`` call — process spawn per
+    query.  A ``WorkerPool`` owns one executor for its whole lifetime
+    (the ``Database``/``QueryService`` lifetime in practice), created
+    lazily on the first parallel dispatch and shut down by
+    :meth:`close`.
+
+    ``map`` preserves task order.  A :class:`concurrent.futures.
+    BrokenExecutor` (e.g. a killed process worker) discards the broken
+    executor and retries once on a fresh one (counted in
+    :attr:`recreations`); a second failure propagates, which the owning
+    :class:`Exchange` turns into its deterministic serial fallback.
+    Task-level exceptions are *not* swallowed — a worker raising
+    mid-``map`` propagates to the caller, exactly like the serial
+    ``[fn(t) for t in tasks]`` would raise.
+    """
+
+    KINDS = ("thread", "process")
+
+    def __init__(self, workers: int, kind: str = "thread"):
+        if kind not in self.KINDS:
+            raise ValueError(
+                f"unknown pool kind {kind!r}; expected one of {self.KINDS}"
+            )
+        self.workers = max(1, workers)
+        self.kind = kind
+        self.recreations = 0
+        self.closed = False
+        self._executor = None
+
+    def _make_executor(self):
+        if self.kind == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            return ProcessPoolExecutor(max_workers=self.workers)
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def executor(self):
+        """The live executor, created lazily on first use."""
+        if self.closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def map(self, fn, tasks: Sequence) -> List:
+        """``[fn(t) for t in tasks]`` on the pool, order preserved."""
+        from concurrent.futures import BrokenExecutor
+
+        try:
+            return list(self.executor().map(fn, tasks))
+        except BrokenExecutor:
+            # The executor is unusable (a worker died); replace it and
+            # retry once — the tasks are pure, so a re-run is safe.
+            self._discard()
+            self.recreations += 1
+            return list(self.executor().map(fn, tasks))
+
+    def _discard(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def close(self) -> None:
+        """Shut the executor down; the pool cannot be used afterwards."""
+        self._discard()
+        self.closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        return f"{self.kind}x{self.workers}"
+
+
 class Exchange:
     """Fan independent tasks out over a worker pool, order-preserved.
 
@@ -548,17 +656,33 @@ class Exchange:
     fall back to the serial path, recorded in :attr:`fallbacks` — the
     results are identical either way, because task order is preserved
     and the tasks are independent.
+
+    ``pool=`` borrows a persistent :class:`WorkerPool` (the
+    ``Database``/``QueryService``-owned substrate): geometry defaults to
+    the pool's and dispatches reuse its executor, so repeated queries
+    pay no per-call pool construction.  Without one, each parallel
+    ``run`` builds a one-shot pool as before.  The Exchange never closes
+    a borrowed pool.
     """
 
     KINDS = ("serial", "thread", "process")
 
-    def __init__(self, workers: int = 0, kind: str = "thread"):
+    def __init__(
+        self,
+        workers: int = 0,
+        kind: str = "thread",
+        pool: Optional[WorkerPool] = None,
+    ):
+        if pool is not None:
+            workers = workers or pool.workers
+            kind = pool.kind if kind == "thread" else kind
         if kind not in self.KINDS:
             raise ValueError(
                 f"unknown exchange kind {kind!r}; expected one of {self.KINDS}"
             )
         self.workers = max(0, workers)
         self.kind = kind
+        self.pool = pool
         self.fallbacks = 0
 
     def describe(self) -> str:
@@ -584,8 +708,16 @@ class Exchange:
         # Worker spawn is lazy (a refused process surfaces inside
         # map(), not at construction), so the whole pool use is guarded;
         # re-running serially is safe because tasks are independent and
-        # pure.
+        # pure.  Note the guarded exceptions are pool-infrastructure
+        # failures; a genuine task-level error re-raises identically on
+        # the serial re-run, so results never depend on the path taken.
         try:
+            if (
+                self.pool is not None
+                and not self.pool.closed
+                and self.pool.kind == self.kind
+            ):
+                return self.pool.map(fn, tasks)
             if self.kind == "process":
                 from concurrent.futures import ProcessPoolExecutor
 
@@ -606,6 +738,117 @@ class Exchange:
             return [fn(t) for t in tasks]
 
 
+# -- out-of-core tile queues --------------------------------------------------
+
+
+class TileSpill:
+    """Disk-backed tile buckets for the out-of-core PBSM path.
+
+    Entries (``(box, int tag)``) are buffered in memory per
+    ``(tile, side)`` bucket; :meth:`flush` appends every buffer to its
+    bucket's spill file and drops the buffers, bounding resident memory
+    by the flush budget rather than the full replicated input.  Records
+    are fixed-size — one little-endian int64 tag plus ``2 * dim``
+    little-endian doubles (the snapshot format's packed-float codec) —
+    so coordinates round-trip bit-exactly and :meth:`load` reproduces
+    the exact append order: file records first, then any unflushed
+    buffer residue.
+    """
+
+    def __init__(self, dim: int, directory: Optional[str] = None):
+        self.dim = dim
+        self._record = struct.Struct(f"<q{2 * dim}d")
+        self._buffers: Dict[Tuple[int, int], List[Tuple[Box, int]]] = {}
+        self._paths: Dict[Tuple[int, int], str] = {}
+        self._dir = directory
+        self._own_dir = directory is None
+        self.buffered = 0
+        self.spilled_entries = 0
+        self.flushes = 0
+
+    def _path(self, key: Tuple[int, int]) -> str:
+        if self._dir is None:
+            self._dir = tempfile.mkdtemp(prefix="repro-spill-")
+        path = self._paths.get(key)
+        if path is None:
+            tile, side = key
+            path = os.path.join(self._dir, f"t{tile}.{side}")
+            self._paths[key] = path
+        return path
+
+    def add(self, tile: int, side: int, box: Box, tag: int) -> None:
+        """Buffer one entry for ``(tile, side)``."""
+        self._buffers.setdefault((tile, side), []).append((box, tag))
+        self.buffered += 1
+
+    def flush(self) -> None:
+        """Append every buffered entry to its spill file; drop buffers."""
+        if not self.buffered:
+            return
+        for key, entries in self._buffers.items():
+            if not entries:
+                continue
+            with open(self._path(key), "ab") as fh:
+                for box, tag in entries:
+                    fh.write(self._record.pack(tag, *box.lo, *box.hi))
+            self.spilled_entries += len(entries)
+        self._buffers.clear()
+        self.buffered = 0
+        self.flushes += 1
+
+    def tiles(self) -> List[int]:
+        """Tile ids holding any entry (buffered or spilled), sorted."""
+        seen = {t for t, _s in self._buffers if self._buffers[(t, _s)]}
+        seen.update(t for t, _s in self._paths)
+        return sorted(seen)
+
+    def load(self, tile: int, side: int) -> List[Tuple[Box, int]]:
+        """One bucket's entries, in original append order."""
+        key = (tile, side)
+        out: List[Tuple[Box, int]] = []
+        path = self._paths.get(key)
+        if path is not None and os.path.exists(path):
+            dim = self.dim
+            with open(path, "rb") as fh:
+                blob = fh.read()
+            for rec in self._record.iter_unpack(blob):
+                out.append(
+                    (
+                        Box._trusted(
+                            rec[1 : 1 + dim],
+                            rec[1 + dim : 1 + 2 * dim],
+                            empty=False,
+                        ),
+                        rec[0],
+                    )
+                )
+        out.extend(self._buffers.get(key, ()))
+        return out
+
+    def close(self) -> None:
+        """Delete every spill file (and the owned directory)."""
+        self._buffers.clear()
+        self.buffered = 0
+        for path in self._paths.values():
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        self._paths.clear()
+        if self._own_dir and self._dir is not None:
+            try:
+                os.rmdir(self._dir)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._dir = None
+
+    def __enter__(self) -> "TileSpill":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 # -- the PBSM join ------------------------------------------------------------
 
 
@@ -615,6 +858,7 @@ def pbsm_join(
     n_tiles: int = DEFAULT_TILES,
     exchange: Optional[Exchange] = None,
     stats: Optional[JoinStats] = None,
+    spill: Optional[int] = None,
 ) -> List[Tuple[object, object]]:
     """Partition-based spatial-merge overlap join of two box sequences.
 
@@ -624,6 +868,14 @@ def pbsm_join(
     Returns ``(left_value, right_value)`` pairs whose boxes overlap,
     sorted by input positions — deterministic, and identical for serial
     and parallel execution.
+
+    ``spill=N`` enables the out-of-core path: tile buckets flush to a
+    :class:`TileSpill` every ``N`` buffered entries and tile tasks are
+    streamed back in bounded chunks, so resident memory is ~``N``
+    replicated entries plus one chunk of tasks instead of the whole
+    replicated input.  Entry order per bucket is preserved exactly, so
+    the pairs, tests and dedup counters match the in-memory path
+    bit-for-bit.
     """
     lefts = [(b, k) for k, (b, _v) in enumerate(left) if not b.is_empty()]
     rights = [(b, k) for k, (b, _v) in enumerate(right) if not b.is_empty()]
@@ -633,33 +885,74 @@ def pbsm_join(
         [b for b, _ in lefts] + [b for b, _ in rights], n_tiles
     )
     assert grid is not None  # non-empty inputs imply a non-empty extent
-    buckets: Dict[int, Tuple[List, List]] = {}
-    repl_left = repl_right = 0
-    for b, k in lefts:
-        tiles = grid.tiles_overlapping(b)
-        repl_left += len(tiles) - 1
-        for t in tiles:
-            buckets.setdefault(t, ([], []))[0].append((b, k))
-    for b, k in rights:
-        tiles = grid.tiles_overlapping(b)
-        repl_right += len(tiles) - 1
-        for t in tiles:
-            buckets.setdefault(t, ([], []))[1].append((b, k))
-    tasks: List[_TileTask] = [
-        (grid, t, ls, rs)
-        for t, (ls, rs) in sorted(buckets.items())
-        if ls and rs
-    ]
     exchange = exchange or Exchange()
-    if exchange.uses_processes(len(tasks)):
-        # Process workers receive packed coordinate blobs, not pickled
-        # Box object graphs; a pool-creation fallback to serial still
-        # runs the same packed tasks, so results never depend on it.
-        results = exchange.run(
-            _sweep_tile_packed, [_pack_tile_task(t) for t in tasks]
-        )
+    repl_left = repl_right = 0
+    results: List[Tuple[List[Tuple[int, int]], int, int]] = []
+    if spill is not None and spill > 0:
+        with TileSpill(dim=grid.extent.dim) as store:
+            for side, entries in ((0, lefts), (1, rights)):
+                for b, k in entries:
+                    tiles = grid.tiles_overlapping(b)
+                    if side == 0:
+                        repl_left += len(tiles) - 1
+                    else:
+                        repl_right += len(tiles) - 1
+                    for t in tiles:
+                        store.add(t, side, b, k)
+                        if store.buffered >= spill:
+                            store.flush()
+            # Stream tile tasks in chunks of ~the worker count: at any
+            # moment only those tiles' entries are resident.
+            chunk = max(1, exchange.workers or 1)
+            tile_ids = store.tiles()
+            for start in range(0, len(tile_ids), chunk):
+                tasks = []
+                for t in tile_ids[start : start + chunk]:
+                    ls = store.load(t, 0)
+                    rs = store.load(t, 1)
+                    if ls and rs:
+                        tasks.append((grid, t, ls, rs))
+                if not tasks:
+                    continue
+                if exchange.uses_processes(len(tasks)):
+                    results.extend(
+                        exchange.run(
+                            _sweep_tile_packed,
+                            [_pack_tile_task(t) for t in tasks],
+                        )
+                    )
+                else:
+                    results.extend(exchange.run(_sweep_tile, tasks))
+            if stats is not None:
+                stats.spilled_entries += store.spilled_entries
+                stats.spill_flushes += store.flushes
     else:
-        results = exchange.run(_sweep_tile, tasks)
+        buckets: Dict[int, Tuple[List, List]] = {}
+        for b, k in lefts:
+            tiles = grid.tiles_overlapping(b)
+            repl_left += len(tiles) - 1
+            for t in tiles:
+                buckets.setdefault(t, ([], []))[0].append((b, k))
+        for b, k in rights:
+            tiles = grid.tiles_overlapping(b)
+            repl_right += len(tiles) - 1
+            for t in tiles:
+                buckets.setdefault(t, ([], []))[1].append((b, k))
+        tasks: List[_TileTask] = [
+            (grid, t, ls, rs)
+            for t, (ls, rs) in sorted(buckets.items())
+            if ls and rs
+        ]
+        if exchange.uses_processes(len(tasks)):
+            # Process workers receive packed coordinate blobs, not
+            # pickled Box object graphs; a pool-creation fallback to
+            # serial still runs the same packed tasks, so results never
+            # depend on it.
+            results = exchange.run(
+                _sweep_tile_packed, [_pack_tile_task(t) for t in tasks]
+            )
+        else:
+            results = exchange.run(_sweep_tile, tasks)
     pairs: List[Tuple[int, int]] = []
     for tile_pairs, tests, dups in results:
         pairs.extend(tile_pairs)

@@ -175,26 +175,29 @@ class RTree:
 
         dim = items[0][0].dim
 
+        def sort_by_center(level_items, d):
+            # Bulk center keys through the columnar kernel: stable
+            # argsort of identical doubles == the old per-object
+            # ``sorted``, so packed trees stay bit-identical.
+            perm = columnar.argsort_by_center(
+                [e[0].lo[d] for e in level_items],
+                [e[0].hi[d] for e in level_items],
+            )
+            return [level_items[i] for i in perm]
+
         def pack_level(level_items: List[Tuple[Box, object]], leaf: bool) -> List[_Node]:
             n = len(level_items)
             cap = max_entries
             n_nodes = math.ceil(n / cap)
             # STR tiling over the first two dimensions (1-D data falls
             # back to a simple sorted packing).
-            def center(entry, d):
-                box = entry[0]
-                return (box.lo[d] + box.hi[d]) / 2
-
-            level_items = sorted(level_items, key=lambda e: center(e, 0))
+            level_items = sort_by_center(level_items, 0)
             nodes: List[_Node] = []
             if dim >= 2:
                 slices = math.ceil(math.sqrt(n_nodes))
                 per_slice = math.ceil(n / slices)
                 chunks = [
-                    sorted(
-                        level_items[i : i + per_slice],
-                        key=lambda e: center(e, 1),
-                    )
+                    sort_by_center(level_items[i : i + per_slice], 1)
                     for i in range(0, n, per_slice)
                 ]
             else:

@@ -21,7 +21,11 @@ builds:
   startup cost worth snapshotting);
 * cached statistics reference their row sample by index, and the
   partitioning stores per-partition row indices, so the loaded table
-  answers :meth:`statistics`/:meth:`partitioning` from the snapshot.
+  answers :meth:`statistics`/:meth:`partitioning` from the snapshot;
+* a cached :class:`~repro.spatial.shard.ShardedTable` stores each
+  shard's member row slots in shard row order, so the loaded table's
+  :meth:`sharding` rebuilds identical shards (same membership, same
+  tags, same answer streams) without re-running the STR sort.
 
 Writes are atomic: the file is written to a sibling temporary path and
 moved into place with ``os.replace``, so a crashed save never leaves a
@@ -44,6 +48,7 @@ from ..boxes.box import EMPTY_BOX, Box, box_from_jsonable, box_to_jsonable
 from ..errors import SnapshotError
 from .columnar import pack_floats, unpack_floats
 from .partition import Partition, TablePartitioning
+from .shard import ShardedTable
 from .rtree import RTree
 from .table import SpatialObject, SpatialTable
 
@@ -164,6 +169,21 @@ def table_to_jsonable(table: SpatialTable) -> dict:
                 for p in tiling.partitions
             ],
         }
+    if (
+        table._sharding_cache is not None
+        and table._sharding_key is not None
+        and table._sharding_key[0] == table._version
+    ):
+        sharding = table._sharding_cache
+        data["sharding"] = {
+            "target": sharding.target,
+            # Per-shard member row slots in shard row order — enough to
+            # rebuild identical shards without re-running the STR sort.
+            "shards": [
+                [row_index[id(obj)] for obj in shard.table]
+                for shard in sharding.shards
+            ],
+        }
     return data
 
 
@@ -271,6 +291,18 @@ def table_from_jsonable(data: dict) -> SpatialTable:
             ),
         )
         table._partitioning_key = (table._version, int(part["target"]))
+    shard_data = data.get("sharding")
+    if shard_data is not None:
+        target = int(shard_data["target"])
+        table._sharding_cache = ShardedTable.from_row_groups(
+            table,
+            target,
+            [
+                [rows[int(i)] for i in group]
+                for group in shard_data["shards"]
+            ],
+        )
+        table._sharding_key = (table._version, target)
     return table
 
 

@@ -285,6 +285,8 @@ class SpatialTable:
         self._stats_version: Optional[int] = None
         self._partitioning_cache = None
         self._partitioning_key: Optional[Tuple] = None
+        self._sharding_cache = None
+        self._sharding_key: Optional[Tuple] = None
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -716,6 +718,27 @@ class SpatialTable:
             self._partitioning_cache = str_partition(self, n_partitions)
             self._partitioning_key = key
         return self._partitioning_cache
+
+    # -- sharding (scale-out execution) --------------------------------------------
+    def sharding(self, n_shards: int):
+        """An STR sharding of this table's rows, cached by version.
+
+        Built lazily by :meth:`repro.spatial.shard.ShardedTable.build`;
+        the cache key includes the mutation counter, so any insert or
+        reindex invalidates it — and the superseded sharding is closed
+        (its shared-memory publications unlinked) before the rebuild.
+        Used by the shard-aware physical operators (``ShardScan``,
+        ``ShardedJoin``) and the planner's shard costing.
+        """
+        key = (self._version, n_shards)
+        if self._sharding_key != key:
+            from .shard import ShardedTable
+
+            if self._sharding_cache is not None:
+                self._sharding_cache.close()
+            self._sharding_cache = ShardedTable.build(self, n_shards)
+            self._sharding_key = key
+        return self._sharding_cache
 
     # -- statistics (cost-based planning) -----------------------------------------
     def statistics(

@@ -8,7 +8,13 @@ r-tree reads uniformly across all four executor modes (``boxonly`` and
 import pytest
 
 from repro.datagen import smugglers_query
-from repro.engine import MODES, compile_query, execute
+from repro.engine import (
+    MODES,
+    ExecutionStats,
+    build_physical_plan,
+    compile_query,
+    execute,
+)
 
 
 @pytest.fixture(scope="module")
@@ -74,3 +80,52 @@ def test_probe_counts_per_mode(plan):
     # First step has no prefix: exactly one probe.
     assert box_stats.steps[0].index_probes == 1
     assert box_stats.index_probes >= 3
+
+
+def test_serial_plans_report_no_exchange(plan):
+    """Without workers the exchange fields stay at their zero values
+    and the summary line omits the exchange clause entirely."""
+    pplan = build_physical_plan(plan, "boxplan")
+    pplan.run()
+    stats = pplan.stats()
+    assert stats.exchange_kind == "serial"
+    assert stats.exchange_workers == 0
+    assert stats.exchange_fallbacks == 0
+    assert "exchange=" not in stats.summary()
+
+
+def test_parallel_plans_surface_exchange(plan):
+    """A parallel sharded plan reports its exchange geometry in
+    stats(), the dict forms, and the summary string."""
+    pplan = build_physical_plan(plan, "boxplan", shards=4, parallel=2)
+    pplan.run()
+    stats = pplan.stats()
+    assert stats.exchange_kind == "thread"
+    assert stats.exchange_workers == 2
+    assert stats.exchange_fallbacks >= 0
+    assert "exchange=threadx2" in stats.summary()
+    for d in (stats.to_dict(), stats.as_dict()):
+        assert d["exchange_kind"] == "thread"
+        assert d["exchange_workers"] == 2
+        assert d["exchange_fallbacks"] == stats.exchange_fallbacks
+
+
+def test_exchange_fields_roundtrip_serialization(plan):
+    """to_dict -> from_dict preserves the exchange fields exactly, and
+    legacy payloads without them decode to the serial defaults."""
+    pplan = build_physical_plan(plan, "boxplan", shards=2, parallel=2)
+    pplan.run()
+    stats = pplan.stats()
+    decoded = ExecutionStats.from_dict(stats.to_dict())
+    assert decoded.exchange_kind == stats.exchange_kind
+    assert decoded.exchange_workers == stats.exchange_workers
+    assert decoded.exchange_fallbacks == stats.exchange_fallbacks
+    legacy = {
+        k: v
+        for k, v in stats.to_dict().items()
+        if not k.startswith("exchange_")
+    }
+    old = ExecutionStats.from_dict(legacy)
+    assert old.exchange_kind == "serial"
+    assert old.exchange_workers == 0
+    assert old.exchange_fallbacks == 0
