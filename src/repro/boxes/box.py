@@ -24,6 +24,7 @@ a single orthogonal range query — is :meth:`Box.to_point` /
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import DimensionMismatchError
@@ -212,13 +213,18 @@ class Box:
             return float("inf")
         if len(point) != self.dim:
             raise DimensionMismatchError("point/box dimension mismatch")
+        # d * d and math.sqrt, not ** — libm pow is off by one ulp from
+        # the correctly-rounded multiply/sqrt the array kernels use, and
+        # the backends must produce identical doubles (ties included).
         acc = 0.0
         for p, a, b in zip(point, self.lo, self.hi):
             if p < a:
-                acc += (a - p) ** 2
+                d = a - p
+                acc += d * d
             elif p > b:
-                acc += (p - b) ** 2
-        return acc ** 0.5
+                d = p - b
+                acc += d * d
+        return math.sqrt(acc)
 
     def maxdist_point(self, point: Sequence[float]) -> float:
         """Distance from a point to the farthest corner of the box
@@ -229,8 +235,9 @@ class Box:
             raise DimensionMismatchError("point/box dimension mismatch")
         acc = 0.0
         for p, a, b in zip(point, self.lo, self.hi):
-            acc += max(abs(p - a), abs(p - b)) ** 2
-        return acc ** 0.5
+            d = max(abs(p - a), abs(p - b))
+            acc += d * d
+        return math.sqrt(acc)
 
     def minmaxdist_point(self, point: Sequence[float]) -> float:
         """MINMAXDIST (Roussopoulos et al.): a pessimistic bound for NN
@@ -253,13 +260,13 @@ class Box:
             mid = (a + b) / 2
             near = a if p <= mid else b
             far = a if p >= mid else b
-            near_sq.append((p - near) ** 2)
-            far_sq.append((p - far) ** 2)
+            near_sq.append((p - near) * (p - near))
+            far_sq.append((p - far) * (p - far))
         total_far = sum(far_sq)
         best = min(
             total_far - f + n for n, f in zip(near_sq, far_sq)
         )
-        return best ** 0.5
+        return math.sqrt(best)
 
     def mindist(self, other: "Box") -> float:
         """MINDIST between two boxes: the smallest distance between any
@@ -278,10 +285,12 @@ class Box:
         acc = 0.0
         for a, b, c, d in zip(self.lo, self.hi, other.lo, other.hi):
             if c > b:
-                acc += (c - b) ** 2
+                gap = c - b
+                acc += gap * gap
             elif a > d:
-                acc += (a - d) ** 2
-        return acc ** 0.5
+                gap = a - d
+                acc += gap * gap
+        return math.sqrt(acc)
 
     # -- operators -------------------------------------------------------------------------
     def __and__(self, other: "Box") -> "Box":

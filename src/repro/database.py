@@ -28,6 +28,7 @@ The old entry points remain as thin deprecated shims (see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -112,7 +113,13 @@ class Database:
     ):
         self.tables: Dict[str, SpatialTable] = dict(tables or {})
         self.bindings: Dict[str, Region] = dict(bindings or {})
-        self._pools: Dict[Tuple[str, int], WorkerPool] = {}
+        # Sessions of one database may run on concurrent threads (the
+        # query service does exactly this), and they all fetch pools
+        # through worker_pool(); the lock makes the get-or-create
+        # atomic so two sessions cannot each install a pool for the
+        # same shape and strand one of them unclosed.
+        self._pool_lock = threading.Lock()
+        self._pools: Dict[Tuple[str, int], WorkerPool] = {}  # guarded-by: _pool_lock
 
     # -- parallel substrate ------------------------------------------------------
     def worker_pool(self, workers: int, kind: str = "thread") -> WorkerPool:
@@ -124,17 +131,19 @@ class Database:
         process pools, process spawn — per query.
         """
         key = (kind, max(1, int(workers)))
-        pool = self._pools.get(key)
-        if pool is None or pool.closed:
-            pool = WorkerPool(workers=key[1], kind=kind)
-            self._pools[key] = pool
-        return pool
+        with self._pool_lock:
+            pool = self._pools.get(key)
+            if pool is None or pool.closed:
+                pool = WorkerPool(workers=key[1], kind=kind)
+                self._pools[key] = pool
+            return pool
 
     def close(self) -> None:
         """Release the worker pools and shared-memory shard columns."""
-        for pool in self._pools.values():
+        with self._pool_lock:
+            pools, self._pools = list(self._pools.values()), {}
+        for pool in pools:
             pool.close()
-        self._pools.clear()
         for table in self.tables.values():
             if table._sharding_cache is not None:
                 table._sharding_cache.close()

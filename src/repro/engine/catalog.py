@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, Iterable, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import (
@@ -37,7 +37,10 @@ from ..boxes.box import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algebra.regions import RegionAlgebra
+    from ..constraints.solved import SolvedConstraint
     from ..spatial.table import SpatialObject, SpatialTable
+    from .query import SpatialQuery
 
 DEFAULT_BINS = 16
 DEFAULT_SAMPLE_SIZE = 24
@@ -318,9 +321,9 @@ class TableStatistics:
 
     def exact_selectivity(
         self,
-        solved,
-        algebra,
-        env,
+        solved: "SolvedConstraint",
+        algebra: "RegionAlgebra",
+        env: Dict[str, object],
         pool: Optional[Iterable["SpatialObject"]] = None,
     ) -> Tuple[float, Tuple["SpatialObject", ...]]:
         """Sampled selectivity of an exact solved constraint.
@@ -367,7 +370,9 @@ class TableStatistics:
         }
 
     @classmethod
-    def from_dict(cls, data: dict, rows) -> "TableStatistics":
+    def from_dict(
+        cls, data: dict, rows: Sequence["SpatialObject"]
+    ) -> "TableStatistics":
         """Inverse of :meth:`to_dict`; ``rows`` resolves sample indices."""
         return cls(
             name=str(data["name"]),
@@ -461,7 +466,7 @@ class Catalog:
         sample_size: int = DEFAULT_SAMPLE_SIZE,
         seed: int = 0,
         partitions: int = 0,
-    ):
+    ) -> None:
         self.bins = bins
         self.sample_size = sample_size
         self.seed = seed
@@ -476,7 +481,7 @@ class Catalog:
             partitions=self.partitions,
         )
 
-    def for_query(self, query) -> dict:
+    def for_query(self, query: "SpatialQuery") -> dict:
         """``variable -> TableStatistics`` for every unknown of a query."""
         return {
             name: self.statistics(table)

@@ -19,7 +19,7 @@ box templates (for the index probes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..algebra.regions import RegionAlgebra
 from ..boxes.bconstraints import StepTemplate, compile_solved_constraint
@@ -28,6 +28,11 @@ from ..constraints.triangular import TriangularForm, triangular_form
 from ..errors import CompilationError, UnsatisfiableError
 from ..spatial.table import SpatialTable
 from .query import AggregateSpec, KNNStep, SpatialQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spatial.partition import WorkerPool
+    from .catalog import Catalog
+    from .physical import PhysicalPlan
 
 
 @dataclass(frozen=True)
@@ -74,17 +79,17 @@ class QueryPlan:
     def physical(
         self,
         mode: str = "boxplan",
-        catalog=None,
+        catalog: Optional["Catalog"] = None,
         estimate: bool = True,
         partitions: int = 0,
         parallel: int = 0,
         parallel_kind: str = "thread",
-        join_strategy=None,
-        vectorize=None,
+        join_strategy: Optional[str] = None,
+        vectorize: Optional[bool] = None,
         shards: int = 0,
-        spill=None,
-        pool=None,
-    ):
+        spill: Optional[int] = None,
+        pool: Optional["WorkerPool"] = None,
+    ) -> "PhysicalPlan":
         """Lower to a physical operator tree (the third pipeline stage).
 
         ``estimate=False`` skips the EXPLAIN-only catalog cost rollouts
@@ -124,7 +129,11 @@ class QueryPlan:
         return pplan.explain()
 
 
-def repair_knn_order(order, knn: Optional[KNNStep], tables) -> Tuple[str, ...]:
+def repair_knn_order(
+    order: Sequence[str],
+    knn: Optional[KNNStep],
+    tables: Dict[str, SpatialTable],
+) -> Tuple[str, ...]:
     """An order with a ref-anchored kNN variable moved after its anchor.
 
     No-op (the order returned unchanged, as a tuple) when there is no

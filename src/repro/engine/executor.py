@@ -67,8 +67,8 @@ def execute(
     cache: Optional[ProbeCache] = None,
     partitions: int = 0,
     parallel: int = 0,
-    join_strategy=None,
-    vectorize=None,
+    join_strategy: Optional[str] = None,
+    vectorize: Optional[bool] = None,
 ) -> Tuple[List[Answer], ExecutionStats]:
     """Run a compiled plan in the given mode.
 
@@ -103,8 +103,8 @@ def execute_iter(
     cache: Optional[ProbeCache] = None,
     partitions: int = 0,
     parallel: int = 0,
-    join_strategy=None,
-    vectorize=None,
+    join_strategy: Optional[str] = None,
+    vectorize: Optional[bool] = None,
 ) -> Iterator[Answer]:
     """Streaming execution — answers are yielded as found.
 
@@ -173,7 +173,7 @@ def run_query(
 
 def answers_as_oid_tuples(
     answers: Sequence[Answer], order: Sequence[str]
-) -> List[Tuple]:
+) -> List[Tuple[object, ...]]:
     """Project answers to oid tuples in a fixed variable order (for
     set-comparison in tests and benches)."""
     return sorted(

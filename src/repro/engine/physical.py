@@ -74,7 +74,7 @@ set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from ..boxes.box import Box, enclose_all
 from ..constraints.solved import SolvedConstraint
@@ -94,6 +94,11 @@ from ..spatial.shard import ShardJoinStats
 from ..spatial.table import ProbeCache, SpatialObject, SpatialTable
 from .compiler import QueryPlan
 from .stats import ExecutionStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..boxes.bconstraints import StepTemplate
+    from .catalog import Catalog
+    from .query import AggregateSpec, KNNStep
 
 #: A partial (or complete) answer: variable name → retrieved object.
 Binding = Dict[str, SpatialObject]
@@ -130,7 +135,7 @@ class ExecutionContext:
         plan: QueryPlan,
         cache: Optional[ProbeCache] = None,
         vectorize: bool = False,
-    ):
+    ) -> None:
         self.plan = plan
         self.algebra = plan.algebra
         self.universe: Box = plan.algebra.universe_box
@@ -169,7 +174,7 @@ class PhysicalOperator:
 
     kind = "operator"
 
-    def __init__(self, child: Optional["PhysicalOperator"] = None):
+    def __init__(self, child: Optional["PhysicalOperator"] = None) -> None:
         self.child = child
         self.stats = OperatorStats()
         self.est_rows: Optional[float] = None
@@ -217,7 +222,7 @@ class ExtendStep(PhysicalOperator):
         child: PhysicalOperator,
         variable: str,
         table: SpatialTable,
-    ):
+    ) -> None:
         super().__init__(child)
         self.variable = variable
         self.table = table
@@ -268,7 +273,12 @@ class TableScan(ExtendStep):
 
     kind = "TableScan"
 
-    def __init__(self, child, variable, table):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+    ) -> None:
         super().__init__(child, variable, table)
         self._scanned: Optional[List[SpatialObject]] = None
 
@@ -276,7 +286,9 @@ class TableScan(ExtendStep):
         self._scanned = None
         super().reset_stats()
 
-    def _rows(self, ctx, binding):
+    def _rows(
+        self, ctx: ExecutionContext, binding: Binding
+    ) -> List[SpatialObject]:
         if self._scanned is None:
             before = self.table.index_read_count()
             self._scanned = self.table.scan()
@@ -309,11 +321,19 @@ class IndexProbe(ExtendStep):
 
     kind = "IndexProbe"
 
-    def __init__(self, child, variable, table, template):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+        template: "StepTemplate",
+    ) -> None:
         super().__init__(child, variable, table)
         self.template = template
 
-    def _rows(self, ctx, binding):
+    def _rows(
+        self, ctx: ExecutionContext, binding: Binding
+    ) -> List[SpatialObject]:
         query = self.template.instantiate(ctx.box_env(binding), ctx.universe)
         self.stats.box_evals += 1
         self.stats.probes += 1
@@ -362,7 +382,14 @@ class KNNProbe(ExtendStep):
 
     kind = "KNNProbe"
 
-    def __init__(self, child, variable, table, knn, access: str = "auto"):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+        knn: "KNNStep",
+        access: str = "auto",
+    ) -> None:
         super().__init__(child, variable, table)
         self.knn = knn
         self.access = access
@@ -383,12 +410,14 @@ class KNNProbe(ExtendStep):
         self._ranked = None
         super().reset_stats()
 
-    def _anchor(self, ctx: ExecutionContext):
+    def _anchor(self, ctx: ExecutionContext) -> Any:
         if self.knn.point is not None:
             return self.knn.point
         return ctx.box_env({})[self.knn.ref]
 
-    def _rows(self, ctx, binding):
+    def _rows(
+        self, ctx: ExecutionContext, binding: Binding
+    ) -> List[SpatialObject]:
         if self._ranked is None:
             self.stats.probes += 1
             before = self.table.index_read_count()
@@ -419,7 +448,14 @@ class DistanceJoin(ExtendStep):
 
     kind = "DistanceJoin"
 
-    def __init__(self, child, variable, table, knn, access: str = "auto"):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+        knn: "KNNStep",
+        access: str = "auto",
+    ) -> None:
         super().__init__(child, variable, table)
         self.knn = knn
         self.access = access
@@ -435,7 +471,9 @@ class DistanceJoin(ExtendStep):
         self._memo = {}
         super().reset_stats()
 
-    def _rows(self, ctx, binding):
+    def _rows(
+        self, ctx: ExecutionContext, binding: Binding
+    ) -> List[SpatialObject]:
         anchor = ctx.box_env(binding)[self.knn.ref]
         rows = self._memo.get(anchor)
         if rows is None:
@@ -492,7 +530,9 @@ class Aggregate(PhysicalOperator):
 
     kind = "Aggregate"
 
-    def __init__(self, child: PhysicalOperator, spec):
+    def __init__(
+        self, child: PhysicalOperator, spec: "AggregateSpec"
+    ) -> None:
         super().__init__(child)
         self.spec = spec
 
@@ -558,7 +598,12 @@ class IndexCountAggregate(PhysicalOperator):
 
     kind = "IndexCountAggregate"
 
-    def __init__(self, variable: str, table: SpatialTable, template):
+    def __init__(
+        self,
+        variable: str,
+        table: SpatialTable,
+        template: "StepTemplate",
+    ) -> None:
         super().__init__(None)
         self.variable = variable
         self.table = table
@@ -594,7 +639,14 @@ class PartitionScan(ExtendStep):
 
     kind = "PartitionScan"
 
-    def __init__(self, child, variable, table, template, partitions: int):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+        template: "StepTemplate",
+        partitions: int,
+    ) -> None:
         super().__init__(child, variable, table)
         self.template = template
         self.n_partitions = max(1, partitions)
@@ -610,7 +662,9 @@ class PartitionScan(ExtendStep):
         self._partitioning = None
         super().reset_stats()
 
-    def _rows(self, ctx, binding):
+    def _rows(
+        self, ctx: ExecutionContext, binding: Binding
+    ) -> List[SpatialObject]:
         if self._partitioning is None:
             self._partitioning = self.table.partitioning(self.n_partitions)
         query = self.template.instantiate(ctx.box_env(binding), ctx.universe)
@@ -760,13 +814,13 @@ class PartitionedSpatialJoin(_BulkJoinStep):
 
     def __init__(
         self,
-        child,
-        variable,
-        table,
-        template,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+        template: "StepTemplate",
         partitions: int = DEFAULT_TILES,
         exchange: Optional[Exchange] = None,
-    ):
+    ) -> None:
         super().__init__(child, variable, table)
         self.template = template
         self.n_tiles = max(1, partitions)
@@ -778,7 +832,12 @@ class PartitionedSpatialJoin(_BulkJoinStep):
             f"tiles={self.n_tiles}, exchange={self.exchange.describe()})"
         )
 
-    def _candidate_pairs(self, ctx, probes, rows):
+    def _candidate_pairs(
+        self,
+        ctx: ExecutionContext,
+        probes: List[Tuple[int, Box]],
+        rows: List[SpatialObject],
+    ) -> List[Tuple[int, int]]:
         join_stats = JoinStats()
         pairs = pbsm_join(
             [(box, i) for i, box in probes],
@@ -805,7 +864,14 @@ class ZOrderJoin(_BulkJoinStep):
 
     kind = "ZOrderJoin"
 
-    def __init__(self, child, variable, table, template, levels: int = 6):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+        template: "StepTemplate",
+        levels: int = 6,
+    ) -> None:
         super().__init__(child, variable, table)
         self.template = template
         self.levels = levels
@@ -816,7 +882,12 @@ class ZOrderJoin(_BulkJoinStep):
             f"levels={self.levels})"
         )
 
-    def _candidate_pairs(self, ctx, probes, rows):
+    def _candidate_pairs(
+        self,
+        ctx: ExecutionContext,
+        probes: List[Tuple[int, Box]],
+        rows: List[SpatialObject],
+    ) -> List[Tuple[int, int]]:
         from ..spatial.zorder import ZGrid, ZOrderIndex, zorder_join
 
         universe = self.table.universe
@@ -861,7 +932,14 @@ class ShardScan(ExtendStep):
 
     kind = "ShardScan"
 
-    def __init__(self, child, variable, table, template, shards: int):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+        template: "StepTemplate",
+        shards: int,
+    ) -> None:
         super().__init__(child, variable, table)
         self.template = template
         self.n_shards = max(1, shards)
@@ -877,7 +955,9 @@ class ShardScan(ExtendStep):
         self._sharding = None
         super().reset_stats()
 
-    def _rows(self, ctx, binding):
+    def _rows(
+        self, ctx: ExecutionContext, binding: Binding
+    ) -> List[SpatialObject]:
         if self._sharding is None:
             self._sharding = self.table.sharding(self.n_shards)
         sharding = self._sharding
@@ -931,14 +1011,14 @@ class ShardedJoin(_BulkJoinStep):
 
     def __init__(
         self,
-        child,
-        variable,
-        table,
-        template,
+        child: PhysicalOperator,
+        variable: str,
+        table: SpatialTable,
+        template: "StepTemplate",
         shards: int,
         exchange: Optional[Exchange] = None,
         spill: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__(child, variable, table)
         self.template = template
         self.n_shards = max(1, shards)
@@ -953,7 +1033,12 @@ class ShardedJoin(_BulkJoinStep):
             f"exchange={self.exchange.describe()}{extra})"
         )
 
-    def _candidate_pairs(self, ctx, probes, rows):
+    def _candidate_pairs(
+        self,
+        ctx: ExecutionContext,
+        probes: List[Tuple[int, Box]],
+        rows: List[SpatialObject],
+    ) -> List[Tuple[int, int]]:
         sharding = self.table.sharding(self.n_shards)
         join_stats = ShardJoinStats()
         pairs = sharding.join_pairs(
@@ -979,7 +1064,12 @@ class BoxFilter(PhysicalOperator):
 
     kind = "BoxFilter"
 
-    def __init__(self, child: PhysicalOperator, variable: str, template):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        variable: str,
+        template: "StepTemplate",
+    ) -> None:
         super().__init__(child)
         self.variable = variable
         self.template = template
@@ -1020,7 +1110,7 @@ class ExactFilter(PhysicalOperator):
         variable: Optional[str] = None,
         solved: Optional[SolvedConstraint] = None,
         system: Optional[ConstraintSystem] = None,
-    ):
+    ) -> None:
         if (solved is None) == (system is None):
             raise ValueError(
                 "ExactFilter needs exactly one of solved= or system="
@@ -1271,10 +1361,10 @@ class PhysicalPlan:
 def _resolve_join_strategies(
     plan: QueryPlan,
     mode: str,
-    catalog,
+    catalog: Optional["Catalog"],
     partitions: int,
     parallel: int,
-    join_strategy,
+    join_strategy: Any,
     shards: int = 0,
 ) -> Dict[str, str]:
     """Normalise the ``join_strategy`` option to a per-variable mapping.
@@ -1395,13 +1485,13 @@ def _resolve_join_strategies(
 def build_physical_plan(
     plan: QueryPlan,
     mode: str = "boxplan",
-    catalog=None,
+    catalog: Optional["Catalog"] = None,
     estimate: bool = True,
     partitions: int = 0,
     parallel: int = 0,
     parallel_kind: str = "thread",
-    join_strategy=None,
-    vectorize=None,
+    join_strategy: Optional[str] = None,
+    vectorize: Optional[bool] = None,
     shards: int = 0,
     spill: Optional[int] = None,
     pool: Optional[WorkerPool] = None,
@@ -1492,7 +1582,9 @@ def build_physical_plan(
     exchange = Exchange(workers=parallel, kind=parallel_kind, pool=pool)
     tiles = partitions if partitions > 0 else DEFAULT_TILES
 
-    def knn_extend(node: PhysicalOperator, variable, table) -> ExtendStep:
+    def knn_extend(
+        node: PhysicalOperator, variable: str, table: SpatialTable
+    ) -> ExtendStep:
         """The kNN restriction's access operator for one variable."""
         if knn.ref is not None and knn.ref in plan.query.tables:
             return DistanceJoin(node, variable, table, knn, knn_access)
@@ -1633,7 +1725,9 @@ def build_physical_plan(
     return pplan
 
 
-def _annotate_estimates(pplan: PhysicalPlan, catalog=None) -> None:
+def _annotate_estimates(
+    pplan: PhysicalPlan, catalog: Optional["Catalog"] = None
+) -> None:
     """Attach catalog cardinality estimates to every operator.
 
     Estimation failures (empty statistics, unsupported systems) leave

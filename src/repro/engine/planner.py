@@ -31,7 +31,16 @@ import math
 import random
 from dataclasses import dataclass
 from itertools import permutations
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from ..boxes.bconstraints import compile_solved_constraint
 from ..constraints.system import ConstraintSystem
@@ -40,6 +49,10 @@ from ..errors import CompilationError
 from ..spatial.partition import DEFAULT_TILES
 from .catalog import Catalog
 from .query import SpatialQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spatial.table import SpatialTable
+    from .compiler import QueryPlan
 
 #: Strategies accepted by :func:`plan_order`.
 ORDER_STRATEGIES = ("greedy", "estimate", "histogram")
@@ -378,7 +391,7 @@ def estimate_order_cost_histogram(
 
 
 def _exhaustive_costs(
-    query: SpatialQuery, cost
+    query: SpatialQuery, cost: Callable[[Tuple[str, ...]], float]
 ) -> Dict[Tuple[str, ...], float]:
     return {order: cost(order) for order in enumerate_orders(query)}
 
@@ -463,7 +476,7 @@ def plan_order(
 
 
 def choose_knn_access(
-    table, k: int, catalog: Optional[Catalog] = None
+    table: "SpatialTable", k: int, catalog: Optional[Catalog] = None
 ) -> str:
     """Pick the access path of a kNN step (cost-based).
 
@@ -491,7 +504,7 @@ def choose_knn_access(
         return "bestfirst"
 
 
-def choose_aggregate_strategy(plan, mode: str) -> str:
+def choose_aggregate_strategy(plan: "QueryPlan", mode: str) -> str:
     """Pick how a compiled query's aggregation executes.
 
     ``"stream"`` — an :class:`~repro.engine.physical.Aggregate`

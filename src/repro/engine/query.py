@@ -56,7 +56,7 @@ class KNNStep:
     point: Optional[Tuple[float, ...]] = None
     ref: Optional[str] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.point is not None:
             object.__setattr__(self, "point", tuple(float(c) for c in self.point))
 
@@ -94,7 +94,7 @@ class AggregateSpec:
     group_by: Tuple[str, ...] = ()
     exact: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(
             self, "aggregates", tuple((op, v) for op, v in self.aggregates)
         )
@@ -163,7 +163,7 @@ class SpatialQuery:
     knn: Optional[KNNStep] = None
     aggregate: Optional[AggregateSpec] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.tables = dict(self.tables)
         self.bindings = dict(self.bindings)
         sys_vars = self.system.variables()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Dict, Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from ..errors import ServiceError
 
@@ -24,7 +24,9 @@ __all__ = ["ServiceClient"]
 class ServiceClient:
     """One service endpoint per method; connections are per-request."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self, host: str, port: int, timeout: float = 30.0
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -66,7 +68,7 @@ class ServiceClient:
         self,
         system: str,
         bindings: Union[Sequence[str], Dict, None],
-        **options,
+        **options: Any,
     ) -> dict:
         payload = {"system": system}
         if bindings is not None:
@@ -84,7 +86,7 @@ class ServiceClient:
         self,
         system: str,
         bindings: Union[Sequence[str], Dict, None] = None,
-        **options,
+        **options: Any,
     ) -> dict:
         """Execute constraint text; options are the uniform Session
         keywords (``mode=``, ``join_strategy=``, ``partitions=``,
@@ -99,7 +101,7 @@ class ServiceClient:
         system: str,
         bindings: Union[Sequence[str], Dict, None] = None,
         analyze: bool = False,
-        **options,
+        **options: Any,
     ) -> dict:
         return self._post(
             "/explain",
@@ -112,7 +114,7 @@ class ServiceClient:
         self,
         system: str,
         bindings: Union[Sequence[str], Dict, None] = None,
-        **options,
+        **options: Any,
     ) -> dict:
         return self._post(
             "/bench", self._query_payload(system, bindings, **options)
@@ -123,7 +125,7 @@ class ServiceClient:
         table: str,
         k: int = 1,
         point: Optional[Sequence[float]] = None,
-        box=None,
+        box: Any = None,
         access: str = "auto",
     ) -> dict:
         payload: dict = {"table": table, "k": k, "access": access}

@@ -32,12 +32,12 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..algebra.regions import Region
 from ..boxes.box import box_from_jsonable
 from ..database import SESSION_OPTIONS, Database, Session
-from ..engine.query import AggregateSpec, KNNStep
+from ..engine.query import AggregateSpec, KNNStep, SpatialQuery
 from ..errors import ReproError, ServiceError
 from ..spatial.snapshot import (
     _decode_oid,
@@ -59,10 +59,14 @@ class SnapshotStore:
     module docstring).
     """
 
-    def __init__(self, db: Database, cache: Optional[ProbeCache] = None):
-        self._current = db
+    def __init__(
+        self, db: Database, cache: Optional[ProbeCache] = None
+    ) -> None:
+        # Writers only: readers see _current/_version through the
+        # lock-free current() (single reference reads under the GIL).
+        self._current = db  # guarded-by: _swap_lock
         self._cache = cache
-        self._version = 1
+        self._version = 1  # guarded-by: _swap_lock
         self._swap_lock = threading.Lock()
 
     def current(self) -> Tuple[Database, int]:
@@ -114,16 +118,21 @@ class QueryService:
     inline ``name -> [[lo, hi], ...]`` box lists define ad-hoc ones.
     """
 
-    def __init__(self, db: Database, cache_size: int = 1024):
+    def __init__(self, db: Database, cache_size: int = 1024) -> None:
         self.cache = ProbeCache(maxsize=cache_size) if cache_size else None
         self.store = SnapshotStore(db, cache=self.cache)
         self._rebuild_lock = threading.Lock()
+        # requests is bumped only on the HTTP server's event loop
+        # thread, so it needs no lock; rebuilds is written by the
+        # handlers, which serialize on the rebuild mutex.
         self.requests = 0
-        self.rebuilds = 0
+        self.rebuilds = 0  # guarded-by: _rebuild_lock
 
     # -- payload decoding ------------------------------------------------------
     @staticmethod
-    def _decode_bindings(db: Database, data) -> Optional[Dict[str, Region]]:
+    def _decode_bindings(
+        db: Database, data: Any
+    ) -> Optional[Dict[str, Region]]:
         if data is None:
             return None
         if isinstance(data, list):
@@ -140,7 +149,7 @@ class QueryService:
         }
 
     @staticmethod
-    def _decode_knn(data) -> Optional[KNNStep]:
+    def _decode_knn(data: Any) -> Optional[KNNStep]:
         if data is None:
             return None
         return KNNStep(
@@ -151,7 +160,7 @@ class QueryService:
         )
 
     @staticmethod
-    def _decode_aggregate(data) -> Optional[AggregateSpec]:
+    def _decode_aggregate(data: Any) -> Optional[AggregateSpec]:
         if data is None:
             return None
         return AggregateSpec(
@@ -162,7 +171,7 @@ class QueryService:
             exact=bool(data.get("exact", True)),
         )
 
-    def _session(self, db: Database, payload: dict) -> Session:
+    def _session(self, db: Database, payload: Dict[str, Any]) -> Session:
         options = {
             name: payload[name]
             for name in SESSION_OPTIONS
@@ -170,11 +179,13 @@ class QueryService:
         }
         return Session(db=db, cache=self.cache, **options)
 
-    def _query(self, db: Database, payload: dict):
+    def _query(self, db: Database, payload: Dict[str, Any]) -> SpatialQuery:
         try:
             system = payload["system"]
         except KeyError:
-            raise ServiceError("payload needs a 'system' (constraint text)")
+            raise ServiceError(
+                "payload needs a 'system' (constraint text)"
+            ) from None
         return db.query(
             system,
             bindings=self._decode_bindings(db, payload.get("bindings")),
@@ -321,9 +332,11 @@ class QueryService:
             tables[key] = new_table
             new_db = Database(tables=tables, bindings=dict(db.bindings))
             # The worker pools are the service's, not the snapshot's:
-            # hand the same pool registry to the new database so warm
+            # hand the same pool registry (and the lock guarding it —
+            # one dict must have one lock) to the new database so warm
             # workers survive the swap.
             new_db._pools = db._pools
+            new_db._pool_lock = db._pool_lock
             self.rebuilds += 1
             return self.store.swap(new_db)
 
@@ -350,7 +363,7 @@ class ServiceServer:
         service: QueryService,
         host: str = "127.0.0.1",
         port: int = 0,
-    ):
+    ) -> None:
         self.service = service
         self.host = host
         self.port = port
@@ -380,7 +393,11 @@ class ServiceServer:
             await self._server.serve_forever()
 
     # -- request loop ----------------------------------------------------------
-    async def _serve_client(self, reader, writer) -> None:
+    async def _serve_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         try:
             while True:
                 request_line = await reader.readline()
@@ -417,7 +434,9 @@ class ServiceServer:
             except ConnectionError:  # pragma: no cover - peer reset
                 pass
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
         self.service.requests += 1
         handler_name = _ROUTES.get((method, path.rstrip("/") or path))
         if handler_name is None:
@@ -445,7 +464,9 @@ class ServiceServer:
         return 200, result
 
     @staticmethod
-    async def _respond(writer, status: int, payload: dict) -> None:
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
         data = json.dumps(payload, default=str).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
@@ -460,7 +481,12 @@ class ServiceServer:
 class _ThreadedServer:
     """A :class:`ServiceServer` running in a daemon thread (tests/CLI)."""
 
-    def __init__(self, server: ServiceServer, loop, thread):
+    def __init__(
+        self,
+        server: ServiceServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
         self.server = server
         self._loop = loop
         self._thread = thread
@@ -470,7 +496,7 @@ class _ThreadedServer:
         return self.server.address
 
     def stop(self) -> None:
-        async def _shutdown():
+        async def _shutdown() -> None:
             await self.server.stop()
 
         if self._loop.is_running():
@@ -491,7 +517,7 @@ def serve_in_thread(
     loop = asyncio.new_event_loop()
     started = threading.Event()
 
-    def _run():
+    def _run() -> None:
         asyncio.set_event_loop(loop)
         loop.run_until_complete(server.start())
         started.set()

@@ -43,19 +43,24 @@ not approximately:
   so the backends trivially agree;
 * distance kernels accumulate squared per-dimension contributions in
   dimension order (float addition is order-sensitive) and take one
-  square root at the end.  ``x ** 2`` / ``x * x`` and ``acc ** 0.5`` /
-  ``numpy.sqrt(acc)`` are correctly rounded on the supported platforms,
-  so the backends and the oracle produce identical doubles — including
-  the distance ties the kNN tie-break rule depends on.
+  square root at the end.  Every path squares with a plain multiply and
+  roots with ``sqrt`` (``math.sqrt`` scalar-side, ``numpy.sqrt``
+  array-side) — both are single correctly-rounded IEEE operations, so
+  the backends and the oracle produce identical doubles, including the
+  distance ties the kNN tie-break rule depends on.  ``x ** 2`` and
+  ``x ** 0.5`` are **not** used: libm ``pow`` is off by one ulp from
+  the fused forms on common platforms, which is exactly the kind of
+  scalar/vectorized divergence the differential gates exist to catch.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import struct
 from array import array
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box
@@ -139,7 +144,9 @@ def forced_backend(name: Optional[str]) -> Iterator[None]:
     raises — a test that asks for the fast path should fail loudly, not
     silently measure the fallback.
     """
-    global _FORCED
+    # The module-level switch is the point of this helper: it pins the
+    # backend process-wide so every kernel dispatch in the block agrees.
+    global _FORCED  # noqa: PLW0603
     if name is not None and name not in BACKENDS:
         raise ValueError(
             f"unknown columnar backend {name!r}; expected one of {BACKENDS}"
@@ -201,7 +208,7 @@ def argsort_by_center(
 # per-dimension lo/hi coordinate arrays and a nonempty mask, evaluate a
 # BoxQuery over every slot at once.
 
-def match_mask(lo, hi, nonempty, query: BoxQuery):
+def match_mask(lo: Any, hi: Any, nonempty: Any, query: BoxQuery) -> Any:
     """Boolean mask of slots whose *nonempty* box matches ``query``.
 
     Exactly ``not box.is_empty() and query.matches(box)`` per slot: the
@@ -234,7 +241,7 @@ def match_mask(lo, hi, nonempty, query: BoxQuery):
     return mask
 
 
-def node_may_match_mask(lo, hi, nonempty, query: BoxQuery):
+def node_may_match_mask(lo: Any, hi: Any, nonempty: Any, query: BoxQuery) -> Any:
     """Boolean mask of inner-node MBR slots that may hold a match.
 
     The vectorized :meth:`RTree._node_may_match
@@ -278,7 +285,9 @@ def node_may_match_mask(lo, hi, nonempty, query: BoxQuery):
 # and rooting once — the exact float recipe of the Box methods, so
 # ranking (ties included) matches the per-object oracle.
 
-def mindist_point_arrays(lo, hi, nonempty, point):
+def mindist_point_arrays(
+    lo: Any, hi: Any, nonempty: Any, point: Sequence[float]
+) -> Any:
     """Per-slot :meth:`Box.mindist_point
     <repro.boxes.box.Box.mindist_point>` distances to ``point``."""
     acc = np.zeros(len(nonempty), dtype=np.float64)
@@ -296,7 +305,7 @@ def mindist_point_arrays(lo, hi, nonempty, point):
     return dist
 
 
-def mindist_box_arrays(lo, hi, nonempty, anchor: Box):
+def mindist_box_arrays(lo: Any, hi: Any, nonempty: Any, anchor: Box) -> Any:
     """Per-slot :meth:`Box.mindist <repro.boxes.box.Box.mindist>`
     distances to ``anchor`` (all ``inf`` for an empty anchor)."""
     n = len(nonempty)
@@ -317,7 +326,9 @@ def mindist_box_arrays(lo, hi, nonempty, anchor: Box):
     return dist
 
 
-def minmaxdist_point_arrays(lo, hi, nonempty, point):
+def minmaxdist_point_arrays(
+    lo: Any, hi: Any, nonempty: Any, point: Sequence[float]
+) -> Any:
     """Per-slot :meth:`Box.minmaxdist_point
     <repro.boxes.box.Box.minmaxdist_point>` distances to ``point``."""
     dim = len(lo)
@@ -360,7 +371,7 @@ class ColumnStore:
 
     __slots__ = ("dim", "rows", "_lo", "_hi", "_nonempty")
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
         #: Aligned row payloads (the table's ``SpatialObject``\ s).
         self.rows: List[object] = []
@@ -401,7 +412,7 @@ class ColumnStore:
         self.rows.append(row)
 
     # -- numpy views -------------------------------------------------------------
-    def _views(self):
+    def _views(self) -> Tuple[Any, Any, Any]:
         """Zero-copy float64 views of the coordinate columns.
 
         Rebuilt per call: ``array`` reallocation on append would leave a
@@ -434,7 +445,9 @@ class ColumnStore:
             return self._match_positions_numpy(query, candidates)
         return self._match_positions_scalar(query, candidates)
 
-    def _match_positions_numpy(self, query, candidates) -> List[int]:
+    def _match_positions_numpy(
+        self, query: BoxQuery, candidates: Optional[Sequence[int]]
+    ) -> List[int]:
         lo, hi, flags = self._views()
         if candidates is not None:
             idx = np.asarray(candidates, dtype=np.intp)
@@ -444,7 +457,9 @@ class ColumnStore:
         mask = match_mask(lo, hi, flags != 0, query)
         return np.nonzero(mask)[0].tolist()
 
-    def _match_positions_scalar(self, query, candidates) -> List[int]:
+    def _match_positions_scalar(
+        self, query: BoxQuery, candidates: Optional[Sequence[int]]
+    ) -> List[int]:
         lo, hi, flags = self._lo, self._hi, self._nonempty
         inside = query.inside
         covers = query.covers
@@ -528,10 +543,12 @@ class ColumnStore:
             for d in range(self.dim):
                 p, a, b = point[d], lo[d][i], hi[d][i]
                 if p < a:
-                    acc += (a - p) ** 2
+                    gap = a - p
+                    acc += gap * gap
                 elif p > b:
-                    acc += (p - b) ** 2
-            out.append(acc ** 0.5)
+                    gap = p - b
+                    acc += gap * gap
+            out.append(math.sqrt(acc))
         return out
 
     def mindist_box(self, anchor: Box) -> Sequence[float]:
@@ -554,13 +571,15 @@ class ColumnStore:
                 a, b = lo[d][i], hi[d][i]
                 c, e = anchor.lo[d], anchor.hi[d]
                 if c > b:
-                    acc += (c - b) ** 2
+                    gap = c - b
+                    acc += gap * gap
                 elif a > e:
-                    acc += (a - e) ** 2
-            out.append(acc ** 0.5)
+                    gap = a - e
+                    acc += gap * gap
+            out.append(math.sqrt(acc))
         return out
 
-    def distances_to(self, anchor) -> Sequence[float]:
+    def distances_to(self, anchor: Any) -> Sequence[float]:
         """Dispatch on the anchor kind (a :class:`Box` or a point)."""
         if isinstance(anchor, Box):
             return self.mindist_box(anchor)
@@ -586,11 +605,11 @@ class ColumnStore:
                 mid = (a + b) / 2
                 near = a if p <= mid else b
                 far = a if p >= mid else b
-                near_sq.append((p - near) ** 2)
-                far_sq.append((p - far) ** 2)
+                near_sq.append((p - near) * (p - near))
+                far_sq.append((p - far) * (p - far))
             total_far = sum(far_sq)
             best = min(
                 total_far - f + n for n, f in zip(near_sq, far_sq)
             )
-            out.append(best ** 0.5)
+            out.append(math.sqrt(best))
         return out

@@ -42,6 +42,7 @@ import math
 import os
 import struct
 import tempfile
+import threading
 from dataclasses import dataclass
 from itertools import product
 from typing import (
@@ -589,9 +590,15 @@ class WorkerPool:
             )
         self.workers = max(1, workers)
         self.kind = kind
-        self.recreations = 0
-        self.closed = False
-        self._executor = None
+        # A pool is shared by every session of its owning Database, so
+        # concurrent first dispatches race the lazy construction; the
+        # lock makes create/discard/close transitions single-winner
+        # (two racing executor() calls would otherwise each build an
+        # executor and leak one un-shutdown).
+        self._lock = threading.Lock()
+        self.recreations = 0  # guarded-by: _lock
+        self.closed = False  # guarded-by: _lock
+        self._executor = None  # guarded-by: _lock
 
     def _make_executor(self):
         if self.kind == "process":
@@ -604,11 +611,12 @@ class WorkerPool:
 
     def executor(self):
         """The live executor, created lazily on first use."""
-        if self.closed:
-            raise RuntimeError("WorkerPool is closed")
-        if self._executor is None:
-            self._executor = self._make_executor()
-        return self._executor
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("WorkerPool is closed")
+            if self._executor is None:
+                self._executor = self._make_executor()
+            return self._executor
 
     def map(self, fn, tasks: Sequence) -> List:
         """``[fn(t) for t in tasks]`` on the pool, order preserved."""
@@ -619,11 +627,13 @@ class WorkerPool:
         except BrokenExecutor:
             # The executor is unusable (a worker died); replace it and
             # retry once — the tasks are pure, so a re-run is safe.
-            self._discard()
-            self.recreations += 1
+            with self._lock:
+                self._discard_locked()
+                self.recreations += 1
             return list(self.executor().map(fn, tasks))
 
-    def _discard(self) -> None:
+    def _discard_locked(self) -> None:
+        # Caller holds self._lock (the `_locked` suffix convention).
         executor, self._executor = self._executor, None
         if executor is not None:
             try:
@@ -633,8 +643,9 @@ class WorkerPool:
 
     def close(self) -> None:
         """Shut the executor down; the pool cannot be used afterwards."""
-        self._discard()
-        self.closed = True
+        with self._lock:
+            self._discard_locked()
+            self.closed = True
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -882,7 +893,7 @@ def pbsm_join(
     if not lefts or not rights:
         return []
     grid = TileGrid.build(
-        [b for b, _ in lefts] + [b for b, _ in rights], n_tiles
+        [*(b for b, _ in lefts), *(b for b, _ in rights)], n_tiles
     )
     assert grid is not None  # non-empty inputs imply a non-empty extent
     exchange = exchange or Exchange()

@@ -41,9 +41,10 @@ ones for every shard count, exchange kind and worker count.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..boxes.bconstraints import BoxQuery
 from ..boxes.box import Box, enclose_all
@@ -58,6 +59,7 @@ from .partition import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.catalog import TableStatistics
     from .table import SpatialObject, SpatialTable
 
 __all__ = [
@@ -95,7 +97,7 @@ class ShardColumnBlock:
     side owns the segment: :meth:`close` unlinks it.
     """
 
-    def __init__(self, shm, count: int, dim: int):
+    def __init__(self, shm: Any, count: int, dim: int) -> None:
         self._shm = shm
         self.name = shm.name
         self.count = count
@@ -129,7 +131,7 @@ class ShardColumnBlock:
         _release_segment(shm)
 
 
-def _release_segment(shm) -> None:
+def _release_segment(shm: Any) -> None:
     """Best-effort close + unlink of a creator-owned segment."""
     try:
         shm.close()
@@ -165,7 +167,7 @@ def _attach_boxes(name: str, count: int, dim: int) -> Tuple[Box, ...]:
 
         original = resource_tracker.register
 
-        def _no_track(path, rtype):  # pragma: no cover - 3.13 skips this
+        def _no_track(path: str, rtype: str) -> None:  # pragma: no cover - 3.13 skips this
             if rtype != "shared_memory":
                 original(path, rtype)
 
@@ -277,14 +279,14 @@ class TableShard:
     def __len__(self) -> int:
         return len(self.tags)
 
-    def statistics(self, **kwargs):
+    def statistics(self, **kwargs: Any) -> "TableStatistics":
         """The shard's own :class:`TableStatistics` (cached on it)."""
         return self.table.statistics(**kwargs)
 
 
 def _build_subtable(
     parent: "SpatialTable", sid: int, rows: Sequence["SpatialObject"]
-):
+) -> "SpatialTable":
     """A shard sub-table sharing the parent's row objects.
 
     The snapshot loader's trusted-construction idiom: rows are attached
@@ -328,18 +330,23 @@ class ShardedTable:
         target: int,
         shards: Tuple[TableShard, ...],
         seq: Dict[int, int],
-    ):
+    ) -> None:
         self.table_name = table_name
         self.dim = dim
         self.version = version
         self.target = target
         self.shards = shards
         self._seq = seq
-        self._blocks: Dict[int, Optional[ShardColumnBlock]] = {}
-        self.closed = False
-        self.shm_published = 0
-        self.shm_bytes = 0
-        self.shm_failed = 0
+        # One sharding serves every concurrent reader of its table, so
+        # publish() races: without the lock two readers could both miss
+        # the cache and publish the same shard's shared-memory block,
+        # leaking whichever one loses the dict store.
+        self._lock = threading.Lock()
+        self._blocks: Dict[int, Optional[ShardColumnBlock]] = {}  # guarded-by: _lock
+        self.closed = False  # guarded-by: _lock
+        self.shm_published = 0  # guarded-by: _lock
+        self.shm_bytes = 0  # guarded-by: _lock
+        self.shm_failed = 0  # guarded-by: _lock
 
     @classmethod
     def build(
@@ -442,33 +449,35 @@ class ShardedTable:
         (counted in :attr:`shm_failed`); callers then ship inline
         packed blobs — results are identical either way.
         """
-        if self.closed:
-            raise RuntimeError("ShardedTable is closed")
-        if shard.sid in self._blocks:
-            return self._blocks[shard.sid]
-        boxes = [obj.box for obj in shard.table]
-        try:
-            block = ShardColumnBlock.create(boxes, self.dim)
-            self.shm_published += 1
-            self.shm_bytes += block.nbytes
-        except (ImportError, OSError, PermissionError, ValueError):
-            block = None
-            self.shm_failed += 1
-        self._blocks[shard.sid] = block
-        return block
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("ShardedTable is closed")
+            if shard.sid in self._blocks:
+                return self._blocks[shard.sid]
+            boxes = [obj.box for obj in shard.table]
+            try:
+                block = ShardColumnBlock.create(boxes, self.dim)
+                self.shm_published += 1
+                self.shm_bytes += block.nbytes
+            except (ImportError, OSError, PermissionError, ValueError):
+                block = None
+                self.shm_failed += 1
+            self._blocks[shard.sid] = block
+            return block
 
     def close(self) -> None:
         """Unlink every published shared-memory block (idempotent)."""
-        for block in self._blocks.values():
+        with self._lock:
+            blocks, self._blocks = list(self._blocks.values()), {}
+            self.closed = True
+        for block in blocks:
             if block is not None:
                 block.close()
-        self._blocks.clear()
-        self.closed = True
 
     def __enter__(self) -> "ShardedTable":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     # -- the coordinator join ------------------------------------------------------
@@ -571,7 +580,7 @@ class ShardedTable:
             payloads = []
             for shard, cand in buckets:
                 extent = enclose_all(
-                    [shard.mbr] + [b for b, _t in cand]
+                    [shard.mbr, *(b for b, _t in cand)]
                 )
                 block = self.publish(shard)
                 if block is not None:
@@ -603,7 +612,7 @@ class ShardedTable:
             tasks = []
             for shard, cand in buckets:
                 extent = enclose_all(
-                    [shard.mbr] + [b for b, _t in cand]
+                    [shard.mbr, *(b for b, _t in cand)]
                 )
                 grid = TileGrid(extent=extent, shape=(1,) * self.dim)
                 rows = [

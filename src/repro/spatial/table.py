@@ -88,18 +88,20 @@ class ProbeCache:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
+        # guarded-by: _lock
         self._entries: "OrderedDict[tuple, List[SpatialObject]]" = (
             OrderedDict()
         )
         # table -> handle; weak keys, so the cache never keeps a table
         # alive.  The handle's weakref callback purges entries when the
         # table is collected.
+        # guarded-by: _lock
         self._handles: "weakref.WeakKeyDictionary[SpatialTable, _TableHandle]" = (
             weakref.WeakKeyDictionary()
         )
-        self._next_token = 0
-        self.hits = 0
-        self.misses = 0
+        self._next_token = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
         # The query service shares one cache across concurrent reader
         # threads; reentrant because a GC-triggered weakref purge can
         # fire inside a locked section of the same thread.
@@ -121,7 +123,7 @@ class ProbeCache:
                 # pop(): a GC-triggered purge callback may race this loop.
                 self._entries.pop(key, None)
 
-    def _key(self, table: "SpatialTable", query: BoxQuery) -> tuple:
+    def _key_locked(self, table: "SpatialTable", query: BoxQuery) -> tuple:
         handle = self._handles.get(table)
         if handle is None:
             handle = _TableHandle(self._next_token, table._version)
@@ -146,7 +148,7 @@ class ProbeCache:
     ) -> Optional[List["SpatialObject"]]:
         """Cached rows for ``query`` on ``table``, or ``None`` on miss."""
         with self._lock:
-            key = self._key(table, query)
+            key = self._key_locked(table, query)
             rows = self._entries.get(key)
             if rows is None:
                 self.misses += 1
@@ -163,7 +165,7 @@ class ProbeCache:
     ) -> None:
         """Remember a probe result, evicting least-recently-used entries."""
         with self._lock:
-            key = self._key(table, query)
+            key = self._key_locked(table, query)
             self._entries[key] = rows
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:

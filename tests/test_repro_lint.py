@@ -1,0 +1,698 @@
+"""Tests for the repro-lint static-analysis suite (``tools/analyze``).
+
+Each pass gets fixture snippets reproducing its historical regression
+class (known-bad triggers) plus known-good twins that must stay silent;
+the suppression comments, the baseline, the JSON reporter schema, and
+the CLI exit codes are pinned as well.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analyze.core import (  # noqa: E402
+    Analyzer,
+    Baseline,
+    Module,
+    SymbolTable,
+)
+from tools.analyze.passes import (  # noqa: E402
+    ALL_PASSES,
+    BillingPass,
+    ConcurrencyPass,
+    DeterminismPass,
+    OperatorContractPass,
+    PickleSafetyPass,
+)
+from tools.analyze.reporters import render_json  # noqa: E402
+
+
+def run_pass(pass_obj, *sources_with_paths):
+    """Run one pass over synthetic modules; returns the findings."""
+    modules = [
+        Module(path, textwrap.dedent(src)) for path, src in sources_with_paths
+    ]
+    symtab = SymbolTable()
+    for m in modules:
+        symtab.add_module(m)
+    findings = []
+    for m in modules:
+        findings.extend(pass_obj.run(m, symtab))
+    return findings
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# -- pass 1: determinism -------------------------------------------------------
+
+
+def test_determinism_flags_unseeded_random():
+    findings = run_pass(
+        DeterminismPass(),
+        (
+            "src/repro/engine/sampler.py",
+            """
+            import random
+
+            def jitter(rows):
+                return rows[random.randint(0, 3):]
+
+            def fresh():
+                return random.Random()
+            """,
+        ),
+    )
+    assert rules_of(findings) == ["REPRO101"]
+    assert len(findings) == 2
+
+
+def test_determinism_allows_seeded_random():
+    findings = run_pass(
+        DeterminismPass(),
+        (
+            "src/repro/engine/sampler.py",
+            """
+            import random
+
+            def jitter(rows, seed):
+                rng = random.Random(seed)
+                return rows[rng.randint(0, 3):]
+            """,
+        ),
+    )
+    assert findings == []
+
+
+def test_determinism_flags_wall_clock_in_result_path():
+    findings = run_pass(
+        DeterminismPass(),
+        (
+            "src/repro/engine/pick.py",
+            """
+            import time
+
+            def pick(rows):
+                if time.time() % 2 > 1:
+                    return rows[:1]
+                return rows
+            """,
+        ),
+    )
+    assert rules_of(findings) == ["REPRO102"]
+
+
+def test_determinism_allows_timing_bookkeeping():
+    findings = run_pass(
+        DeterminismPass(),
+        (
+            "src/repro/engine/timed.py",
+            """
+            import time
+
+            def run(plan):
+                started = time.perf_counter()
+                out = list(plan)
+                elapsed = time.perf_counter() - started
+                return out, elapsed
+            """,
+        ),
+    )
+    assert findings == []
+
+
+def test_determinism_flags_set_iteration_and_allows_sorted():
+    findings = run_pass(
+        DeterminismPass(),
+        (
+            "src/repro/spatial/merge.py",
+            """
+            def merge(parts):
+                seen = set()
+                for p in parts:
+                    seen |= p
+                out = []
+                for x in seen:
+                    out.append(x)
+                good = [y for s in [seen] for y in sorted(seen)]
+                return out + good
+            """,
+        ),
+    )
+    assert rules_of(findings) == ["REPRO103"]
+    assert len(findings) == 1
+
+
+def test_determinism_flags_id_ordering():
+    findings = run_pass(
+        DeterminismPass(),
+        (
+            "src/repro/spatial/order.py",
+            """
+            def order(rows):
+                return sorted(rows, key=id)
+
+            def tie(a, b):
+                return a if id(a) < id(b) else b
+            """,
+        ),
+    )
+    assert rules_of(findings) == ["REPRO104"]
+    assert len(findings) == 2
+
+
+def test_determinism_ignores_files_outside_engine_and_spatial():
+    findings = run_pass(
+        DeterminismPass(),
+        (
+            "src/repro/datagen/shapes.py",
+            """
+            import random
+
+            def noise():
+                return random.random()
+            """,
+        ),
+    )
+    assert findings == []
+
+
+# -- pass 2: counter billing ---------------------------------------------------
+
+OPERATOR_PRELUDE = """
+class PhysicalOperator:
+    def __init__(self, child=None):
+        self.child = child
+        self.stats = object()
+        self.est_rows = None
+
+    def iterate(self, ctx):
+        raise NotImplementedError
+
+class ExtendStep(PhysicalOperator):
+    def iterate(self, ctx):
+        self.stats.executed = True
+        yield from self._rows(ctx, None)
+
+    def _rows(self, ctx, binding):
+        raise NotImplementedError
+"""
+
+
+def test_billing_flags_unbilled_probe():
+    findings = run_pass(
+        BillingPass(),
+        (
+            "src/repro/engine/physical.py",
+            OPERATOR_PRELUDE
+            + """
+class SilentProbe(ExtendStep):
+    def _rows(self, ctx, binding):
+        return self.table.probe(binding)
+""",
+        ),
+    )
+    assert rules_of(findings) == ["REPRO201"]
+
+
+def test_billing_allows_billed_probe():
+    findings = run_pass(
+        BillingPass(),
+        (
+            "src/repro/engine/physical.py",
+            OPERATOR_PRELUDE
+            + """
+class BilledProbe(ExtendStep):
+    def _rows(self, ctx, binding):
+        self.stats.probes += 1
+        return self.table.probe(binding)
+""",
+        ),
+    )
+    assert findings == []
+
+
+def test_billing_flags_scalar_vectorized_asymmetry():
+    findings = run_pass(
+        BillingPass(),
+        (
+            "src/repro/engine/physical.py",
+            OPERATOR_PRELUDE
+            + """
+class Asym(ExtendStep):
+    def _rows(self, ctx, binding):
+        rows = self.table.probe(binding)
+        self.stats.probes += 1
+        if ctx.vectorize:
+            self.stats.pair_tests += len(rows)
+            self.stats.vectorized_batches += 1
+        else:
+            pass
+        return rows
+""",
+        ),
+    )
+    assert rules_of(findings) == ["REPRO202"]
+    assert "pair_tests" in findings[0].message
+
+
+def test_billing_allows_symmetric_branches():
+    findings = run_pass(
+        BillingPass(),
+        (
+            "src/repro/engine/physical.py",
+            OPERATOR_PRELUDE
+            + """
+class Sym(ExtendStep):
+    def _rows(self, ctx, binding):
+        rows = self.table.probe(binding)
+        self.stats.probes += 1
+        if ctx.vectorize:
+            self.stats.pair_tests += len(rows)
+            self.stats.vectorized_batches += 1
+        else:
+            for _r in rows:
+                self.stats.pair_tests += 1
+        return rows
+""",
+        ),
+    )
+    assert findings == []
+
+
+# -- pass 3: concurrency -------------------------------------------------------
+
+GUARDED_CLASS = """
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+"""
+
+
+def test_concurrency_flags_unguarded_mutation():
+    findings = run_pass(
+        ConcurrencyPass(),
+        (
+            "src/repro/spatial/cache.py",
+            GUARDED_CLASS
+            + """
+    def store(self, key, value):
+        self._entries[key] = value
+
+    def bump(self):
+        self.hits += 1
+
+    def drop(self, key):
+        self._entries.pop(key, None)
+""",
+        ),
+    )
+    assert rules_of(findings) == ["REPRO301"]
+    assert len(findings) == 3
+
+
+def test_concurrency_allows_locked_mutation_and_conventions():
+    findings = run_pass(
+        ConcurrencyPass(),
+        (
+            "src/repro/spatial/cache.py",
+            GUARDED_CLASS
+            + """
+    def store(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self.hits += 1
+
+    def _evict_locked(self):
+        self._entries.clear()
+
+    def read(self, key):
+        return self._entries.get(key)
+""",
+        ),
+    )
+    # __init__ itself, locked mutations, the _locked-suffix helper, and
+    # plain reads are all allowed.
+    assert findings == []
+
+
+def test_concurrency_flags_mutation_in_nested_closure():
+    findings = run_pass(
+        ConcurrencyPass(),
+        (
+            "src/repro/spatial/cache.py",
+            GUARDED_CLASS
+            + """
+    def deferred(self):
+        with self._lock:
+            def cb():
+                self.hits += 1
+            return cb
+""",
+        ),
+    )
+    # The closure runs later, when the lock is no longer held.
+    assert rules_of(findings) == ["REPRO301"]
+
+
+# -- pass 4: pickle safety -----------------------------------------------------
+
+
+def test_pickle_safety_flags_box_graph_pool_submission():
+    # The historical Box.__reduce__ regression: raw (grid, tile, Box...)
+    # task graphs submitted to a process pool.
+    findings = run_pass(
+        PickleSafetyPass(),
+        (
+            "src/repro/spatial/join.py",
+            """
+            def sweep_all(exchange, grid, tiles):
+                tasks = [(grid, t, t.boxes) for t in tiles]
+                if exchange.uses_processes(len(tasks)):
+                    return exchange.run(_sweep_tile, tasks)
+                return exchange.run(_sweep_tile, tasks)
+            """,
+        ),
+    )
+    assert rules_of(findings) == ["REPRO401"]
+    assert len(findings) == 1  # the else-branch dispatch is fine
+
+
+def test_pickle_safety_allows_packed_forms_and_guarded_sites():
+    findings = run_pass(
+        PickleSafetyPass(),
+        (
+            "src/repro/spatial/join.py",
+            """
+            def sweep_all(exchange, grid, tiles):
+                tasks = [(grid, t, t.boxes) for t in tiles]
+                if exchange.uses_processes(len(tasks)):
+                    packed = [_pack_tile_task(t) for t in tasks]
+                    return exchange.run(_sweep_tile_packed, packed)
+                return exchange.run(_sweep_tile, tasks)
+
+            def generic(pool, fn, tasks):
+                return pool.map(fn, tasks)
+            """,
+        ),
+    )
+    assert findings == []
+
+
+def test_pickle_safety_flags_lambda_and_nested_workers():
+    findings = run_pass(
+        PickleSafetyPass(),
+        (
+            "src/repro/spatial/join.py",
+            """
+            def sweep(exchange, tasks):
+                out = exchange.run(lambda t: t, tasks)
+
+                def helper(t):
+                    return t
+
+                return out + exchange.run(helper, tasks)
+            """,
+        ),
+    )
+    assert rules_of(findings) == ["REPRO402"]
+    assert len(findings) == 2
+
+
+def test_pickle_safety_allows_thread_only_receivers():
+    findings = run_pass(
+        PickleSafetyPass(),
+        (
+            "src/repro/spatial/join.py",
+            """
+            def sweep(tasks):
+                exchange = Exchange(4, kind="thread")
+                return exchange.run(lambda t: t, tasks)
+            """,
+        ),
+    )
+    assert findings == []
+
+
+# -- pass 5: operator contract -------------------------------------------------
+
+
+def test_contract_flags_missing_iterate_and_hook():
+    findings = run_pass(
+        OperatorContractPass(),
+        (
+            "src/repro/engine/physical.py",
+            OPERATOR_PRELUDE
+            + """
+class NoHook(ExtendStep):
+    pass
+
+class NoIterate(PhysicalOperator):
+    def describe(self):
+        return "broken"
+""",
+        ),
+    )
+    assert rules_of(findings) == ["REPRO501"]
+    assert len(findings) == 2
+
+
+def test_contract_flags_missing_super_init():
+    findings = run_pass(
+        OperatorContractPass(),
+        (
+            "src/repro/engine/physical.py",
+            OPERATOR_PRELUDE
+            + """
+class BadInit(ExtendStep):
+    def __init__(self, table):
+        self.table = table
+
+    def _rows(self, ctx, binding):
+        return []
+""",
+        ),
+    )
+    assert rules_of(findings) == ["REPRO502"]
+
+
+def test_contract_flags_missing_executed_mark():
+    findings = run_pass(
+        OperatorContractPass(),
+        (
+            "src/repro/engine/physical.py",
+            OPERATOR_PRELUDE
+            + """
+class NoMark(PhysicalOperator):
+    def iterate(self, ctx):
+        yield from ()
+""",
+        ),
+    )
+    assert rules_of(findings) == ["REPRO503"]
+
+
+def test_contract_accepts_well_formed_operators():
+    findings = run_pass(
+        OperatorContractPass(),
+        (
+            "src/repro/engine/physical.py",
+            OPERATOR_PRELUDE
+            + """
+class Scan(ExtendStep):
+    def __init__(self, child, table):
+        super().__init__(child)
+        self.table = table
+
+    def _rows(self, ctx, binding):
+        return iter(self.table)
+
+class Custom(PhysicalOperator):
+    def iterate(self, ctx):
+        self.stats.executed = True
+        yield from ()
+""",
+        ),
+    )
+    assert findings == []
+
+
+# -- suppressions, baseline, reporters, CLI ------------------------------------
+
+
+def test_inline_suppression_comment_is_honored():
+    analyzer = Analyzer([DeterminismPass()])
+    module = Module(
+        "src/repro/engine/s.py",
+        textwrap.dedent(
+            """
+            import random
+
+            def jitter():
+                return random.random()  # repro-lint: disable=REPRO101
+            """
+        ),
+    )
+    symtab = SymbolTable()
+    symtab.add_module(module)
+    findings = analyzer.run([module], symtab)
+    assert findings == []
+    assert analyzer.suppressed_inline == 1
+
+
+def test_standalone_suppression_applies_to_next_line():
+    analyzer = Analyzer([DeterminismPass()])
+    module = Module(
+        "src/repro/engine/s.py",
+        textwrap.dedent(
+            """
+            import random
+
+            def jitter():
+                # repro-lint: disable=REPRO101
+                return random.random()
+            """
+        ),
+    )
+    symtab = SymbolTable()
+    symtab.add_module(module)
+    assert analyzer.run([module], symtab) == []
+    assert analyzer.suppressed_inline == 1
+
+
+def test_file_level_suppression():
+    analyzer = Analyzer([DeterminismPass()])
+    module = Module(
+        "src/repro/engine/s.py",
+        "# repro-lint: disable-file=REPRO101\n"
+        "import random\n\n"
+        "def a():\n    return random.random()\n\n"
+        "def b():\n    return random.random()\n",
+    )
+    symtab = SymbolTable()
+    symtab.add_module(module)
+    assert analyzer.run([module], symtab) == []
+    assert analyzer.suppressed_inline == 2
+
+
+def test_baseline_filters_by_rule_path_symbol_not_line(tmp_path):
+    analyzer = Analyzer([DeterminismPass()])
+    source = textwrap.dedent(
+        """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+    )
+    module = Module("src/repro/engine/s.py", source)
+    symtab = SymbolTable()
+    symtab.add_module(module)
+    findings = analyzer.run([module], symtab)
+    assert len(findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.write(baseline_path, findings)
+    baseline = Baseline.load(baseline_path)
+
+    # Same finding at a different line (extra blank lines above) still
+    # matches: the baseline keys on (rule, path, symbol).
+    shifted = Module("src/repro/engine/s.py", "\n\n\n" + source)
+    symtab2 = SymbolTable()
+    symtab2.add_module(shifted)
+    assert analyzer.run([shifted], symtab2, baseline=baseline) == []
+    assert analyzer.baselined == 1
+
+
+def test_json_reporter_schema_is_stable():
+    analyzer = Analyzer([DeterminismPass()])
+    module = Module(
+        "src/repro/engine/s.py",
+        "import random\n\ndef f():\n    return random.random()\n",
+    )
+    symtab = SymbolTable()
+    symtab.add_module(module)
+    findings = analyzer.run([module], symtab)
+    payload = json.loads(render_json(findings, 0, 0))
+    assert payload["tool"] == "repro-lint"
+    assert payload["schema_version"] == 1
+    assert set(payload) == {"tool", "schema_version", "findings", "summary"}
+    assert set(payload["findings"][0]) == {
+        "rule",
+        "severity",
+        "path",
+        "line",
+        "column",
+        "symbol",
+        "message",
+        "fix_hint",
+    }
+    assert set(payload["summary"]) == {
+        "total",
+        "by_rule",
+        "suppressed_inline",
+        "baselined",
+    }
+    assert payload["summary"]["total"] == 1
+    assert payload["summary"]["by_rule"] == {"REPRO101": 1}
+
+
+def test_all_rule_ids_are_unique():
+    analyzer = Analyzer([cls() for cls in ALL_PASSES])
+    ids = [r.id for r in analyzer.all_rules()]
+    assert len(ids) == len(set(ids))
+    assert all(rid.startswith("REPRO") for rid in ids)
+
+
+def test_cli_exits_zero_on_clean_tree_and_nonzero_on_findings(tmp_path):
+    clean = tmp_path / "clean"
+    clean.mkdir()
+    (clean / "ok.py").write_text("def f():\n    return 1\n")
+    dirty = tmp_path / "src" / "repro" / "engine"
+    dirty.mkdir(parents=True)
+    (dirty / "bad.py").write_text(
+        "import random\n\ndef f():\n    return random.random()\n"
+    )
+
+    env_cmd = [sys.executable, "-m", "tools.analyze", "--no-baseline"]
+    ok = subprocess.run(
+        env_cmd + [str(clean)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+
+    bad = subprocess.run(
+        env_cmd + ["--format", "json", str(tmp_path / "src")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert bad.returncode == 1, bad.stdout + bad.stderr
+    payload = json.loads(bad.stdout)
+    assert payload["summary"]["by_rule"] == {"REPRO101": 1}
+
+
+def test_real_tree_is_clean():
+    """The acceptance gate: the shipped tree has no findings."""
+    result = subprocess.run(
+        [sys.executable, "-m", "tools.analyze", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,167 @@
+"""Scalar-vs-vectorized parity regressions.
+
+Two invariants the static-analysis PR audited and now pins:
+
+1. **Bit-identical distances.**  The scalar :class:`Box` distance
+   methods and the columnar kernels must agree to the last ulp — the
+   KNN differential relies on exact float equality of priority-queue
+   keys.  The historical regression: scalar code squared with ``x ** 2``
+   and rooted with ``x ** 0.5``, which lower to libm ``pow`` — *not*
+   correctly rounded on common platforms — while the array kernels use
+   multiply and ``sqrt`` (single correctly-rounded IEEE ops).  At
+   ~1-in-1200 per operand the results differed by one ulp, flipping
+   nearest-neighbor tie-breaks between the scalar and vectorized paths.
+
+2. **Identical billing counters.**  A vectorized run must report the
+   same ``ExecutionStats`` as its scalar twin — candidates, survivors,
+   probes, node reads — except the ``vectorized_*`` pair, which exists
+   precisely to tell the runs apart.  This is repro-lint REPRO202's
+   runtime counterpart.
+"""
+
+import math
+import random
+
+import pytest
+
+from conftest import COLUMNAR_BACKENDS, make_workload
+
+from repro.boxes import Box
+from repro.constraints import ConstraintSystem, nonempty, overlaps, subset
+from repro.engine import (
+    SpatialQuery,
+    build_physical_plan,
+    compile_query,
+)
+from repro.spatial import ColumnStore, forced_backend
+
+DIM = 2
+
+
+def random_box(rng):
+    """Boxes across magnitudes, to exercise the ulp-sensitive range."""
+    scale = rng.choice((1e-3, 1.0, 1e3, 1e6))
+    lo = [rng.uniform(-scale, scale) for _ in range(DIM)]
+    hi = [v + abs(rng.gauss(0, scale / 3)) for v in lo]
+    return Box(lo, hi)
+
+
+def random_point(rng):
+    scale = rng.choice((1e-3, 1.0, 1e3))
+    return tuple(rng.uniform(-scale, scale) for _ in range(DIM))
+
+
+@pytest.mark.parametrize("backend", COLUMNAR_BACKENDS)
+@pytest.mark.parametrize("seed", [0, 746])
+def test_distance_kernels_bit_identical_to_scalar(backend, seed):
+    rng = random.Random(seed)
+    empty = Box([0.0] * DIM, [0.0] * DIM)  # lo >= hi normalises to empty
+    boxes = [random_box(rng) for _ in range(400)] + [empty]
+    store = ColumnStore(DIM)
+    for i, box in enumerate(boxes):
+        store.append(box, i)
+
+    with forced_backend(backend):
+        for _ in range(25):
+            point = random_point(rng)
+            anchor = random_box(rng)
+            by_point = list(store.mindist_point(point))
+            by_box = list(store.mindist_box(anchor))
+            minmax = list(store.minmaxdist_point(point))
+            for i, box in enumerate(boxes):
+                if box.is_empty():
+                    assert by_point[i] == math.inf
+                    assert by_box[i] == math.inf
+                    assert minmax[i] == math.inf
+                    continue
+                # Exact equality on purpose: one ulp of divergence
+                # reorders KNN heaps.
+                assert by_point[i] == box.mindist_point(point)
+                assert by_box[i] == box.mindist(anchor)
+                assert minmax[i] == box.minmaxdist_point(point)
+
+
+def test_scalar_distances_use_correctly_rounded_ops():
+    """The fix itself: squaring by multiply, rooting by sqrt.
+
+    ``x ** 0.5`` and ``x ** 2`` go through libm ``pow``, which is off
+    by one ulp from the correctly-rounded result for ~1 in 1200 doubles
+    on this class of platform.  The scalar methods must match the
+    multiply/sqrt formulation exactly.
+    """
+    rng = random.Random(99)
+    for _ in range(2000):
+        p = rng.uniform(-50, 50)
+        a = rng.uniform(-50, 50)
+        lo, hi = min(a, a + 1), max(a, a + 1)
+        box = Box([lo], [hi])
+        d = lo - p if p < lo else (p - hi if p > hi else 0.0)
+        assert box.mindist_point((p,)) == math.sqrt(d * d)
+
+
+PARITY_SYSTEM = ConstraintSystem.build(
+    overlaps("u", "v"),
+    subset("w", "u"),
+    nonempty("v"),
+)
+
+EXEMPT_STEP_FIELDS = {"vectorized_batches", "vectorized_candidates"}
+STEP_FIELDS = (
+    "variable",
+    "candidates",
+    "survivors",
+    "index_probes",
+    "node_reads",
+    "cache_hits",
+    "cache_misses",
+)
+TOP_FIELDS = (
+    "tuples_emitted",
+    "partial_tuples",
+    "region_ops",
+    "box_ops_estimate",
+    "exchange_fallbacks",
+)
+
+
+@pytest.mark.parametrize("strategy", [None, "pbsm", "zorder"])
+@pytest.mark.parametrize("seed", [3, 11, 99])
+def test_vectorized_billing_matches_scalar(seed, strategy):
+    tables, bindings = make_workload(
+        seed, system=PARITY_SYSTEM, sizes=(6, 14)
+    )
+    query = SpatialQuery(
+        system=PARITY_SYSTEM, tables=tables, bindings=bindings
+    )
+    plan = compile_query(query, order=sorted(tables))
+
+    def run(vectorize, backend):
+        with forced_backend(backend):
+            pplan = build_physical_plan(
+                plan,
+                "boxplan",
+                estimate=False,
+                partitions=2,
+                join_strategy=strategy,
+                vectorize=vectorize,
+            )
+            answers = list(pplan.execute_iter())
+            return answers, pplan.stats()
+
+    scalar_answers, scalar = run(False, "off")
+    assert scalar.vectorized_batches == 0
+
+    for backend in COLUMNAR_BACKENDS:
+        vec_answers, vec = run(True, backend)
+        assert len(vec_answers) == len(scalar_answers)
+        for name in TOP_FIELDS:
+            assert getattr(vec, name) == getattr(scalar, name), (
+                f"{name} diverged under {backend}/{strategy}"
+            )
+        assert len(vec.steps) == len(scalar.steps)
+        for v_step, s_step in zip(vec.steps, scalar.steps):
+            for name in STEP_FIELDS:
+                assert getattr(v_step, name) == getattr(s_step, name), (
+                    f"step {s_step.variable}.{name} diverged under "
+                    f"{backend}/{strategy}"
+                )

@@ -1,0 +1,21 @@
+"""repro-lint: project-specific static analysis for the repro codebase.
+
+Run as ``python -m tools.analyze [paths]``; see ``README.md`` in this
+directory for the rule catalog.
+"""
+
+from .core import Analyzer, Baseline, Finding, Module, Rule, SymbolTable
+from .passes import ALL_PASSES
+
+__version__ = "1.0"
+
+__all__ = [
+    "ALL_PASSES",
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "Module",
+    "Rule",
+    "SymbolTable",
+    "__version__",
+]

@@ -1,0 +1,362 @@
+"""repro-lint core: module loading, symbol table, findings, baseline.
+
+The framework is deliberately stdlib-only (``ast`` + ``re`` + ``json``)
+so the checkers run in milliseconds on every commit with zero install
+footprint.  Each pass is a plain object with
+
+* ``name``   — short pass name (shown in ``--list-rules``),
+* ``rules``  — mapping rule id -> :class:`Rule`,
+* ``run(module, symtab) -> list[Finding]``.
+
+Suppression syntax (mirrors the familiar linter convention):
+
+* ``expr()  # repro-lint: disable=REPRO101`` — suppress on this line;
+* a standalone ``# repro-lint: disable=REPRO101`` comment suppresses
+  the next non-comment line;
+* ``# repro-lint: disable-file=REPRO101`` anywhere in the first 20
+  lines suppresses the rule for the whole file.
+
+Baselines are line-insensitive ``{rule, path, symbol}`` triples so a
+justified finding survives unrelated edits to the file above it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "ClassInfo",
+    "Finding",
+    "Module",
+    "Rule",
+    "SymbolTable",
+    "attr_chain",
+    "iter_class_methods",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)"
+)
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable rule: identity, severity, and the story behind it."""
+
+    id: str
+    name: str
+    summary: str
+    severity: str = "error"  # "error" | "warning"
+    fix: str = ""  # generic fix hint (per-finding hints may refine it)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``symbol`` is the nearest enclosing class/function qualname — it is
+    what the baseline keys on, so findings stay pinned to the code they
+    describe rather than to a line number.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    symbol: str
+    message: str
+    fix_hint: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def render(self) -> str:
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        hint = f"\n    fix: {self.fix_hint}" if self.fix_hint else ""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} {self.severity}: {self.message}{sym}{hint}"
+        )
+
+
+class Module:
+    """A parsed project module plus its suppression map."""
+
+    def __init__(self, relpath: str, source: str):
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)
+        self._line_suppressions: Dict[int, Set[str]] = {}
+        self._file_suppressions: Set[str] = set()
+        self._scan_suppressions()
+
+    @classmethod
+    def from_file(cls, path: Path, root: Path) -> "Module":
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        return cls(rel, path.read_text(encoding="utf-8"))
+
+    def _scan_suppressions(self) -> None:
+        for i, text in enumerate(self.lines, start=1):
+            m = _SUPPRESS_FILE_RE.search(text)
+            if m and i <= 20:
+                self._file_suppressions.update(_split_rules(m.group(1)))
+                continue
+            m = _SUPPRESS_RE.search(text)
+            if not m:
+                continue
+            rules = _split_rules(m.group(1))
+            self._line_suppressions.setdefault(i, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                # A standalone comment suppresses the next code line.
+                nxt = self._next_code_line(i)
+                if nxt is not None:
+                    self._line_suppressions.setdefault(nxt, set()).update(
+                        rules
+                    )
+
+    def _next_code_line(self, after: int) -> Optional[int]:
+        for j in range(after + 1, len(self.lines) + 1):
+            text = self.lines[j - 1].strip()
+            if text and not text.startswith("#"):
+                return j
+        return None
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self._file_suppressions:
+            return True
+        rules = self._line_suppressions.get(line)
+        return bool(rules) and (rule in rules or "all" in rules)
+
+    def line_comment(self, line: int) -> str:
+        """The raw source text of ``line`` (1-based), '' out of range."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+def _split_rules(raw: str) -> Set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+@dataclass
+class ClassInfo:
+    """One project class: where it lives and what it derives from."""
+
+    name: str
+    relpath: str
+    bases: Tuple[str, ...]
+    node: ast.ClassDef
+    module: "Module" = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class SymbolTable:
+    """All project classes, with a name-based inheritance closure.
+
+    Name-based resolution (rather than full import resolution) is
+    sufficient here: the operator/shared-state class names the passes
+    care about are unique across the project.
+    """
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+
+    def add_module(self, module: Module) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = tuple(
+                    b for b in (_base_name(e) for e in node.bases) if b
+                )
+                self.classes[node.name] = ClassInfo(
+                    name=node.name,
+                    relpath=module.relpath,
+                    bases=bases,
+                    node=node,
+                    module=module,
+                )
+
+    def ancestors(self, name: str) -> Set[str]:
+        """Transitive base-class names of ``name`` (project classes)."""
+        out: Set[str] = set()
+        frontier = list(self.classes[name].bases) if name in self.classes else []
+        while frontier:
+            base = frontier.pop()
+            if base in out:
+                continue
+            out.add(base)
+            info = self.classes.get(base)
+            if info is not None:
+                frontier.extend(info.bases)
+        return out
+
+    def is_subclass_of(self, name: str, root: str) -> bool:
+        return name == root or root in self.ancestors(name)
+
+    def subclasses_of(self, root: str) -> List[ClassInfo]:
+        """All project classes deriving (transitively) from ``root``."""
+        return [
+            info
+            for name, info in sorted(self.classes.items())
+            if name != root and self.is_subclass_of(name, root)
+        ]
+
+    def mro_chain(self, name: str) -> List[ClassInfo]:
+        """``name`` then its project ancestors, nearest-first (by BFS)."""
+        chain: List[ClassInfo] = []
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            chain.append(info)
+            frontier.extend(info.bases)
+        return chain
+
+
+def _base_name(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):  # Generic[...] bases
+        return _base_name(expr.value)
+    return None
+
+
+def attr_chain(expr: ast.expr) -> str:
+    """Dotted-name text of an expression, '' when not a plain chain.
+
+    ``self.stats.node_reads`` -> ``"self.stats.node_reads"``.
+    """
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def iter_class_methods(
+    node: ast.ClassDef,
+) -> Iterator[ast.FunctionDef]:
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item  # type: ignore[misc]
+
+
+class Baseline:
+    """Accepted findings, keyed line-insensitively on (rule, path, symbol)."""
+
+    def __init__(self, entries: Optional[Iterable[Dict[str, str]]] = None):
+        self.entries: List[Dict[str, str]] = list(entries or [])
+        self._keys = {
+            (e.get("rule", ""), e.get("path", ""), e.get("symbol", ""))
+            for e in self.entries
+        }
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(data.get("findings", []))
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.key() in self._keys
+
+    @staticmethod
+    def write(path: Path, findings: Sequence[Finding]) -> None:
+        entries = sorted(
+            (
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "symbol": f.symbol,
+                    "justification": "TODO: justify or fix",
+                }
+                for f in findings
+            ),
+            key=lambda e: (e["path"], e["rule"], e["symbol"]),
+        )
+        payload = {"version": 1, "findings": entries}
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+
+class Analyzer:
+    """Load modules, build the symbol table, run every pass."""
+
+    def __init__(self, passes: Sequence[object]):
+        self.passes = list(passes)
+        self.suppressed_inline = 0
+        self.baselined = 0
+
+    @staticmethod
+    def collect_files(paths: Sequence[Path]) -> List[Path]:
+        files: List[Path] = []
+        for p in paths:
+            if p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            elif p.suffix == ".py":
+                files.append(p)
+        return files
+
+    def load(self, paths: Sequence[Path], root: Path) -> Tuple[List[Module], SymbolTable]:
+        modules = [
+            Module.from_file(f, root) for f in self.collect_files(paths)
+        ]
+        symtab = SymbolTable()
+        for m in modules:
+            symtab.add_module(m)
+        return modules, symtab
+
+    def run(
+        self,
+        modules: Sequence[Module],
+        symtab: SymbolTable,
+        baseline: Optional[Baseline] = None,
+    ) -> List[Finding]:
+        self.suppressed_inline = 0
+        self.baselined = 0
+        out: List[Finding] = []
+        for module in modules:
+            for pass_ in self.passes:
+                for finding in pass_.run(module, symtab):  # type: ignore[attr-defined]
+                    if module.is_suppressed(finding.rule, finding.line):
+                        self.suppressed_inline += 1
+                        continue
+                    if baseline is not None and baseline.contains(finding):
+                        self.baselined += 1
+                        continue
+                    out.append(finding)
+        out.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+        return out
+
+    def all_rules(self) -> List[Rule]:
+        rules: List[Rule] = []
+        for pass_ in self.passes:
+            rules.extend(pass_.rules.values())  # type: ignore[attr-defined]
+        return sorted(rules, key=lambda r: r.id)

@@ -1,0 +1,24 @@
+"""The five project-specific repro-lint passes."""
+
+from .billing import BillingPass
+from .concurrency import ConcurrencyPass
+from .determinism import DeterminismPass
+from .operator_contract import OperatorContractPass
+from .pickle_safety import PickleSafetyPass
+
+ALL_PASSES = (
+    DeterminismPass,
+    BillingPass,
+    ConcurrencyPass,
+    PickleSafetyPass,
+    OperatorContractPass,
+)
+
+__all__ = [
+    "ALL_PASSES",
+    "BillingPass",
+    "ConcurrencyPass",
+    "DeterminismPass",
+    "OperatorContractPass",
+    "PickleSafetyPass",
+]

@@ -1,0 +1,181 @@
+"""Pass 2 — counter-billing parity (REPRO201-202).
+
+``ExecutionStats`` is the paper-reproduction's measurement instrument:
+every mode, join strategy, and vectorization setting must bill the same
+work to the same counters, or the benchmark gates compare apples to
+oranges.  Two structural properties are checkable without running:
+
+* REPRO201 — an operator body (``_rows``/``_candidate_pairs``/
+  ``iterate``) that calls index/probe APIs but never touches
+  ``self.stats`` cannot be billing the work it does;
+* REPRO202 — a vectorized/scalar branch pair in which one side bills a
+  counter the other side does not (``vectorized_batches``/
+  ``vectorized_candidates`` are exempt: they exist to *count* the
+  vectorized path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..core import (
+    Finding,
+    Module,
+    Rule,
+    SymbolTable,
+    attr_chain,
+    iter_class_methods,
+)
+
+RULES = {
+    "REPRO201": Rule(
+        id="REPRO201",
+        name="unbilled-index-work",
+        summary="operator iterates index entries without billing "
+        "ExecutionStats counters",
+        fix="bill the probe via self.stats (probes/node_reads/"
+        "pair_tests/...) next to the index call",
+    ),
+    "REPRO202": Rule(
+        id="REPRO202",
+        name="scalar-vectorized-counter-asymmetry",
+        summary="vectorized branch bills a counter its scalar twin "
+        "does not (or vice versa)",
+        fix="bill the same logical counters in both branches; only "
+        "vectorized_batches/vectorized_candidates may differ",
+    ),
+}
+
+#: Table/index APIs whose calls represent billable index work.
+PROBE_APIS = {
+    "probe",
+    "match_positions",
+    "matches",
+    "range_query",
+    "knn",
+    "knn_browse",
+    "candidates",
+    "insert_batch",
+    "query",
+    "search",
+    "scan",
+}
+
+#: Counters that legitimately differ between scalar and vectorized twins.
+SYMMETRY_EXEMPT = {"vectorized_batches", "vectorized_candidates"}
+
+_OPERATOR_METHODS = ("_rows", "_candidate_pairs", "iterate")
+
+
+class BillingPass:
+    name = "billing"
+    rules = RULES
+
+    def run(self, module: Module, symtab: SymbolTable) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not symtab.is_subclass_of(node.name, "PhysicalOperator"):
+                continue
+            if node.name == "PhysicalOperator":
+                continue
+            for method in iter_class_methods(node):
+                if method.name not in _OPERATOR_METHODS:
+                    continue
+                symbol = f"{node.name}.{method.name}"
+                self._check_unbilled(module, method, symbol, findings)
+                self._check_asymmetry(module, method, symbol, findings)
+        return findings
+
+    def _check_unbilled(
+        self,
+        module: Module,
+        method: ast.FunctionDef,
+        symbol: str,
+        findings: List[Finding],
+    ) -> None:
+        probe_call = None
+        bills_stats = False
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                attr = chain.rpartition(".")[2]
+                if attr in PROBE_APIS and "." in chain:
+                    probe_call = probe_call or node
+            if (
+                isinstance(node, ast.Attribute)
+                and attr_chain(node).startswith("self.stats")
+            ):
+                bills_stats = True
+        if probe_call is not None and not bills_stats:
+            findings.append(
+                Finding(
+                    rule="REPRO201",
+                    severity=RULES["REPRO201"].severity,
+                    path=module.relpath,
+                    line=probe_call.lineno,
+                    column=probe_call.col_offset,
+                    symbol=symbol,
+                    message=(
+                        f"{symbol} calls "
+                        f"{attr_chain(probe_call.func)}() but never "
+                        "bills self.stats"
+                    ),
+                    fix_hint=RULES["REPRO201"].fix,
+                )
+            )
+
+    def _check_asymmetry(
+        self,
+        module: Module,
+        method: ast.FunctionDef,
+        symbol: str,
+        findings: List[Finding],
+    ) -> None:
+        for node in ast.walk(method):
+            if not isinstance(node, ast.If) or not node.orelse:
+                continue
+            test_src = ast.unparse(node.test)
+            if "vectorize" not in test_src and "store is not None" not in (
+                test_src
+            ):
+                continue
+            body_counters = _billed_counters(node.body) - SYMMETRY_EXEMPT
+            else_counters = _billed_counters(node.orelse) - SYMMETRY_EXEMPT
+            diff = body_counters.symmetric_difference(else_counters)
+            if diff:
+                findings.append(
+                    Finding(
+                        rule="REPRO202",
+                        severity=RULES["REPRO202"].severity,
+                        path=module.relpath,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        symbol=symbol,
+                        message=(
+                            f"{symbol} bills "
+                            f"{sorted(diff)} in only one branch of the "
+                            f"vectorized/scalar split ({test_src})"
+                        ),
+                        fix_hint=RULES["REPRO202"].fix,
+                    )
+                )
+
+
+def _billed_counters(stmts: List[ast.stmt]) -> Set[str]:
+    """Counter names aug-assigned through ``self.stats.X`` in ``stmts``."""
+    out: Set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign):
+                chain = attr_chain(node.target)
+                if chain.startswith("self.stats."):
+                    out.add(chain.split(".", 2)[2])
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    chain = attr_chain(target)
+                    if chain.startswith("self.stats."):
+                        out.add(chain.split(".", 2)[2])
+    return out

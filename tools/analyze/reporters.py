@@ -1,0 +1,81 @@
+"""Finding reporters: human text and a stable JSON schema.
+
+The JSON schema is part of the tool's contract (CI parses it and the
+tests pin it):
+
+.. code-block:: json
+
+    {
+      "tool": "repro-lint",
+      "schema_version": 1,
+      "findings": [
+        {"rule": "...", "severity": "...", "path": "...", "line": 1,
+         "column": 0, "symbol": "...", "message": "...",
+         "fix_hint": "..."}
+      ],
+      "summary": {"total": 0, "by_rule": {}, "suppressed_inline": 0,
+                  "baselined": 0}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from .core import Finding
+
+SCHEMA_VERSION = 1
+
+
+def render_text(
+    findings: Sequence[Finding],
+    suppressed_inline: int = 0,
+    baselined: int = 0,
+) -> str:
+    lines: List[str] = [f.render() for f in findings]
+    counts = Counter(f.rule for f in findings)
+    summary = ", ".join(
+        f"{rule}: {n}" for rule, n in sorted(counts.items())
+    )
+    lines.append(
+        f"repro-lint: {len(findings)} finding(s)"
+        + (f" ({summary})" if summary else "")
+        + f"; {suppressed_inline} suppressed inline, "
+        f"{baselined} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    suppressed_inline: int = 0,
+    baselined: int = 0,
+) -> str:
+    payload = {
+        "tool": "repro-lint",
+        "schema_version": SCHEMA_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "column": f.column,
+                "symbol": f.symbol,
+                "message": f.message,
+                "fix_hint": f.fix_hint,
+            }
+            for f in findings
+        ],
+        "summary": {
+            "total": len(findings),
+            "by_rule": dict(
+                sorted(Counter(f.rule for f in findings).items())
+            ),
+            "suppressed_inline": suppressed_inline,
+            "baselined": baselined,
+        },
+    }
+    return json.dumps(payload, indent=2)
