@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Incremental-maintenance throughput → ``benchmarks/out/BENCH_mutation.json``.
+
+The LSM-style write delta (:mod:`repro.spatial.delta`) exists so point
+mutations stop costing a full STR rebuild: inserts and tombstones stage
+in a small memory overlay that every read path merges transparently,
+and the packed base is only rebuilt when the delta crosses its repack
+threshold.  This bench runs a **sustained interleaved stream** — small
+mutation batches (3:1 inserts:deletes) alternating with range / count /
+kNN queries — through two implementations of the same logical table:
+
+* **delta** — the shipped write path: O(delta) staging, overlay-merged
+  reads, threshold-triggered repacks;
+* **rebuild-per-batch** — the pre-delta baseline: apply the batch, then
+  STR-rebuild the packed table before serving the next queries (what
+  the query service used to do per mutation).
+
+Every batch cross-checks bit-identity: the delta table's answers (range
+oid sets, count, kNN distance/oid ranking) must equal the freshly
+rebuilt baseline's.  The reported speedup is baseline wall clock over
+delta wall clock for the whole stream.
+
+With ``--check-speedup`` (the CI gate) the delta stream must run at
+least **3×** faster than rebuild-per-batch at the largest scale.
+
+``REPRO_BENCH_MUTATION_SIZES`` overrides the scale ladder,
+``REPRO_BENCH_MUTATION_BATCHES`` the batch count.
+
+Usage::
+
+    python benchmarks/bench_mutation.py [--out ...] [--check-speedup]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+from time import perf_counter
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (_REPO, os.path.join(_REPO, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.algebra import Region  # noqa: E402
+from repro.boxes import Box, BoxQuery  # noqa: E402
+from repro.spatial import SpatialTable  # noqa: E402
+
+SIZES = [
+    int(s)
+    for s in os.environ.get(
+        "REPRO_BENCH_MUTATION_SIZES", "4000,16000"
+    ).split(",")
+]
+BATCHES = int(os.environ.get("REPRO_BENCH_MUTATION_BATCHES", "120"))
+MUTATIONS_PER_BATCH = 4  # 3 inserts : 1 delete
+QUERIES_PER_BATCH = 3
+
+#: The CI gate: interleaved delta stream ≥ 3× rebuild-per-batch,
+#: largest scale.
+SPEEDUP_GATE = 3.0
+
+SEED = 83
+UNIVERSE = Box((0.0, 0.0), (1024.0, 1024.0))
+SIDE = 4.0
+
+
+def _random_region(rng: random.Random) -> Region:
+    lo = (
+        rng.uniform(0, 1024.0 - SIDE),
+        rng.uniform(0, 1024.0 - SIDE),
+    )
+    return Region.from_box(
+        Box(lo, (lo[0] + rng.uniform(1, SIDE), lo[1] + rng.uniform(1, SIDE)))
+    )
+
+
+def _build_stream(n: int):
+    """Seed rows plus the deterministic mutation/query stream."""
+    rng = random.Random(SEED + n)
+    rows = [(i, _random_region(rng)) for i in range(n)]
+    live = [oid for oid, _r in rows]
+    next_oid = n
+    batches = []
+    for _ in range(BATCHES):
+        mutations = []
+        for j in range(MUTATIONS_PER_BATCH):
+            if j % MUTATIONS_PER_BATCH == MUTATIONS_PER_BATCH - 1 and live:
+                victim = live.pop(rng.randrange(len(live)))
+                mutations.append(("delete", victim, None))
+            else:
+                mutations.append(("insert", next_oid, _random_region(rng)))
+                live.append(next_oid)
+                next_oid += 1
+        queries = []
+        for _ in range(QUERIES_PER_BATCH):
+            lo = (rng.uniform(0, 1000.0), rng.uniform(0, 1000.0))
+            queries.append(
+                BoxQuery(overlap=(Box(lo, (lo[0] + 24.0, lo[1] + 24.0)),))
+            )
+        anchor = (rng.uniform(0, 1024.0), rng.uniform(0, 1024.0))
+        batches.append((mutations, queries, anchor))
+    return rows, batches
+
+
+def _answers(table, queries, anchor):
+    """The batch's read results in a comparable form."""
+    out = []
+    for q in queries:
+        out.append(sorted(repr(o.oid) for o in table.range_query(q)))
+        out.append(table.count_range(q))
+    out.append(
+        [(d, repr(o.oid)) for d, o in table.nearest(anchor, 5)]
+    )
+    return out
+
+
+def run_delta(rows, batches):
+    """The shipped path: staged writes, overlay reads, auto repack."""
+    table = SpatialTable("mut", 2, index="rtree", universe=UNIVERSE)
+    table.bulk_insert(rows)
+    start = perf_counter()
+    results = []
+    for mutations, queries, anchor in batches:
+        for op, oid, region in mutations:
+            if op == "insert":
+                table.stage_insert(oid, region)
+            else:
+                table.delete(oid)
+        results.append(_answers(table, queries, anchor))
+    elapsed = perf_counter() - start
+    return elapsed, results, table
+
+
+def run_rebuild(rows, batches):
+    """The baseline: STR-rebuild the packed table after every batch."""
+    live = dict(rows)
+    table = SpatialTable("mut", 2, index="rtree", universe=UNIVERSE)
+    table.bulk_insert(rows)
+    start = perf_counter()
+    results = []
+    for mutations, queries, anchor in batches:
+        for op, oid, region in mutations:
+            if op == "insert":
+                live[oid] = region
+            else:
+                del live[oid]
+        table = SpatialTable("mut", 2, index="rtree", universe=UNIVERSE)
+        table.bulk_insert(list(live.items()))
+        results.append(_answers(table, queries, anchor))
+    elapsed = perf_counter() - start
+    return elapsed, results
+
+
+def bench_scale(n: int) -> dict:
+    rows, batches = _build_stream(n)
+    delta_s, delta_results, table = run_delta(rows, batches)
+    rebuild_s, rebuild_results = run_rebuild(rows, batches)
+    ops = BATCHES * (MUTATIONS_PER_BATCH + QUERIES_PER_BATCH + 1)
+    return {
+        "size": n,
+        "batches": BATCHES,
+        "interleaved_ops": ops,
+        "delta_ms": round(delta_s * 1e3, 3),
+        "rebuild_ms": round(rebuild_s * 1e3, 3),
+        "speedup": round(rebuild_s / delta_s, 2) if delta_s else float("inf"),
+        "delta_ops_per_s": round(ops / delta_s, 1) if delta_s else None,
+        "rebuild_ops_per_s": round(ops / rebuild_s, 1) if rebuild_s else None,
+        "identical": delta_results == rebuild_results,
+        "repacks": table.repacks,
+        "delta_probes": table.delta_probes,
+        "pending_at_end": table.delta_pending_ops,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="benchmarks/out/BENCH_mutation.json")
+    parser.add_argument(
+        "--check-speedup",
+        action="store_true",
+        help="enforce the ≥3x interleaved-throughput gate vs the "
+        "rebuild-per-batch baseline (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = [bench_scale(size) for size in SIZES]
+    largest = rows[-1]
+    result = {
+        "python": platform.python_version(),
+        "sizes": SIZES,
+        "batches": BATCHES,
+        "mutations_per_batch": MUTATIONS_PER_BATCH,
+        "queries_per_batch": QUERIES_PER_BATCH,
+        "gate": {
+            "threshold": SPEEDUP_GATE,
+            "enforced": args.check_speedup,
+            "size": largest["size"],
+            "speedup": largest["speedup"],
+        },
+        "rows": rows,
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+    print(f"wrote {args.out}")
+
+    failures = []
+    for row in rows:
+        print(
+            f"interleaved n={row['size']} ({row['interleaved_ops']} ops): "
+            f"delta={row['delta_ms']}ms ({row['repacks']} repacks, "
+            f"{row['delta_probes']} delta probes) "
+            f"rebuild-per-batch={row['rebuild_ms']}ms "
+            f"speedup={row['speedup']}x identical={row['identical']}"
+        )
+        if not row["identical"]:
+            failures.append(
+                f"delta stream at n={row['size']} answered differently "
+                "than the rebuild-per-batch baseline"
+            )
+        if not row["repacks"]:
+            failures.append(
+                f"delta stream at n={row['size']} never repacked; the "
+                "threshold fold went untested"
+            )
+        if not row["delta_probes"]:
+            failures.append(
+                f"delta stream at n={row['size']} never merged the "
+                "overlay; the delta read path went untested"
+            )
+    if args.check_speedup and largest["speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"delta stream only {largest['speedup']}x faster at "
+            f"n={largest['size']}; the gate requires ≥ {SPEEDUP_GATE}x"
+        )
+    if not args.check_speedup:
+        print("speedup gate not enforced (pass --check-speedup in CI)")
+
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("all mutation gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ Usage::
                              [--partitions N] [--parallel W] [--join auto]
                              [--shards S] [--spill N] [--parallel-kind thread]
                              [--knn K] [--agg count,min:T] [--agg-box]
+                             [--mutate N] [--delta-threshold N]
     python -m repro explain  [--workload ...] [--mode boxplan] [--analyze]
                              [--partitions N] [--parallel W] [--join pbsm]
                              [--shards S] [--spill N]
@@ -272,8 +273,44 @@ def _plan_workload(args):
         # A ref-anchored kNN variable must follow its anchor; repair
         # the planner-chosen order with the compiler's own helper.
         order = repair_knn_order(order, knn, query.tables)
+    _stage_mutations(args, query)
     plan = compile_query(query, order=order)
     return query, plan, strategy
+
+
+def _stage_mutations(args, query) -> None:
+    """Stage ``--mutate`` seeded delta writes before execution.
+
+    Mixes inserts (small random boxes inside each table's universe) and
+    deletes of existing rows in a 2:1 ratio, exercising the
+    overlay-merged read paths (and, past ``--delta-threshold``, the
+    inline repack) without rebuilding the workload tables.
+    """
+    n = getattr(args, "mutate", 0)
+    if not n:
+        return
+    import random
+
+    from .algebra.regions import Region
+    from .boxes.box import Box
+
+    rng = random.Random(args.seed * 31 + 24251)
+    for name, table in query.tables.items():
+        if getattr(args, "delta_threshold", None):
+            table.delta_threshold = args.delta_threshold
+        oids = [obj.oid for obj in table]
+        lo, hi = table.universe.lo, table.universe.hi
+        for i in range(n):
+            if i % 3 == 2 and oids:
+                table.delete(oids.pop(rng.randrange(len(oids))))
+            else:
+                center = [rng.uniform(a, b) for a, b in zip(lo, hi)]
+                half = [(b - a) * 0.01 for a, b in zip(lo, hi)]
+                box = Box(
+                    tuple(max(a, c - h) for a, c, h in zip(lo, center, half)),
+                    tuple(min(b, c + h) for b, c, h in zip(hi, center, half)),
+                )
+                table.stage_insert(f"mut-{name}-{i}", Region.from_box(box))
 
 
 def _probe_cache(args):
@@ -664,6 +701,23 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="box-level COUNT (exact=False): push the count down to "
             "the index's subtree entry counts",
+        )
+        p.add_argument(
+            "--mutate",
+            type=int,
+            default=0,
+            metavar="N",
+            help="stage N seeded delta writes per table (2:1 "
+            "inserts:deletes) before executing, exercising the "
+            "LSM-style overlay-merged read paths",
+        )
+        p.add_argument(
+            "--delta-threshold",
+            type=int,
+            default=None,
+            metavar="N",
+            help="repack after N staged mutations (with --mutate; "
+            "default: the table's own threshold, 64)",
         )
 
     def add_streaming_args(p):

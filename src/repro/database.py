@@ -185,6 +185,10 @@ class Database:
         same shards without re-running the STR sort).
         """
         for table in self.tables.values():
+            # Fold any pending write delta first: snapshots serialize
+            # only packed base structures, and statistics computed here
+            # must land in the base cache the snapshot ships.
+            table.repack()
             if partitions > 0:
                 table.partitioning(partitions)
             if shards > 0:
@@ -221,6 +225,20 @@ class Database:
             raise KeyError(
                 f"no table {name!r}; known tables: {sorted(self.tables)}"
             ) from None
+
+    # -- mutation --------------------------------------------------------------
+    def insert(self, table: str, oid, region: Region) -> None:
+        """Stage one new row into ``table``'s write delta.
+
+        O(delta) — the packed base structures are untouched until the
+        table's repack threshold fires (or :meth:`save` folds the
+        delta).  Readers see the row immediately.
+        """
+        self.table(table).stage_insert(oid, region)
+
+    def delete(self, table: str, oid) -> bool:
+        """Stage one delete; returns ``False`` when ``oid`` is not live."""
+        return self.table(table).stage_delete(oid)
 
     # -- queries ---------------------------------------------------------------
     def query(

@@ -139,6 +139,46 @@ class Histogram:
         """Estimated fraction of values ``>= x``."""
         return 1.0 - self.fraction_below(x)
 
+    def with_delta(
+        self,
+        added: Iterable[float],
+        removed: Iterable[float],
+        bins: int = DEFAULT_BINS,
+    ) -> "Histogram":
+        """Incrementally adjusted histogram: bucket counts for ``added``
+        values go up and for ``removed`` values go down, without
+        rescanning the population.
+
+        The bucket range ``[lo, hi]`` is kept — values outside it clamp
+        into the edge buckets (the estimates stay approximations, which
+        is all the planner asks of them); removals floor at zero.  An
+        empty histogram is rebuilt from the added values outright.
+        """
+        added = list(added)
+        removed = list(removed)
+        if not added and not removed:
+            return self
+        if self.total == 0:
+            return Histogram.from_values(added, bins=bins)
+        counts = list(self.counts)
+        width = (
+            (self.hi - self.lo) / len(counts) if self.hi > self.lo else 0.0
+        )
+
+        def bucket(v: float) -> int:
+            if width == 0.0:
+                return 0
+            return max(0, min(len(counts) - 1, int((v - self.lo) / width)))
+
+        for v in added:
+            counts[bucket(v)] += 1
+        for v in removed:
+            b = bucket(v)
+            if counts[b] > 0:
+                counts[b] -= 1
+        total = max(0, self.total + len(added) - len(removed))
+        return Histogram(self.lo, self.hi, tuple(counts), total)
+
     def to_dict(self) -> dict:
         """JSON-serializable form (see :meth:`from_dict`)."""
         return {
@@ -171,7 +211,10 @@ class TableStatistics:
     boxes' lower/upper edges in dimension ``d``; ``sample`` is a
     uniform random sample of the rows themselves; ``partitions`` holds
     per-partition summaries when the statistics were collected with a
-    partition count (empty otherwise).
+    partition count (empty otherwise).  ``delta_count`` is the number
+    of staged-but-unpacked mutations folded in by :meth:`apply_delta`
+    (0 for statistics over a clean table) — the cost formulas price the
+    per-probe delta overlay with it.
     """
 
     name: str
@@ -183,6 +226,7 @@ class TableStatistics:
     avg_sides: Tuple[float, ...]
     sample: Tuple["SpatialObject", ...]
     partitions: Tuple[PartitionStatistics, ...] = ()
+    delta_count: int = 0
 
     # -- per-constraint selectivity (histogram-based) -------------------------
     def sel_inside(self, a: Box) -> float:
@@ -289,18 +333,93 @@ class TableStatistics:
             )
         )
 
+    # -- incremental maintenance ------------------------------------------------
+    def apply_delta(
+        self,
+        inserted: Tuple["SpatialObject", ...],
+        removed: Tuple["SpatialObject", ...],
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+    ) -> "TableStatistics":
+        """Statistics adjusted for staged writes — O(delta), no rescan.
+
+        Counts, edge histograms, average extents and the row sample are
+        updated incrementally from the staged rows; the MBR grows to
+        enclose inserted boxes but never shrinks on deletes (a sound
+        over-approximation: re-tightening it would need a base rescan,
+        which the repack does anyway).  ``delta_count`` records how many
+        staged mutations were folded in, so the planner's node-read
+        formulas can price the per-probe delta overlay.
+        """
+        if not inserted and not removed:
+            return self
+        ins_boxes = [o.box for o in inserted if not o.box.is_empty()]
+        rem_boxes = [o.box for o in removed if not o.box.is_empty()]
+        mbr = self.mbr
+        if ins_boxes:
+            mbr = enclose_all(
+                ([mbr] if not mbr.is_empty() else []) + ins_boxes
+            )
+        bins = max((len(h.counts) for h in self.lo_hists), default=DEFAULT_BINS)
+        lo_hists = []
+        hi_hists = []
+        avg_sides = []
+        old_boxes = self.lo_hists[0].total if self.lo_hists else 0
+        new_boxes = old_boxes + len(ins_boxes) - len(rem_boxes)
+        for d in range(self.dim):
+            lo_hists.append(
+                self.lo_hists[d].with_delta(
+                    (b.lo[d] for b in ins_boxes),
+                    (b.lo[d] for b in rem_boxes),
+                    bins=bins,
+                )
+            )
+            hi_hists.append(
+                self.hi_hists[d].with_delta(
+                    (b.hi[d] for b in ins_boxes),
+                    (b.hi[d] for b in rem_boxes),
+                    bins=bins,
+                )
+            )
+            if new_boxes > 0:
+                side_sum = (
+                    self.avg_sides[d] * old_boxes
+                    + sum(b.hi[d] - b.lo[d] for b in ins_boxes)
+                    - sum(b.hi[d] - b.lo[d] for b in rem_boxes)
+                )
+                avg_sides.append(max(0.0, side_sum / new_boxes))
+            else:
+                avg_sides.append(0.0)
+        dead = {id(o) for o in removed}
+        kept = tuple(o for o in self.sample if id(o) not in dead)
+        fill = tuple(inserted)[: max(0, sample_size - len(kept))]
+        from dataclasses import replace
+
+        return replace(
+            self,
+            count=self.count + len(inserted) - len(removed),
+            mbr=mbr,
+            lo_hists=tuple(lo_hists),
+            hi_hists=tuple(hi_hists),
+            avg_sides=tuple(avg_sides),
+            sample=kept + fill,
+            delta_count=len(inserted) + len(removed),
+        )
+
     # -- nearest-neighbor costing ----------------------------------------------
     def estimate_scan_node_reads(self, node_capacity: int = 8) -> float:
         """Nodes a full R-tree traversal of this table would read.
 
         Leaves at near-full fanout plus the geometric series of inner
         levels — the cost of ranking every row (the kNN scan path).
+        Staged delta rows cost one extra "leaf" per node's worth: they
+        are brute-forced by the overlay merge on every probe.
         """
+        overlay = self.delta_count / max(2, node_capacity)
         if self.count == 0:
-            return 1.0
+            return 1.0 + overlay
         cap = max(2, node_capacity)
         leaves = math.ceil(self.count / cap)
-        return leaves * cap / (cap - 1)
+        return leaves * cap / (cap - 1) + overlay
 
     def estimate_knn_node_reads(
         self, k: int, node_capacity: int = 8
@@ -311,13 +430,16 @@ class TableStatistics:
         reads (each read leaf yields up to ``M`` candidates), doubled
         for the inner nodes the frontier expands.  Deliberately coarse —
         it only needs to rank best-first against the full scan, which it
-        beats until ``k`` approaches the table size.
+        beats until ``k`` approaches the table size.  A pending delta
+        adds its overlay term (the staged rows are ranked on every
+        probe, whichever access path wins).
         """
+        overlay = self.delta_count / max(2, node_capacity)
         if self.count == 0:
-            return 1.0
+            return 1.0 + overlay
         cap = max(2, node_capacity)
         height = 1 + math.ceil(math.log(max(2, self.count), cap))
-        return height + 2.0 * math.ceil(min(k, self.count) / cap)
+        return height + 2.0 * math.ceil(min(k, self.count) / cap) + overlay
 
     def exact_selectivity(
         self,
@@ -367,6 +489,7 @@ class TableStatistics:
             "avg_sides": list(self.avg_sides),
             "sample": [row_index[id(obj)] for obj in self.sample],
             "partitions": [p.to_dict() for p in self.partitions],
+            "delta_count": self.delta_count,
         }
 
     @classmethod
@@ -391,6 +514,7 @@ class TableStatistics:
                 PartitionStatistics.from_dict(p)
                 for p in data["partitions"]
             ),
+            delta_count=int(data.get("delta_count", 0)),
         )
 
 
@@ -400,14 +524,24 @@ def collect_statistics(
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = 0,
     partitions: int = 0,
+    rows: Optional[Sequence["SpatialObject"]] = None,
+    total: Optional[int] = None,
 ) -> TableStatistics:
     """Compute :class:`TableStatistics` for a table (one full scan).
 
     ``partitions > 0`` additionally summarises the table's STR
     partitioning at that granularity (per-partition counts and MBRs),
     reusing the tiling cached on the table.
+
+    ``rows`` / ``total`` override the scanned population (non-empty
+    rows and the raw row count): the incremental-maintenance path
+    passes the *base* rows of a table whose live iterator would leak
+    staged delta rows into what must remain base-only statistics.
     """
-    rows = [obj for obj in table if not obj.box.is_empty()]
+    if rows is None:
+        rows = [obj for obj in table if not obj.box.is_empty()]
+    if total is None:
+        total = len(table)
     boxes = [obj.box for obj in rows]
     mbr = enclose_all(boxes) if boxes else EMPTY_BOX
     dim = table.dim
@@ -431,7 +565,7 @@ def collect_statistics(
     if len(rows) <= sample_size:
         sample = tuple(rows)
     else:
-        sample = tuple(rng.sample(rows, sample_size))
+        sample = tuple(rng.sample(list(rows), sample_size))
     partition_stats: Tuple[PartitionStatistics, ...] = ()
     if partitions > 0:
         partition_stats = tuple(
@@ -441,7 +575,7 @@ def collect_statistics(
     return TableStatistics(
         name=table.name,
         dim=dim,
-        count=len(table),
+        count=total,
         mbr=mbr,
         lo_hists=tuple(lo_hists),
         hi_hists=tuple(hi_hists),

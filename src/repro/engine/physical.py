@@ -124,6 +124,7 @@ class OperatorStats:
     dedup_skipped: int = 0  # PBSM boundary duplicates suppressed
     vectorized_batches: int = 0  # columnar kernel dispatches
     vectorized_candidates: int = 0  # rows/entries those kernels saw
+    delta_probes: int = 0  # probes that merged a pending write delta
     executed: bool = False  # has the operator been pulled at all?
 
 
@@ -235,22 +236,26 @@ class ExtendStep(PhysicalOperator):
     ) -> List[SpatialObject]:
         raise NotImplementedError
 
-    def _vectorized_mark(self) -> Tuple[int, int]:
-        """Snapshot the table's columnar-kernel counters."""
+    def _vectorized_mark(self) -> Tuple[int, int, int]:
+        """Snapshot the table's columnar-kernel and delta counters."""
         return (
             self.table.vectorized_batches,
             self.table.vectorized_candidates,
+            self.table.delta_probes,
         )
 
-    def _vectorized_absorb(self, mark: Tuple[int, int]) -> None:
-        """Attribute kernel work done since ``mark`` to this operator."""
-        batches, candidates = mark
+    def _vectorized_absorb(self, mark: Tuple[int, int, int]) -> None:
+        """Attribute kernel/delta work done since ``mark`` to this
+        operator (billing parity: the table-level counters advance in
+        lockstep with the per-operator ones)."""
+        batches, candidates, delta_probes = mark
         self.stats.vectorized_batches += (
             self.table.vectorized_batches - batches
         )
         self.stats.vectorized_candidates += (
             self.table.vectorized_candidates - candidates
         )
+        self.stats.delta_probes += self.table.delta_probes - delta_probes
 
     def iterate(self, ctx: ExecutionContext) -> Iterator[Binding]:
         self.stats.executed = True
@@ -291,11 +296,13 @@ class TableScan(ExtendStep):
     ) -> List[SpatialObject]:
         if self._scanned is None:
             before = self.table.index_read_count()
+            mark = self._vectorized_mark()
             self._scanned = self.table.scan()
             self.stats.probes += 1
             self.stats.node_reads += (
                 self.table.index_read_count() - before
             )
+            self._vectorized_absorb(mark)
         return self._scanned
 
 
@@ -618,8 +625,10 @@ class IndexCountAggregate(PhysicalOperator):
         self.stats.box_evals += 1
         self.stats.probes += 1
         before = self.table.index_read_count()
+        delta_before = self.table.delta_probes
         n = self.table.count_range(query)
         self.stats.node_reads += self.table.index_read_count() - before
+        self.stats.delta_probes += self.table.delta_probes - delta_before
         self.stats.rows_out += 1
         yield AggregateRow(group=(), values={"count": n})
 
@@ -1229,6 +1238,7 @@ class PhysicalPlan:
             step.cache_misses = extend.cache_misses
             step.vectorized_batches = extend.vectorized_batches
             step.vectorized_candidates = extend.vectorized_candidates
+            step.delta_probes = extend.delta_probes
             if ops.box_filter is not None:
                 step.candidates = ops.box_filter.stats.rows_out
                 stats.box_ops_estimate += ops.box_filter.stats.box_evals
@@ -1250,6 +1260,14 @@ class PhysicalPlan:
             stats.exchange_fallbacks = self.exchange.fallbacks
         if self.final_filter is not None:
             stats.region_ops += self.final_filter.stats.region_ops
+        # Repacks are a table-lifetime counter (zeroed by reset_stats,
+        # like the probe counters); fold each distinct plan table once.
+        seen_tables = {}
+        for ops in self.step_ops:
+            table = getattr(ops.extend, "table", None)
+            if table is not None:
+                seen_tables.setdefault(id(table), table)
+        stats.repacks = sum(t.repacks for t in seen_tables.values())
         if self.mode == "naive":
             # The historical naive executor reported only the final
             # cross-product size.
@@ -1343,6 +1361,8 @@ class PhysicalPlan:
                         f"vec={s.vectorized_batches}/"
                         f"{s.vectorized_candidates}"
                     )
+                if s.delta_probes:
+                    actual.append(f"delta_probes={s.delta_probes}")
                 if s.region_ops:
                     actual.append(f"region_ops={s.region_ops}")
                 parts.append("actual: " + " ".join(actual))

@@ -33,6 +33,7 @@ class StepStats:
     cache_misses: int = 0  # probes that fell through to the index
     vectorized_batches: int = 0  # columnar kernel dispatches
     vectorized_candidates: int = 0  # rows/entries those kernels evaluated
+    delta_probes: int = 0  # probes that merged a pending write delta
 
     @property
     def filter_ratio(self) -> float:
@@ -64,6 +65,7 @@ class ExecutionStats:
     exchange_kind: str = "serial"  # worker pool kind ("serial" = none)
     exchange_workers: int = 0  # parallel workers the plan was built with
     exchange_fallbacks: int = 0  # parallel runs that fell back to serial
+    repacks: int = 0  # delta folds (base rebuilds) during this execution
     steps: List[StepStats] = field(default_factory=list)
 
     def step(self, variable: str) -> StepStats:
@@ -108,6 +110,11 @@ class ExecutionStats:
         return sum(s.vectorized_candidates for s in self.steps)
 
     @property
+    def delta_probes(self) -> int:
+        """Probes that merged a pending write delta, over all steps."""
+        return sum(s.delta_probes for s in self.steps)
+
+    @property
     def cache_hit_rate(self) -> float:
         """Hits as a fraction of cached probe requests (0.0 uncached)."""
         requests = self.cache_hits + self.cache_misses
@@ -132,6 +139,7 @@ class ExecutionStats:
             "exchange_kind": self.exchange_kind,
             "exchange_workers": self.exchange_workers,
             "exchange_fallbacks": self.exchange_fallbacks,
+            "repacks": self.repacks,
             "steps": [s.to_dict() for s in self.steps],
         }
 
@@ -147,6 +155,7 @@ class ExecutionStats:
             exchange_kind=str(data.get("exchange_kind", "serial")),
             exchange_workers=int(data.get("exchange_workers", 0)),
             exchange_fallbacks=int(data.get("exchange_fallbacks", 0)),
+            repacks=int(data.get("repacks", 0)),
         )
         stats.steps = [StepStats.from_dict(s) for s in data.get("steps", [])]
         return stats
@@ -166,6 +175,8 @@ class ExecutionStats:
             "cache_misses": self.cache_misses,
             "vectorized_batches": self.vectorized_batches,
             "vectorized_candidates": self.vectorized_candidates,
+            "delta_probes": self.delta_probes,
+            "repacks": self.repacks,
             "exchange_kind": self.exchange_kind,
             "exchange_workers": self.exchange_workers,
             "exchange_fallbacks": self.exchange_fallbacks,
@@ -192,8 +203,13 @@ class ExecutionStats:
             )
             if self.exchange_fallbacks:
                 exchange += f" fallbacks={self.exchange_fallbacks}"
+        delta = ""
+        if self.delta_probes or self.repacks:
+            delta = (
+                f" delta_probes={self.delta_probes} repacks={self.repacks}"
+            )
         return (
             f"[{self.mode}] tuples={self.tuples_emitted} "
             f"partials={self.partial_tuples} region_ops={self.region_ops} "
-            f"steps=({steps}){cache}{exchange}"
+            f"steps=({steps}){cache}{exchange}{delta}"
         )

@@ -139,3 +139,8 @@ class ServiceClient:
         """Append rows (``{"oid": ..., "boxes": [[lo, hi], ...]}``);
         returns the post-swap snapshot version."""
         return self._post("/insert", {"table": table, "rows": list(rows)})
+
+    def delete(self, table: str, oids: Sequence[Any]) -> dict:
+        """Delete rows by oid (idempotent — non-live oids are counted
+        as ``missing``); returns the post-swap snapshot version."""
+        return self._post("/delete", {"table": table, "oids": list(oids)})

@@ -6,12 +6,16 @@ server adds is *snapshot isolation*:
 * every request captures the current :class:`~repro.database.Database`
   with a single attribute read (:meth:`SnapshotStore.current`) — no
   reader lock — and executes entirely against that immutable snapshot;
-* a mutation (``POST /insert``) never touches served tables: a
-  background rebuild constructs *new* table objects (old rows + the
-  mutation, STR-packed, statistics pre-warmed) and then
-  :meth:`SnapshotStore.swap` publishes them with one atomic reference
-  assignment.  In-flight readers keep their old snapshot and finish
-  bit-identically; new requests see the new one;
+* a mutation (``POST /insert`` / ``POST /delete``) never touches served
+  tables: it publishes an O(delta) :meth:`SpatialTable.with_staged`
+  clone — shared packed base, the mutation staged in a write delta,
+  statistics pre-warmed incrementally — through
+  :meth:`SnapshotStore.swap`'s single atomic reference assignment.
+  In-flight readers keep their old snapshot and finish bit-identically;
+  new requests see the new one.  Past the repack threshold a background
+  thread folds the accumulated delta into freshly packed structures
+  *off* the rebuild lock and publishes the result with a second swap,
+  replaying any mutations staged while it ran;
 * at swap time the superseded tables are proactively purged from the
   shared :class:`~repro.spatial.table.ProbeCache` — the old objects are
   never looked up again, so without the purge their entries would
@@ -22,7 +26,8 @@ The HTTP layer is a deliberately small stdlib-only HTTP/1.1 loop over
 see ``pyproject.toml``); query execution runs in the default thread
 pool via ``run_in_executor`` so slow queries do not stall the accept
 loop.  Endpoints: ``GET /health``, ``GET /stats``, and ``POST
-/run | /explain | /bench | /nearest | /insert`` with JSON bodies (see
+/run | /explain | /bench | /nearest | /insert | /delete`` with JSON
+bodies (see
 :class:`QueryService` for payload shapes and
 :mod:`repro.service.client` for a matching client).
 """
@@ -118,15 +123,25 @@ class QueryService:
     inline ``name -> [[lo, hi], ...]`` box lists define ad-hoc ones.
     """
 
-    def __init__(self, db: Database, cache_size: int = 1024) -> None:
+    def __init__(
+        self,
+        db: Database,
+        cache_size: int = 1024,
+        repack_threshold: Optional[int] = None,
+    ) -> None:
         self.cache = ProbeCache(maxsize=cache_size) if cache_size else None
         self.store = SnapshotStore(db, cache=self.cache)
         self._rebuild_lock = threading.Lock()
         # requests is bumped only on the HTTP server's event loop
-        # thread, so it needs no lock; rebuilds is written by the
-        # handlers, which serialize on the rebuild mutex.
+        # thread, so it needs no lock; rebuilds/repacks are written by
+        # the handlers, which serialize on the rebuild mutex.
         self.requests = 0
         self.rebuilds = 0  # guarded-by: _rebuild_lock
+        self.repacks = 0  # guarded-by: _rebuild_lock
+        #: Pending delta ops past which a mutation kicks a background
+        #: repack; ``None`` defers to each table's own threshold.
+        self.repack_threshold = repack_threshold
+        self._repack_thread: Optional[threading.Thread] = None  # guarded-by: _rebuild_lock
 
     # -- payload decoding ------------------------------------------------------
     @staticmethod
@@ -205,8 +220,14 @@ class QueryService:
             "snapshot": version,
             "requests": self.requests,
             "rebuilds": self.rebuilds,
+            "repacks": self.repacks,
             "tables": {
-                key: {"name": t.name, "rows": len(t), "index": t.index_kind}
+                key: {
+                    "name": t.name,
+                    "rows": len(t),
+                    "index": t.index_kind,
+                    "delta_pending": t.delta_pending_ops,
+                }
                 for key, t in db.tables.items()
             },
             "bindings": sorted(db.bindings),
@@ -282,12 +303,12 @@ class QueryService:
         }
 
     def insert(self, payload: dict) -> dict:
-        """Apply a mutation via background rebuild + atomic swap.
+        """Apply an insert via the delta write path + atomic swap.
 
         ``rows`` is a list of ``{"oid": ..., "boxes": [[lo, hi], ...]}``
-        objects appended to ``table``.  The rebuild never mutates served
-        tables: it re-packs a fresh table from the old rows plus the new
-        ones, pre-warms its statistics, then swaps.
+        objects appended to ``table``.  Served tables are never mutated:
+        an O(delta) shared-base clone with the rows staged is swapped in
+        (see :meth:`apply_insert`).
         """
         try:
             key = str(payload["table"])
@@ -305,40 +326,166 @@ class QueryService:
         version = self.apply_insert(key, rows)
         return {"snapshot": version, "inserted": len(rows)}
 
-    # -- rebuild ---------------------------------------------------------------
+    def delete(self, payload: dict) -> dict:
+        """Apply deletes via delta tombstones + atomic swap.
+
+        ``oids`` is a list of row ids to delete from ``table``; ids that
+        are not live are reported, not errors (deletes are idempotent
+        over the wire).
+        """
+        try:
+            key = str(payload["table"])
+            oids = [_decode_oid(o) for o in payload["oids"]]
+        except (KeyError, TypeError) as exc:
+            raise ServiceError(f"malformed delete payload: {exc}") from exc
+        version, deleted = self.apply_delete(key, oids)
+        return {
+            "snapshot": version,
+            "deleted": deleted,
+            "missing": len(oids) - deleted,
+        }
+
+    # -- mutation --------------------------------------------------------------
     def apply_insert(
         self, key: str, rows: List[Tuple[object, Region]]
     ) -> int:
-        """Rebuild ``key``'s table with ``rows`` appended, then swap."""
+        """Stage ``rows`` into ``key``'s delta and swap — O(delta)."""
+        return self._apply_mutation(key, inserts=rows)[0]
+
+    def apply_delete(
+        self, key: str, oids: List[object]
+    ) -> Tuple[int, int]:
+        """Tombstone ``oids`` in ``key``'s delta and swap.
+
+        Returns ``(snapshot version, rows actually deleted)`` — ids that
+        are not live are skipped rather than raising.
+        """
+        return self._apply_mutation(key, deletes=oids)
+
+    def _apply_mutation(
+        self,
+        key: str,
+        inserts: List[Tuple[object, Region]] = (),
+        deletes: List[object] = (),
+    ) -> Tuple[int, int]:
+        """Publish an O(delta) shared-base clone with the writes staged.
+
+        The served table is never touched: :meth:`SpatialTable.
+        with_staged` clones it around a copied delta (shared packed
+        base), the catalog is pre-warmed incrementally, and one atomic
+        swap publishes the clone.  Past the repack threshold a
+        background repack is kicked (never inline — the mutation stays
+        O(delta)).
+        """
         with self._rebuild_lock:
             db, _version = self.store.current()
             try:
                 old = db.table(key)
             except KeyError as exc:
                 raise ServiceError(str(exc)) from exc
-            new_table = SpatialTable(
-                old.name,
-                old.dim,
-                index=old.index_kind,
-                universe=old.universe,
-                split_method=old.split_method,
-                node_capacity=old.node_capacity,
-            )
-            new_table.bulk_insert(
-                [(obj.oid, obj.region) for obj in old] + list(rows)
-            )
-            new_table.statistics()  # serve a warm catalog immediately
-            tables = dict(db.tables)
-            tables[key] = new_table
-            new_db = Database(tables=tables, bindings=dict(db.bindings))
-            # The worker pools are the service's, not the snapshot's:
-            # hand the same pool registry (and the lock guarding it —
-            # one dict must have one lock) to the new database so warm
-            # workers survive the swap.
-            new_db._pools = db._pools
-            new_db._pool_lock = db._pool_lock
+            # Dedup and drop non-live oids: wire deletes are idempotent.
+            live, seen = [], set()
+            for oid in deletes:
+                if oid in seen:
+                    continue
+                seen.add(oid)
+                try:
+                    old.get(oid)
+                except KeyError:
+                    continue
+                live.append(oid)
+            applied = len(live)
+            if not inserts and not live:
+                return self.store.version, 0
+            new_table = old.with_staged(inserts=inserts, deletes=live)
+            new_table.statistics()  # warm delta-adjusted catalog
             self.rebuilds += 1
-            return self.store.swap(new_db)
+            version = self.store.swap(self._republish(db, key, new_table))
+            if self._repack_due(new_table):
+                self._start_repack_locked(key)
+            return version, applied
+
+    @staticmethod
+    def _republish(db: Database, key: str, table: SpatialTable) -> Database:
+        """A new snapshot database with ``key`` replaced by ``table``."""
+        tables = dict(db.tables)
+        tables[key] = table
+        new_db = Database(tables=tables, bindings=dict(db.bindings))
+        # The worker pools are the service's, not the snapshot's: hand
+        # the same pool registry (and the lock guarding it — one dict
+        # must have one lock) to the new database so warm workers
+        # survive the swap.
+        new_db._pools = db._pools
+        new_db._pool_lock = db._pool_lock
+        return new_db
+
+    # -- background repack -----------------------------------------------------
+    def _repack_due(self, table: SpatialTable) -> bool:
+        threshold = (
+            self.repack_threshold
+            if self.repack_threshold is not None
+            else table.delta_threshold
+        )
+        return table.delta_pending_ops >= threshold
+
+    def _start_repack_locked(self, key: str) -> None:
+        # Callers hold _rebuild_lock.  One repack at a time: a mutation
+        # landing mid-repack is replayed by the worker, and the next
+        # threshold crossing starts a fresh one.
+        if self._repack_thread is not None and self._repack_thread.is_alive():
+            return
+        thread = threading.Thread(
+            target=self._repack_worker,
+            args=(key,),
+            name=f"repro-repack-{key}",
+            daemon=True,
+        )
+        self._repack_thread = thread
+        thread.start()
+
+    def _repack_worker(self, key: str) -> None:
+        """Fold ``key``'s delta off-lock and publish the packed table.
+
+        Readers are never blocked or perturbed: the expensive STR
+        rebuild runs on a private shared-base clone while requests keep
+        hitting the delta-overlay snapshot; mutations staged meanwhile
+        are replayed from the delta's op log (the published clone chain
+        keeps the build snapshot's ops as a prefix) before the second
+        swap publishes the packed table.
+        """
+        with self._rebuild_lock:
+            db, _version = self.store.current()
+            current = db.tables.get(key)
+            if current is None or not current.delta_pending:
+                return
+            packed = current.with_staged()
+            ops_seen = len(current._delta.ops)
+        # The expensive part — STR bulk load + fresh statistics — runs
+        # off the lock, against structures only this thread can see.
+        packed.repack()
+        packed.statistics()
+        with self._rebuild_lock:
+            db, _version = self.store.current()
+            current = db.tables.get(key)
+            if current is None:
+                return
+            delta = current._delta
+            if delta is not None:
+                for op, arg in delta.ops[ops_seen:]:
+                    if op == "insert":
+                        packed.stage_insert(arg.oid, arg.region)
+                    else:
+                        packed.stage_delete(arg)
+            self.repacks += 1
+            self.store.swap(self._republish(db, key, packed))
+
+    def drain_repacks(self, timeout: float = 30.0) -> None:
+        """Block until no background repack is in flight (tests)."""
+        thread = self._repack_thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            if thread.is_alive():  # pragma: no cover - hang guard
+                raise RuntimeError("background repack did not finish")
 
 
 # -- HTTP layer ----------------------------------------------------------------
@@ -350,6 +497,7 @@ _ROUTES = {
     ("POST", "/bench"): "bench",
     ("POST", "/nearest"): "nearest",
     ("POST", "/insert"): "insert",
+    ("POST", "/delete"): "delete",
 }
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}

@@ -112,6 +112,9 @@ def region_from_jsonable(data: Sequence) -> Region:
 # -- table serialization -------------------------------------------------------
 def table_to_jsonable(table: SpatialTable) -> dict:
     """Everything needed to reconstruct a warm table, as JSON data."""
+    # Snapshots serialize only packed base structures, so a pending
+    # write delta is folded in first; the loaded table starts clean.
+    table.repack()
     rows = list(table)
     row_index = {id(obj): i for i, obj in enumerate(rows)}
     coords: List[float] = []
@@ -290,7 +293,7 @@ def table_from_jsonable(data: dict) -> SpatialTable:
                 for p in part["partitions"]
             ),
         )
-        table._partitioning_key = (table._version, int(part["target"]))
+        table._partitioning_key = (table._version, 0, int(part["target"]))
     shard_data = data.get("sharding")
     if shard_data is not None:
         target = int(shard_data["target"])
@@ -302,7 +305,7 @@ def table_from_jsonable(data: dict) -> SpatialTable:
                 for group in shard_data["shards"]
             ],
         )
-        table._sharding_key = (table._version, target)
+        table._sharding_key = (table._version, 0, target)
     return table
 
 

@@ -16,6 +16,15 @@ backends.  For partitioned execution, :meth:`SpatialTable.partitioning`
 caches an STR tiling of the rows (see :mod:`repro.spatial.partition`),
 invalidated — like the statistics cache and every
 :class:`ProbeCache` entry — by the table's mutation counter.
+
+Incremental maintenance (MVCC-lite): once a mutation is *staged* (via
+:meth:`SpatialTable.stage_insert` / :meth:`SpatialTable.stage_delete`,
+or any :meth:`SpatialTable.insert` / :meth:`SpatialTable.delete` while a
+delta is open) the packed base structures stay frozen and the write
+lands in a :class:`~repro.spatial.delta.TableDelta`.  Every read path
+merges the delta transparently; ``(base_version, delta_watermark)``
+identifies the logical snapshot, and :meth:`SpatialTable.repack` folds
+the delta into freshly built base structures (bumping the base version).
 """
 
 from __future__ import annotations
@@ -32,9 +41,14 @@ from ..boxes.box import Box
 from ..errors import DimensionMismatchError
 from . import columnar
 from .columnar import ColumnStore
+from .delta import TableDelta
 from .gridfile import GridFile
 from .rangequery import compile_range
 from .rtree import RTree
+
+#: Staged mutations past which an (unshared) table repacks itself inline.
+#: The query service repacks off-thread instead (see repro.service).
+DEFAULT_DELTA_THRESHOLD = 64
 
 
 @dataclass(frozen=True)
@@ -77,6 +91,13 @@ class ProbeCache:
     LRU churn); entries of a garbage-collected table are purged by a
     weakref callback.  The cached row lists are shared — callers must
     not mutate them.
+
+    The version component of the key is the table's *base* version:
+    while a write delta is open, :meth:`SpatialTable.range_query_cached`
+    stores base-only probe results here and overlays the delta per
+    lookup, so cached entries survive delta-only writes (the delta
+    watermark never invalidates them; only a repack's base-version bump
+    does).
 
     A cache may outlive a single execution (that is the point: repeated
     queries over unchanged tables skip the index entirely), so it keeps
@@ -230,6 +251,9 @@ class SpatialTable:
         ``"rstar"``); ignored by the other backends.
     node_capacity:
         R-tree node capacity ``M``.
+    delta_threshold:
+        Staged mutations past which the table repacks itself inline
+        (see :meth:`repack`); shared-base clones never self-repack.
     """
 
     VALID_INDEXES = ("rtree", "grid", "scan")
@@ -242,6 +266,7 @@ class SpatialTable:
         universe: Optional[Box] = None,
         split_method: str = "quadratic",
         node_capacity: int = 8,
+        delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
     ):
         if index not in self.VALID_INDEXES:
             raise ValueError(
@@ -277,6 +302,10 @@ class SpatialTable:
         # rows/entries it evaluated (reported via ExecutionStats).
         self.vectorized_batches = 0
         self.vectorized_candidates = 0
+        # Delta overlay counters: how often a read path merged staged
+        # rows, and how many repacks folded a delta into fresh bases.
+        self.delta_probes = 0
+        self.repacks = 0
         # Mutation counter; invalidates the cached statistics and
         # partitioning below (and every ProbeCache entry for this table).
         self._version = 0
@@ -289,16 +318,92 @@ class SpatialTable:
         self._partitioning_key: Optional[Tuple] = None
         self._sharding_cache = None
         self._sharding_key: Optional[Tuple] = None
+        # LSM-style write delta (None until the first staged mutation).
+        self._delta: Optional[TableDelta] = None
+        self.delta_threshold = delta_threshold
+        # True on with_staged() clones: the packed base structures are
+        # shared with the parent, so a repack must never mutate them in
+        # place (and the clone never self-repacks — the service layer
+        # orchestrates its repacks off-thread).
+        self._shares_base = False
+        # Merged (base + delta) statistics, keyed by watermark + params.
+        self._delta_stats_cache: Dict[Tuple, object] = {}
 
     def __len__(self) -> int:
-        return len(self._objects)
+        d = self._delta
+        if d is None or not d.pending_ops:
+            return len(self._objects)
+        # Tombstones only ever name base rows, so this is exact.
+        return len(self._objects) - len(d.tombstones) + len(d.inserts)
 
     def __iter__(self) -> Iterator[SpatialObject]:
-        return iter(self._objects.values())
+        """Live rows: base order minus tombstones, then staged rows."""
+        d = self._delta
+        if d is None or not d.pending_ops:
+            return iter(self._objects.values())
+        return self._live_iter(d)
+
+    def _live_iter(self, d: TableDelta) -> Iterator[SpatialObject]:
+        tomb = d.tombstones
+        for oid, obj in self._objects.items():
+            if oid not in tomb:
+                yield obj
+        yield from d.inserts.values()
+
+    # -- delta / MVCC-lite --------------------------------------------------------
+    @property
+    def delta_pending(self) -> bool:
+        """Whether any staged mutation awaits a repack."""
+        d = self._delta
+        return d is not None and d.pending_ops > 0
+
+    @property
+    def delta_pending_ops(self) -> int:
+        """Staged mutations awaiting a repack."""
+        d = self._delta
+        return 0 if d is None else d.pending_ops
+
+    @property
+    def delta_watermark(self) -> int:
+        """Staged-mutation counter since the last repack (0 when clean)."""
+        d = self._delta
+        return 0 if d is None else d.watermark
+
+    @property
+    def mvcc_token(self) -> Tuple[int, int]:
+        """The ``(base_version, delta_watermark)`` snapshot identity.
+
+        The base version bumps only at direct (delta-less) mutations and
+        repacks; the watermark bumps once per staged mutation.  Two
+        equal tokens on the same table object denote bit-identical
+        query answers.
+        """
+        return (self._version, self.delta_watermark)
+
+    def delta_stats(self) -> dict:
+        """Delta/MVCC counters for reporting."""
+        d = self._delta
+        return {
+            "pending_inserts": 0 if d is None else len(d.inserts),
+            "tombstones": 0 if d is None else len(d.tombstones),
+            "watermark": self.delta_watermark,
+            "base_version": self._version,
+            "threshold": self.delta_threshold,
+            "repacks": self.repacks,
+            "delta_probes": self.delta_probes,
+        }
 
     # -- updates -----------------------------------------------------------------
     def insert(self, oid, region: Region) -> SpatialObject:
-        """Insert a row; the bounding box is derived and indexed."""
+        """Insert a row; the bounding box is derived and indexed.
+
+        While a write delta is open the insert is staged there instead
+        of touching the packed base (see :meth:`stage_insert`); on a
+        clean table it updates the base structures directly and bumps
+        the mutation counter (the bulk-build path).
+        """
+        if self._delta is not None:
+            return self.stage_insert(oid, region)
         if region.dim is not None and region.dim != self.dim:
             raise DimensionMismatchError(
                 f"region is {region.dim}-dim, table {self.name!r} is "
@@ -315,6 +420,192 @@ class SpatialTable:
         if self._grid is not None and not obj.box.is_empty():
             self._grid.insert(obj.box.to_point(), obj)
         return obj
+
+    def stage_insert(self, oid, region: Region) -> SpatialObject:
+        """Stage an insert in the write delta — O(delta), no base touch.
+
+        The row is immediately visible to every read path (the delta is
+        merged transparently); the packed base structures and the base
+        version stay untouched, so version-keyed caches survive.  Past
+        ``delta_threshold`` staged mutations an unshared table repacks
+        itself inline.
+        """
+        if region.dim is not None and region.dim != self.dim:
+            raise DimensionMismatchError(
+                f"region is {region.dim}-dim, table {self.name!r} is "
+                f"{self.dim}-dim"
+            )
+        d = self._ensure_delta()
+        if oid in d.inserts or (
+            oid in self._objects and oid not in d.tombstones
+        ):
+            raise ValueError(f"duplicate oid {oid!r} in table {self.name!r}")
+        obj = SpatialObject(oid=oid, region=region, box=region.bounding_box())
+        d.stage_insert(obj)
+        self._maybe_repack()
+        return obj
+
+    def stage_delete(self, oid) -> bool:
+        """Stage a delete; returns False when ``oid`` is not live.
+
+        A staged insert is unstaged outright; a base row gains a
+        tombstone (the base structures keep the row until the next
+        repack, every read path filters it).
+        """
+        d = self._ensure_delta()
+        ok = d.stage_delete(oid, base_has=oid in self._objects)
+        if ok:
+            self._maybe_repack()
+        return ok
+
+    def delete(self, oid) -> None:
+        """Delete a live row through the delta; KeyError when absent."""
+        if not self.stage_delete(oid):
+            raise KeyError(oid)
+
+    def _ensure_delta(self) -> TableDelta:
+        if self._delta is None:
+            self._delta = TableDelta(
+                self._version,
+                node_capacity=self.node_capacity,
+                split_method=self.split_method,
+            )
+        return self._delta
+
+    def _maybe_repack(self) -> None:
+        d = self._delta
+        if (
+            d is not None
+            and not self._shares_base
+            and d.pending_ops >= self.delta_threshold
+        ):
+            self.repack()
+
+    def repack(self) -> bool:
+        """Fold the write delta into freshly packed base structures.
+
+        Builds a new row map, column store and index (STR bulk load on
+        the r-tree backend) beside the old ones and publishes them by
+        plain attribute assignment — a reader holding references to the
+        old structures finishes against a consistent snapshot.  The base
+        version bump invalidates every version-keyed cache.  As a
+        special case, a small pure-delete delta on an unshared r-tree
+        applies targeted :meth:`~repro.spatial.rtree.RTree.delete` calls
+        instead of rebuilding, preserving the packed structure.
+
+        Returns True when anything was folded (no-op on a clean table).
+        """
+        d = self._delta
+        if d is None:
+            return False
+        if not d.pending_ops:
+            self._delta = None
+            return False
+        # repr-sort: oids may mix types; a deterministic order keeps the
+        # incremental statistics' float folds reproducible across runs.
+        removed = [
+            self._objects[oid]
+            for oid in sorted(d.tombstones, key=repr)
+            if oid in self._objects
+        ]
+        new_objects = {
+            oid: obj
+            for oid, obj in self._objects.items()
+            if oid not in d.tombstones
+        }
+        new_objects.update(d.inserts)
+        columns = ColumnStore(self.dim)
+        for obj in new_objects.values():
+            columns.append(obj.box, obj)
+        rtree = self._rtree
+        if self.index_kind == "rtree":
+            small_purge = (
+                not d.inserts
+                and not self._shares_base
+                and len(removed) * 8 <= max(1, len(new_objects))
+            )
+            if small_purge and rtree is not None:
+                for obj in removed:
+                    if not obj.box.is_empty():
+                        rtree.delete(obj.box, obj)
+            else:
+                rtree = RTree.bulk_load(
+                    [
+                        (obj.box, obj)
+                        for obj in new_objects.values()
+                        if not obj.box.is_empty()
+                    ],
+                    max_entries=self.node_capacity,
+                    split_method=self.split_method,
+                )
+        grid = self._grid
+        if self.index_kind == "grid":
+            grid = GridFile(2 * self.dim)
+            for obj in new_objects.values():
+                if not obj.box.is_empty():
+                    grid.insert(obj.box.to_point(), obj)
+        self._objects = new_objects
+        self._columns = columns
+        self._rtree = rtree
+        self._grid = grid
+        self._delta = None
+        self._delta_stats_cache = {}
+        self._shares_base = False
+        self._version += 1
+        self.repacks += 1
+        return True
+
+    def with_staged(
+        self,
+        inserts: Sequence[Tuple[object, Region]] = (),
+        deletes: Sequence[object] = (),
+    ) -> "SpatialTable":
+        """An O(delta) MVCC clone with the given writes staged.
+
+        The clone shares the immutable packed base structures (row map,
+        r-tree, grid, column store) and the base statistics cache with
+        this table and stages the writes in its own copied delta —
+        building one costs O(staged mutations), never O(table).  The
+        query service's mutation endpoints publish such clones through
+        the snapshot store's atomic swap: readers pinned to the old
+        snapshot are never blocked or perturbed.
+
+        The clone is marked shared-base: it never repacks in place and
+        never self-repacks on threshold (its owner orchestrates that).
+        """
+        clone = SpatialTable.__new__(SpatialTable)
+        clone.name = self.name
+        clone.dim = self.dim
+        clone.index_kind = self.index_kind
+        clone.universe = self.universe
+        clone.split_method = self.split_method
+        clone.node_capacity = self.node_capacity
+        clone.delta_threshold = self.delta_threshold
+        clone._objects = self._objects
+        clone._rtree = self._rtree
+        clone._grid = self._grid
+        clone._columns = self._columns
+        clone.probes = 0
+        clone.candidates_returned = 0
+        clone.vectorized_batches = 0
+        clone.vectorized_candidates = 0
+        clone.delta_probes = self.delta_probes
+        clone.repacks = self.repacks
+        clone._version = self._version
+        clone._stats_cache = dict(self._stats_cache)
+        clone._stats_version = self._stats_version
+        clone._delta_stats_cache = {}
+        clone._partitioning_cache = None
+        clone._partitioning_key = None
+        clone._sharding_cache = None
+        clone._sharding_key = None
+        clone._delta = self._delta.clone() if self._delta is not None else None
+        clone._shares_base = True
+        for oid, region in inserts:
+            clone.stage_insert(oid, region)
+        for oid in deletes:
+            clone.delete(oid)
+        return clone
 
     def bulk_insert(
         self,
@@ -378,6 +669,9 @@ class SpatialTable:
         """
         if self.index_kind != "rtree":
             return
+        # Fold any staged delta first: the rebuild below enumerates the
+        # base rows, and silently dropping staged writes would be wrong.
+        self.repack()
         if split_method is not None:
             if split_method not in RTree.SPLIT_METHODS:
                 raise ValueError(
@@ -408,7 +702,15 @@ class SpatialTable:
         self._version += 1
 
     def get(self, oid) -> SpatialObject:
-        """Row lookup by id."""
+        """Row lookup by id (the live view: staged rows are found,
+        tombstoned rows raise KeyError)."""
+        d = self._delta
+        if d is not None and d.pending_ops:
+            obj = d.inserts.get(oid)
+            if obj is not None:
+                return obj
+            if oid in d.tombstones:
+                raise KeyError(oid)
         return self._objects[oid]
 
     # -- queries --------------------------------------------------------------------
@@ -417,7 +719,16 @@ class SpatialTable:
     ) -> Optional[ColumnStore]:
         """The table's :class:`ColumnStore`, or ``None`` when the
         vectorized paths are disabled (see
-        :func:`repro.spatial.columnar.resolve`)."""
+        :func:`repro.spatial.columnar.resolve`).
+
+        Also ``None`` while a write delta is pending: the column slots
+        mirror the *base* rows, so they misalign with the live view
+        (tombstones, staged rows) — external batch consumers must fall
+        back to their scalar paths until the next repack realigns them.
+        The table's own read paths merge the delta internally instead.
+        """
+        if self.delta_pending:
+            return None
         return self._columns if columnar.resolve(vectorize) else None
 
     def range_query(
@@ -428,12 +739,29 @@ class SpatialTable:
         One index probe per call — the paper's "every retrieval step is a
         single range query".  ``vectorize`` selects the batched columnar
         kernels (``None`` defers to the global backend switch); results
-        are bit-identical either way.
+        are bit-identical either way.  While a write delta is pending
+        the base probe result is overlaid with it (tombstoned rows
+        filtered, matching staged rows appended), billed as one
+        ``delta_probe``.
         """
         self.probes += 1
         if query.is_unsatisfiable():
             return []
-        vec = columnar.resolve(vectorize)
+        out = self._base_range_rows(query, columnar.resolve(vectorize))
+        d = self._delta
+        if d is not None and d.pending_ops:
+            out = self._overlay_rows(out, query, d)
+        self.candidates_returned += len(out)
+        return out
+
+    def _base_range_rows(
+        self, query: BoxQuery, vec: bool
+    ) -> List[SpatialObject]:
+        """The range probe over the packed base only — a pure function
+        of ``(base version, query)``, which is what makes it cacheable
+        under the base-version key while deltas come and go.  Counts no
+        probe itself (callers bill); vectorized counters are billed here
+        because they are a property of the kernel dispatch."""
         out: List[SpatialObject]
         if self.index_kind == "rtree":
             if vec and columnar.active_backend() == "numpy":
@@ -467,7 +795,26 @@ class SpatialTable:
                     for obj in self._objects.values()
                     if not obj.box.is_empty() and query.matches(obj.box)
                 ]
-        self.candidates_returned += len(out)
+        return out
+
+    def _overlay_rows(
+        self,
+        base_rows: List[SpatialObject],
+        query: BoxQuery,
+        d: TableDelta,
+    ) -> List[SpatialObject]:
+        """Merge the write delta into a base probe result: drop
+        tombstoned rows, append matching staged rows in insertion order
+        (deterministic, and exactly the live-scan order relative to the
+        base stream).  Returns a fresh list; ``base_rows`` may be a
+        shared cache entry and is never mutated."""
+        self.delta_probes += 1
+        tomb = d.tombstones
+        if tomb:
+            out = [obj for obj in base_rows if obj.oid not in tomb]
+        else:
+            out = list(base_rows)
+        out.extend(d.matches(query))
         return out
 
     def range_query_cached(
@@ -481,15 +828,35 @@ class SpatialTable:
         Returns ``(rows, hit)``.  On a hit the index (and the table's
         probe counter) is not touched at all; the returned list is the
         cached one and must not be mutated.
+
+        While a write delta is pending the cache carries *base-only*
+        results under the base-version key and the delta is overlaid on
+        every return — so a hit still skips the index probe entirely
+        (only the in-memory delta is consulted, billed as a
+        ``delta_probe``), and base entries survive delta-only writes.
         """
         if cache is None:
             return self.range_query(query, vectorize=vectorize), False
-        rows = cache.lookup(self, query)
-        if rows is not None:
-            return rows, True
-        rows = self.range_query(query, vectorize=vectorize)
-        cache.store(self, query, rows)
-        return rows, False
+        d = self._delta
+        if d is None or not d.pending_ops:
+            rows = cache.lookup(self, query)
+            if rows is not None:
+                return rows, True
+            rows = self.range_query(query, vectorize=vectorize)
+            cache.store(self, query, rows)
+            return rows, False
+        base = cache.lookup(self, query)
+        if base is not None:
+            return self._overlay_rows(base, query, d), True
+        self.probes += 1
+        if query.is_unsatisfiable():
+            base = []
+        else:
+            base = self._base_range_rows(query, columnar.resolve(vectorize))
+        cache.store(self, query, base)
+        out = self._overlay_rows(base, query, d)
+        self.candidates_returned += len(out)
+        return out, False
 
     def range_query_batch(
         self,
@@ -564,30 +931,110 @@ class SpatialTable:
             columnar.resolve(vectorize)
             and columnar.active_backend() == "numpy"
         )
+        d = self._delta
+        pending = d is not None and d.pending_ops > 0
         if self._rtree is not None and access != "scan":
-            before = self._rtree.stats.entry_tests
-            out = [
-                (dist, obj)
-                for dist, _box, obj in self._rtree.nearest(
-                    anchor,
-                    k,
-                    tie_key=lambda obj: repr(obj.oid),
-                    vectorize=vec,
-                )
-            ]
-            if vec:
-                self.vectorized_batches += 1
-                self.vectorized_candidates += (
-                    self._rtree.stats.entry_tests - before
-                )
+            if pending:
+                out = self._nearest_delta_merge(anchor, k, d, vec)
+            else:
+                before = self._rtree.stats.entry_tests
+                out = [
+                    (dist, obj)
+                    for dist, _box, obj in self._rtree.nearest(
+                        anchor,
+                        k,
+                        tie_key=lambda obj: repr(obj.oid),
+                        vectorize=vec,
+                    )
+                ]
+                if vec:
+                    self.vectorized_batches += 1
+                    self.vectorized_candidates += (
+                        self._rtree.stats.entry_tests - before
+                    )
         elif vec:
-            out = self._nearest_columnar(anchor, k)
+            if pending:
+                out = self._nearest_columnar_delta(anchor, k, d)
+            else:
+                out = self._nearest_columnar(anchor, k)
             self.vectorized_batches += 1
             self.vectorized_candidates += len(self._columns)
         else:
+            if pending:
+                self.delta_probes += 1
             out = self._nearest_scan(anchor, k)
         self.candidates_returned += len(out)
         return out
+
+    def _nearest_delta_merge(
+        self, anchor, k: int, d: TableDelta, vec: bool
+    ) -> List[Tuple[float, SpatialObject]]:
+        """Two-source kNN merge for a table with a pending delta.
+
+        Source one is the packed base's best-first distance browse,
+        widened to ``k + len(tombstones)`` — at most ``len(tombstones)``
+        of its results can be dead, so the live survivors provably
+        contain the base's true top ``k``.  Source two is a ranked
+        sweep of the staged rows.  Both sources and the final merge
+        sort by ``(distance, repr(oid))``, the brute-force reference's
+        total order, so the result is bit-identical to a live scan.
+        """
+        self.delta_probes += 1
+        k_base = k + len(d.tombstones)
+        before = self._rtree.stats.entry_tests
+        base = [
+            (dist, obj)
+            for dist, _box, obj in self._rtree.nearest(
+                anchor,
+                k_base,
+                tie_key=lambda obj: repr(obj.oid),
+                vectorize=vec,
+            )
+        ]
+        if vec:
+            self.vectorized_batches += 1
+            self.vectorized_candidates += (
+                self._rtree.stats.entry_tests - before
+            )
+        tomb = d.tombstones
+        live = [pair for pair in base if pair[1].oid not in tomb][:k]
+        staged = sorted(
+            (
+                (self._distance_to(obj, anchor), obj)
+                for obj in d.inserts.values()
+                if not obj.box.is_empty()
+            ),
+            key=lambda pair: (pair[0], repr(pair[1].oid)),
+        )[:k]
+        merged = sorted(
+            live + staged, key=lambda pair: (pair[0], repr(pair[1].oid))
+        )
+        return merged[:k]
+
+    def _nearest_columnar_delta(
+        self, anchor, k: int, d: TableDelta
+    ) -> List[Tuple[float, SpatialObject]]:
+        """:meth:`_nearest_columnar` over the live view: the batched
+        kernel ranks the base columns, tombstoned rows drop out, staged
+        rows join via the scalar metric (the same doubles, by the
+        kernels' bit-identity contract), and one sort settles it."""
+        self.delta_probes += 1
+        store = self._columns
+        dists = store.distances_to(anchor)
+        tomb = d.tombstones
+        pairs = [
+            (float(dists[i]), store.rows[i])
+            for i in range(len(store))
+            if not store.rows[i].box.is_empty()
+            and store.rows[i].oid not in tomb
+        ]
+        pairs.extend(
+            (self._distance_to(obj, anchor), obj)
+            for obj in d.inserts.values()
+            if not obj.box.is_empty()
+        )
+        ranked = sorted(pairs, key=lambda pair: (pair[0], repr(pair[1].oid)))
+        return ranked[:k]
 
     def nearest_bruteforce(
         self, anchor, k: int
@@ -601,6 +1048,8 @@ class SpatialTable:
         if k <= 0:
             return []
         self.probes += 1
+        if self.delta_pending:
+            self.delta_probes += 1
         out = self._nearest_scan(anchor, k)
         self.candidates_returned += len(out)
         return out
@@ -608,10 +1057,12 @@ class SpatialTable:
     def _nearest_scan(
         self, anchor, k: int
     ) -> List[Tuple[float, SpatialObject]]:
+        # Iterates the live view (`self`), so staged rows rank and
+        # tombstoned rows do not — the delta oracle for free.
         ranked = sorted(
             (
                 (self._distance_to(obj, anchor), obj)
-                for obj in self._objects.values()
+                for obj in self
                 if not obj.box.is_empty()
             ),
             key=lambda pair: (pair[0], repr(pair[1].oid)),
@@ -653,15 +1104,37 @@ class SpatialTable:
         if query.is_unsatisfiable():
             self.probes += 1
             return 0
+        d = self._delta
+        pending = d is not None and d.pending_ops > 0
         if self._rtree is not None:
             self.probes += 1
-            return self._rtree.count(query)
+            total = self._rtree.count(query)
+            if pending:
+                # The pushdown counted tombstoned base rows too; back
+                # them out individually (tombstone sets are small) and
+                # add the staged matches.
+                self.delta_probes += 1
+                for oid in d.tombstones:
+                    obj = self._objects.get(oid)
+                    if (
+                        obj is not None
+                        and not obj.box.is_empty()
+                        and query.matches(obj.box)
+                    ):
+                        total -= 1
+                total += d.count(query)
+            return total
         return len(self.range_query(query))
 
     def scan(self) -> List[SpatialObject]:
-        """All rows (the naive executor's access path)."""
+        """All live rows (the naive executor's access path)."""
         self.probes += 1
-        out = list(self._objects.values())
+        d = self._delta
+        if d is not None and d.pending_ops:
+            self.delta_probes += 1
+            out = list(self._live_iter(d))
+        else:
+            out = list(self._objects.values())
         self.candidates_returned += len(out)
         return out
 
@@ -671,6 +1144,8 @@ class SpatialTable:
         self.candidates_returned = 0
         self.vectorized_batches = 0
         self.vectorized_candidates = 0
+        self.delta_probes = 0
+        self.repacks = 0
         if self._rtree is not None:
             self._rtree.stats.reset()
         if self._grid is not None:
@@ -708,12 +1183,14 @@ class SpatialTable:
     def partitioning(self, n_partitions: int):
         """An STR tiling of this table's rows, cached by version.
 
-        Built lazily by :func:`repro.spatial.partition.str_partition`;
-        the cache key includes the mutation counter, so any insert or
-        reindex invalidates it.  Used by the partition-aware physical
-        operators (``PartitionScan``) and the statistics catalog.
+        Built lazily by :func:`repro.spatial.partition.str_partition`
+        over the live rows; the cache key is the ``(base version,
+        delta watermark)`` snapshot token, so direct mutations,
+        reindexes, staged writes and repacks all invalidate it.  Used
+        by the partition-aware physical operators (``PartitionScan``)
+        and the statistics catalog.
         """
-        key = (self._version, n_partitions)
+        key = (self._version, self.delta_watermark, n_partitions)
         if self._partitioning_key != key:
             from .partition import str_partition
 
@@ -725,14 +1202,16 @@ class SpatialTable:
     def sharding(self, n_shards: int):
         """An STR sharding of this table's rows, cached by version.
 
-        Built lazily by :meth:`repro.spatial.shard.ShardedTable.build`;
-        the cache key includes the mutation counter, so any insert or
-        reindex invalidates it — and the superseded sharding is closed
-        (its shared-memory publications unlinked) before the rebuild.
-        Used by the shard-aware physical operators (``ShardScan``,
-        ``ShardedJoin``) and the planner's shard costing.
+        Built lazily by :meth:`repro.spatial.shard.ShardedTable.build`
+        over the live rows; the cache key is the ``(base version,
+        delta watermark)`` snapshot token, so direct mutations,
+        reindexes, staged writes and repacks all invalidate it — and
+        the superseded sharding is closed (its shared-memory
+        publications unlinked) before the rebuild.  Used by the
+        shard-aware physical operators (``ShardScan``, ``ShardedJoin``)
+        and the planner's shard costing.
         """
-        key = (self._version, n_shards)
+        key = (self._version, self.delta_watermark, n_shards)
         if self._sharding_key != key:
             from .shard import ShardedTable
 
@@ -759,19 +1238,79 @@ class SpatialTable:
         also collects per-partition counts and bounding boxes (for
         costing partition pruning).  See :mod:`repro.engine.catalog`
         for the statistics' contents.
+
+        While a write delta is pending the base statistics are *not*
+        resampled: the cached base entry (computed over base rows only,
+        still keyed by the base version) is adjusted incrementally from
+        the staged rows via
+        :meth:`~repro.engine.catalog.TableStatistics.apply_delta` —
+        count, histograms, average extents and the sample update in
+        O(delta), and the result carries ``delta_count`` so the planner
+        can price the overlay.  Merged statistics cache per watermark.
         """
         if self._stats_version != self._version:
             self._stats_cache = {}
+            self._delta_stats_cache = {}
             self._stats_version = self._version
-        key = (bins, sample_size, seed, partitions)
-        if key not in self._stats_cache:
-            from ..engine.catalog import collect_statistics
+        from ..engine.catalog import collect_statistics
 
-            self._stats_cache[key] = collect_statistics(
+        d = self._delta
+        if d is None or not d.pending_ops:
+            key = (bins, sample_size, seed, partitions)
+            if key not in self._stats_cache:
+                self._stats_cache[key] = collect_statistics(
+                    self,
+                    bins=bins,
+                    sample_size=sample_size,
+                    seed=seed,
+                    partitions=partitions,
+                )
+            return self._stats_cache[key]
+        # Base statistics come from the base rows alone (the live
+        # iterator would leak staged rows into them) and never carry
+        # partition summaries — the tiling is rebuilt per watermark.
+        base_key = (bins, sample_size, seed, 0)
+        if base_key not in self._stats_cache:
+            base_rows = [
+                obj
+                for obj in self._objects.values()
+                if not obj.box.is_empty()
+            ]
+            self._stats_cache[base_key] = collect_statistics(
                 self,
                 bins=bins,
                 sample_size=sample_size,
                 seed=seed,
-                partitions=partitions,
+                partitions=0,
+                rows=base_rows,
+                total=len(self._objects),
             )
-        return self._stats_cache[key]
+        base = self._stats_cache[base_key]
+        dkey = (d.watermark, bins, sample_size, seed, partitions)
+        if dkey not in self._delta_stats_cache:
+            from dataclasses import replace
+
+            from ..engine.catalog import PartitionStatistics
+
+            removed = [
+                self._objects[oid]
+                for oid in sorted(d.tombstones, key=repr)
+                if oid in self._objects
+            ]
+            stats = base.apply_delta(
+                inserted=tuple(d.inserts.values()),
+                removed=tuple(removed),
+                sample_size=sample_size,
+            )
+            if partitions > 0:
+                stats = replace(
+                    stats,
+                    partitions=tuple(
+                        PartitionStatistics(
+                            pid=part.pid, count=len(part), mbr=part.mbr
+                        )
+                        for part in self.partitioning(partitions).partitions
+                    ),
+                )
+            self._delta_stats_cache[dkey] = stats
+        return self._delta_stats_cache[dkey]

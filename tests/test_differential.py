@@ -498,3 +498,113 @@ def test_vectorized_nearest_differential(seed, k, box_anchor):
             assert [(d, o.oid) for d, o in got] == [
                 (d, o.oid) for d, o in want
             ], f"{index}/{backend} diverged"
+
+
+# ---------------------------------------------------------------------------
+# Delta overlay: staged and repacked tables answer exactly like fresh ones
+# ---------------------------------------------------------------------------
+
+
+#: Physical layouts the delta differential sweeps: serial, partitioned
+#: (threaded PBSM), and sharded — including the bounded-memory spill
+#: and the process-pool shared-memory paths.
+DELTA_LAYOUTS = (
+    {},
+    {"partitions": 3, "join_strategy": "pbsm"},
+    {"partitions": 3, "join_strategy": "pbsm", "parallel": 2},
+    {"shards": 3, "join_strategy": "shardscan"},
+    {"shards": 3, "join_strategy": "shardjoin", "spill": 8},
+    {
+        "shards": 3,
+        "join_strategy": "shardjoin",
+        "parallel": 2,
+        "parallel_kind": "process",
+    },
+)
+
+
+def _staged_copy(table, rng):
+    """The same live rows as ``table``, but half of them staged in a
+    write delta, plus a couple of tombstoned ghost rows — answers must
+    be indistinguishable from the directly built original."""
+    from repro.algebra import Region
+    from repro.spatial import SpatialTable
+
+    from tests.conftest import UNIVERSE
+
+    rows = list(table)
+    split = len(rows) // 2
+    copy = SpatialTable(
+        table.name, table.dim, index=table.index_kind, universe=table.universe
+    )
+    for obj in rows[:split]:
+        copy.insert(obj.oid, obj.region)
+    ghosts = []
+    for j in range(2):
+        lo = (rng.uniform(0, 24), rng.uniform(0, 24))
+        oid = f"ghost-{j}"
+        copy.insert(
+            oid,
+            Region.from_box(
+                Box(lo, (lo[0] + 6.0, lo[1] + 6.0)).meet(UNIVERSE)
+            ),
+        )
+        ghosts.append(oid)
+    for obj in rows[split:]:
+        copy.stage_insert(obj.oid, obj.region)
+    for oid in ghosts:
+        copy.delete(oid)
+    return copy
+
+
+@given(
+    constraint_systems(),
+    st.integers(0, 10_000),
+    st.integers(0, len(DELTA_LAYOUTS) - 1),
+)
+@settings(
+    max_examples=18,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_delta_staged_execution_differential(system, seed, layout_index):
+    """A delta-staged table (half its rows in the write delta, ghosts
+    tombstoned) and its post-repack form return exactly the fresh
+    table's answer sets, in every box mode x physical layout (serial,
+    partitioned, sharded, spilled, process-pool) x columnar backend."""
+    layout = DELTA_LAYOUTS[layout_index]
+    tables, bindings = make_workload(seed, system=system)
+    if not tables:
+        return
+    order = sorted(tables)
+    rng = random.Random(shifted_seed(seed) + 7)
+    staged = {name: _staged_copy(t, rng) for name, t in tables.items()}
+    repacked = {name: _staged_copy(t, rng) for name, t in tables.items()}
+    for t in repacked.values():
+        t.repack()
+        assert not t.delta_pending
+    for name, t in staged.items():
+        assert t.delta_pending, name  # the overlay path is actually hit
+    variants = {"fresh": tables, "staged": staged, "repacked": repacked}
+    for mode in ("boxplan", "boxonly"):
+        reference = None
+        for vname, vtables in variants.items():
+            query = SpatialQuery(
+                system=system, tables=vtables, bindings=bindings
+            )
+            try:
+                plan = compile_query(query, order=order)
+            except UnsatisfiableError:
+                return
+            for backend in COLUMNAR_BACKENDS + ("off",):
+                with forced_backend(backend):
+                    pplan = build_physical_plan(plan, mode, **layout)
+                    got = answers_as_oid_tuples(
+                        list(pplan.execute_iter()), order
+                    )
+                if reference is None:
+                    reference = got
+                assert got == reference, (
+                    f"{mode}/{vname}/{backend}/layout={layout} diverged "
+                    f"for:\n{system}"
+                )

@@ -351,3 +351,102 @@ def test_stats_payload_is_json_serializable(served):
     _service, client, system = served
     reply = client.bench(system)
     json.dumps(reply)  # no TypeError — everything is plain JSON
+
+
+# -- delta mutations & background repack ---------------------------------------
+def test_small_inserts_stage_in_delta_not_rebuild():
+    """The apply_insert fast path is O(delta): N small inserts stay
+    staged in the published clone's write delta (no base rebuild, no
+    repack) while every one is immediately visible to readers."""
+    service, system = _make_service(seed=7)
+    db0, _v = service.store.current()
+    base_version = db0.table("T")._version
+    n = 6
+    for i in range(n):
+        service.apply_insert(
+            "T", [(f"tiny-{i}", Region.from_box(Box((1, 1), (2, 2))))]
+        )
+    service.drain_repacks()
+    db, _v = service.store.current()
+    t = db.table("T")
+    assert t._version == base_version  # the packed base was never rebuilt
+    assert t.delta_pending_ops == n
+    assert service.repacks == 0
+    assert {f"tiny-{i}" for i in range(n)} <= {o.oid for o in t}
+
+
+def test_insert_burst_triggers_at_most_one_repack():
+    """Crossing the repack threshold folds the delta exactly once, in
+    the background; the published table comes out packed and clean."""
+    service, system = _make_service(seed=7)
+    service.repack_threshold = 8
+    before = len(service.store.current()[0].table("T"))
+    for i in range(8):
+        service.apply_insert(
+            "T", [(f"burst-{i}", Region.from_box(Box((1, 1), (2, 2))))]
+        )
+    service.drain_repacks()
+    assert service.repacks == 1
+    db, _v = service.store.current()
+    t = db.table("T")
+    assert len(t) == before + 8
+    assert not t.delta_pending  # the fold consumed every staged op
+
+
+def test_delete_endpoint_tombstones_and_is_idempotent():
+    service, system = _make_service(seed=7)
+    db0, _v = service.store.current()
+    victim = next(iter(db0.table("T"))).oid
+    version, deleted = service.apply_delete("T", [victim, victim, "nope"])
+    assert deleted == 1
+    db, v_now = service.store.current()
+    assert v_now == version
+    assert victim not in {o.oid for o in db.table("T")}
+    # Idempotent: a second delete of the same oid is a no-op swap-free.
+    version2, deleted2 = service.apply_delete("T", [victim])
+    assert deleted2 == 0 and version2 == version
+
+
+def test_readers_pinned_across_background_repack_stay_bit_identical():
+    """Readers pinned to a pre-repack snapshot keep answering from the
+    delta-overlay tables, bit-identically, while the background repack
+    builds and swaps the packed form; mutations staged mid-repack are
+    replayed onto the packed table."""
+    service, system = _make_service(seed=7)
+    service.repack_threshold = 5
+    for i in range(4):
+        service.apply_insert(
+            "T", [(f"pin-{i}", Region.from_box(Box((1, 1), (2, 2))))]
+        )
+    db_old, _v = service.store.current()
+    baseline, _res = _local_tuples(db_old, system, cache=service.cache)
+    # The fifth insert crosses the threshold and kicks the repack; a
+    # sixth lands while it may still be running (the replay path).
+    for i in range(4, 6):
+        service.apply_insert(
+            "T", [(f"pin-{i}", Region.from_box(Box((1, 1), (2, 2))))]
+        )
+    for _ in range(3):
+        assert (
+            _local_tuples(db_old, system, cache=service.cache)[0]
+            == baseline
+        )
+    service.drain_repacks()
+    assert service.repacks == 1
+    db_new, _v = service.store.current()
+    t = db_new.table("T")
+    assert {f"pin-{i}" for i in range(6)} <= {o.oid for o in t}
+    # And the pinned snapshot still answers bit-identically afterwards.
+    assert _local_tuples(db_old, system, cache=service.cache)[0] == baseline
+
+
+def test_delete_over_the_wire(served):
+    service, client, system = served
+    db, _v = service.store.current()
+    victim = next(iter(db.table("T"))).oid
+    before = client.health()["snapshot"]
+    reply = client.delete("T", [victim, "no-such-row"])
+    assert reply["snapshot"] == before + 1
+    assert reply["deleted"] == 1 and reply["missing"] == 1
+    stats = client.stats()
+    assert stats["tables"]["T"]["delta_pending"] >= 1

@@ -205,5 +205,5 @@ def test_database_open_matches_save(tmp_path):
     # tables answer both without recomputation (cache keys match).
     for key, table in reopened.tables.items():
         assert table._stats_version == table._version
-        assert table._partitioning_key == (table._version, 4)
+        assert table._partitioning_key == (table._version, 0, 4)
         assert table.statistics() == db.tables[key].statistics()

@@ -413,6 +413,113 @@ class TestRTreeDeleteStats:
         tree.check_invariants()
 
 
+class TestDeltaTombstoneIndexInvariants:
+    """Delta tombstones over a packed r-tree (the LSM write path).
+
+    Extends the interleaved-mutation invariants above to the table's
+    delta: tombstones must never touch the base tree's cached subtree
+    ``count()``/``node_count()`` (readers of the base stay consistent),
+    the overlay-corrected ``count_range`` must track the live view, and
+    a pure-delete repack below the purge bound must go through
+    :meth:`RTree.delete` — keeping the packed structure and its count
+    cache fresh instead of rebuilding.
+    """
+
+    UNIVERSE = Box((-1000.0, -1000.0), (1000.0, 1000.0))
+
+    def _table(self, n=80, seed=13):
+        t = SpatialTable("t", 2, index="rtree", delta_threshold=10_000)
+        boxes = _random_boxes(n, seed=seed)
+        t.bulk_insert(
+            [(i, Region.from_box(b)) for i, b in enumerate(boxes)]
+        )
+        return t, boxes
+
+    def test_tombstones_leave_base_tree_counts_untouched(self):
+        t, boxes = self._table()
+        base_count = t._rtree.count(BoxQuery(inside=self.UNIVERSE))
+        base_nodes = t._rtree.node_count()
+        for i in range(0, 30, 3):
+            t.delete(i)
+        # The packed base is immutable under the delta: same tree, same
+        # cached subtree counts, no hidden structural mutation.
+        assert t._rtree.count(BoxQuery(inside=self.UNIVERSE)) == base_count
+        assert t._rtree.node_count() == base_nodes
+        t._rtree.check_invariants()
+        # The live count subtracts tombstones without probing the base
+        # rows one by one.
+        assert t.count_range(BoxQuery(inside=self.UNIVERSE)) == len(t)
+
+    def test_interleaved_delta_mutations_track_live_counts(self):
+        rng = random.Random(17)
+        t, boxes = self._table(n=60, seed=21)
+        live = {i: b for i, b in enumerate(boxes)}
+        next_id = len(boxes)
+        for step in range(200):
+            action = rng.random()
+            if action < 0.45:
+                b = _random_boxes(1, seed=1000 + next_id)[0]
+                t.stage_insert(next_id, Region.from_box(b))
+                live[next_id] = b
+                next_id += 1
+            elif action < 0.75 and live:
+                victim = rng.choice(sorted(live))
+                del live[victim]
+                t.delete(victim)
+            else:
+                probe = boxes[rng.randrange(len(boxes))]
+                q = BoxQuery(overlap=(probe,))
+                want = {v for v, b in live.items() if b.overlaps(probe)}
+                assert {o.oid for o in t.range_query(q)} == want
+                assert t.count_range(q) == len(want)
+            if step % 40 == 0:
+                assert len(t) == len(live)
+                t._rtree.check_invariants()
+        # Folding the delta must land exactly on the live view, with a
+        # fresh tree whose cached counts match.
+        t.repack()
+        assert len(t) == len(live)
+        assert t._rtree.count(BoxQuery(inside=self.UNIVERSE)) == len(
+            [b for b in live.values() if not b.is_empty()]
+        )
+        t._rtree.check_invariants()
+
+    def test_pure_delete_repack_purges_in_place(self):
+        """A small all-tombstone delta folds via targeted RTree.delete
+        calls (the purge shortcut): the tree object survives, its
+        delete counter moves, and the count cache stays exact."""
+        t, _boxes = self._table(n=80)
+        tree_before = t._rtree
+        deletes_before = tree_before.stats.deletes
+        for i in range(5):
+            t.delete(i)
+        assert t.repack()
+        assert t._rtree is tree_before, "purge path should not rebuild"
+        assert tree_before.stats.deletes == deletes_before + 5
+        assert t._rtree.count(BoxQuery(inside=self.UNIVERSE)) == len(t)
+        t._rtree.check_invariants()
+
+    def test_large_delete_fraction_repacks_by_rebuild(self):
+        t, _boxes = self._table(n=24)
+        tree_before = t._rtree
+        for i in range(12):  # 12 * 8 > 12 remaining: purge bound exceeded
+            t.delete(i)
+        assert t.repack()
+        assert t._rtree is not tree_before, "should STR-rebuild, not purge"
+        assert t._rtree.count(BoxQuery(inside=self.UNIVERSE)) == 12
+        t._rtree.check_invariants()
+
+    def test_staged_insert_repack_always_rebuilds(self):
+        t, _boxes = self._table(n=20)
+        tree_before = t._rtree
+        t.stage_insert(999, Region.from_box(Box((0.0, 0.0), (1.0, 1.0))))
+        t.delete(0)
+        assert t.repack()
+        assert t._rtree is not tree_before
+        assert t._rtree.count(BoxQuery(inside=self.UNIVERSE)) == 20
+        t._rtree.check_invariants()
+
+
 class TestGridFileSkippedSplitPaths:
     """The remaining `_split_bucket` give-up paths (satellite coverage)."""
 
